@@ -1,0 +1,64 @@
+// Reproduces Figure 5: (a) the distribution of dense subgraphs (clusters)
+// by size bin, and (b) the distribution of sequences across group-size
+// bins, for the gpClust and GOS partitions on the (scaled) 2M-analog
+// graph. Rendered as ASCII bar charts plus a combined numeric table.
+//
+// Flags: --scale (default 0.12), --min-cluster-size (default 20).
+
+#include <cstdio>
+
+#include "baseline/gos_kneighbor.hpp"
+#include "core/gpclust.hpp"
+#include "eval/cluster_stats.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workloads.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gpclust;
+  const util::CliArgs args(argc, argv);
+  const double scale = args.get_double("scale", 1.0);
+  const std::size_t min_size =
+      static_cast<std::size_t>(args.get_int("min-cluster-size", 20));
+
+  std::printf("=== Figure 5: group-size distributions (2M-analog, scale=%g) "
+              "===\n\n", scale);
+
+  const auto pg = bench::make_2m_analog(scale);
+  bench::print_graph_banner("input", pg.graph);
+
+  device::DeviceContext ctx(device::DeviceSpec::tesla_k20());
+  core::ShinglingParams params;
+  const auto ours =
+      core::GpClust(ctx, params).cluster(pg.graph).filtered(min_size);
+  const auto gos =
+      baseline::gos_kneighbor_cluster(pg.graph).filtered(min_size);
+
+  const auto ours_groups = eval::group_size_histogram(ours);
+  const auto gos_groups = eval::group_size_histogram(gos);
+  const auto ours_seqs = eval::sequence_distribution_histogram(ours);
+  const auto gos_seqs = eval::sequence_distribution_histogram(gos);
+
+  std::printf("\n--- Figure 5(a): number of groups per size bin ---\n");
+  std::printf("[gpClust]\n%s", ours_groups.render().c_str());
+  std::printf("[GOS]\n%s", gos_groups.render().c_str());
+
+  std::printf("\n--- Figure 5(b): number of sequences per size bin ---\n");
+  std::printf("[gpClust]\n%s", ours_seqs.render().c_str());
+  std::printf("[GOS]\n%s", gos_seqs.render().c_str());
+
+  util::AsciiTable table({"size bin", "gpClust groups", "GOS groups",
+                          "gpClust seqs", "GOS seqs"});
+  for (std::size_t b = 0; b < ours_groups.num_bins(); ++b) {
+    table.add_row({ours_groups.label(b), std::to_string(ours_groups.count(b)),
+                   std::to_string(gos_groups.count(b)),
+                   std::to_string(ours_seqs.count(b)),
+                   std::to_string(gos_seqs.count(b))});
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf("expected shape (paper): both partitions show roughly the same "
+              "monotone-decreasing distribution over the bins, dominated by "
+              "the 20-49 bin in (a), with sequence mass spread toward large "
+              "bins in (b).\n");
+  return 0;
+}

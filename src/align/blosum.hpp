@@ -1,0 +1,20 @@
+#pragma once
+// BLOSUM62 substitution matrix (Henikoff & Henikoff 1992), the standard
+// scoring scheme for protein homology search (used by BLAST [1] and the
+// pGraph pipeline's Smith-Waterman stage [20]).
+
+#include <string_view>
+
+#include "seq/alphabet.hpp"
+#include "util/common.hpp"
+
+namespace gpclust::align {
+
+/// Substitution score for two residue letters (case-insensitive).
+/// Throws InvalidArgument for characters outside the alphabet.
+int blosum62(char a, char b);
+
+/// Substitution score by residue index (see seq::residue_index).
+int blosum62_by_index(u8 a, u8 b);
+
+}  // namespace gpclust::align

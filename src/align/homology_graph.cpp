@@ -1,0 +1,60 @@
+#include "align/homology_graph.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace gpclust::align {
+
+graph::CsrGraph build_homology_graph(const seq::SequenceSet& sequences,
+                                     const HomologyGraphConfig& config,
+                                     HomologyGraphStats* stats) {
+  GPCLUST_CHECK(config.min_score_per_residue >= 0.0,
+                "score threshold must be non-negative");
+  const auto pairs =
+      config.seed_mode == SeedMode::MaximalMatch
+          ? find_candidate_pairs_suffix_array(sequences, config.maximal_matches)
+          : find_candidate_pairs(sequences, config.seeds);
+
+  std::vector<u8> accepted(pairs.size(), 0);
+  auto verify = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto& p = pairs[i];
+      const auto& a = sequences[p.a].residues;
+      const auto& b = sequences[p.b].residues;
+      const auto result = smith_waterman(a, b, config.alignment);
+      const double needed = config.min_score_per_residue *
+                            static_cast<double>(std::min(a.size(), b.size()));
+      if (result.score < config.min_score ||
+          static_cast<double>(result.score) < needed) {
+        continue;
+      }
+      if (config.min_identity > 0.0) {
+        const auto traced = smith_waterman_traced(a, b, config.alignment);
+        if (traced.identity() < config.min_identity) continue;
+      }
+      accepted[i] = 1;
+    }
+  };
+
+  if (config.num_threads == 1) {
+    verify(0, pairs.size());
+  } else if (config.num_threads == 0) {
+    util::default_thread_pool().parallel_for(0, pairs.size(), verify);
+  } else {
+    util::ThreadPool pool(config.num_threads);
+    pool.parallel_for(0, pairs.size(), verify);
+  }
+
+  graph::EdgeList edges(sequences.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (accepted[i]) edges.add(pairs[i].a, pairs[i].b);
+  }
+  if (stats != nullptr) {
+    stats->num_candidate_pairs = pairs.size();
+    stats->num_alignments = pairs.size();
+    stats->num_edges = edges.raw_size();
+  }
+  return graph::CsrGraph::from_edge_list(std::move(edges));
+}
+
+}  // namespace gpclust::align

@@ -1,0 +1,56 @@
+#pragma once
+// Homology-graph construction — the pGraph stage [25] of the pipeline:
+// promising pairs from the k-mer seed filter are verified with
+// Smith-Waterman, and a pair becomes an edge of the similarity graph when
+// its normalized alignment score clears a threshold.
+
+#include "align/kmer_index.hpp"
+#include "align/smith_waterman.hpp"
+#include "align/suffix_array.hpp"
+#include "graph/csr_graph.hpp"
+#include "seq/sequence.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gpclust::align {
+
+/// How promising pairs are generated before Smith-Waterman verification.
+enum class SeedMode {
+  KmerCount,     ///< shared distinct k-mers (simple, default)
+  MaximalMatch,  ///< suffix-array maximal exact matches (pGraph's heuristic)
+};
+
+struct HomologyGraphConfig {
+  SeedMode seed_mode = SeedMode::KmerCount;
+  KmerIndexConfig seeds;                ///< used when seed_mode == KmerCount
+  MaximalMatchConfig maximal_matches;   ///< used when seed_mode == MaximalMatch
+  AlignmentParams alignment;
+
+  /// Edge criterion: score >= min_score_per_residue * min(|a|, |b|).
+  /// BLOSUM62 self-alignment averages ~5 per residue; 1.2 admits roughly
+  /// >= 35-40% identity over the shorter sequence.
+  double min_score_per_residue = 1.2;
+
+  /// Also require an absolute score floor (suppresses tiny-fragment hits).
+  int min_score = 40;
+
+  /// When > 0, additionally require this residue identity over the aligned
+  /// region (uses the traced alignment; slower but stricter — the usual
+  /// ">= 30-40% identity" homology convention).
+  double min_identity = 0.0;
+
+  std::size_t num_threads = 0;  ///< 0: default pool
+};
+
+struct HomologyGraphStats {
+  std::size_t num_candidate_pairs = 0;
+  std::size_t num_edges = 0;
+  std::size_t num_alignments = 0;
+};
+
+/// Builds the undirected similarity graph over `sequences` (vertex i is
+/// sequences[i]). Alignment verification fans out over a thread pool.
+graph::CsrGraph build_homology_graph(const seq::SequenceSet& sequences,
+                                     const HomologyGraphConfig& config = {},
+                                     HomologyGraphStats* stats = nullptr);
+
+}  // namespace gpclust::align

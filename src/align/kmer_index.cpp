@@ -1,0 +1,69 @@
+#include "align/kmer_index.hpp"
+
+#include <algorithm>
+
+#include "seq/alphabet.hpp"
+#include "util/rng.hpp"
+
+namespace gpclust::align {
+
+namespace {
+
+/// Rolling 64-bit encodings of each distinct k-mer in a sequence.
+std::vector<u64> distinct_kmers(const std::string& residues, std::size_t k) {
+  std::vector<u64> kmers;
+  if (residues.size() < k) return kmers;
+  kmers.reserve(residues.size() - k + 1);
+  for (std::size_t pos = 0; pos + k <= residues.size(); ++pos) {
+    u64 code = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      code = code * seq::kNumResidues + seq::residue_index(residues[pos + i]);
+    }
+    kmers.push_back(code);
+  }
+  std::sort(kmers.begin(), kmers.end());
+  kmers.erase(std::unique(kmers.begin(), kmers.end()), kmers.end());
+  return kmers;
+}
+
+}  // namespace
+
+std::vector<CandidatePair> find_candidate_pairs(
+    const seq::SequenceSet& sequences, const KmerIndexConfig& config) {
+  GPCLUST_CHECK(config.k >= 2 && config.k <= 12, "k must be in [2, 12]");
+  GPCLUST_CHECK(config.min_shared_kmers >= 1,
+                "min_shared_kmers must be positive");
+
+  // k-mer -> sequences containing it.
+  std::unordered_map<u64, std::vector<u32>> postings;
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    for (u64 kmer : distinct_kmers(sequences[i].residues, config.k)) {
+      postings[kmer].push_back(static_cast<u32>(i));
+    }
+  }
+
+  // Count shared k-mers per pair, skipping overly common k-mers.
+  std::unordered_map<u64, u32> pair_counts;
+  for (const auto& [kmer, seqs] : postings) {
+    if (seqs.size() < 2 || seqs.size() > config.max_kmer_occurrences) continue;
+    for (std::size_t x = 0; x < seqs.size(); ++x) {
+      for (std::size_t y = x + 1; y < seqs.size(); ++y) {
+        const u64 key = (static_cast<u64>(seqs[x]) << 32) | seqs[y];
+        ++pair_counts[key];
+      }
+    }
+  }
+
+  std::vector<CandidatePair> pairs;
+  for (const auto& [key, count] : pair_counts) {
+    if (count < config.min_shared_kmers) continue;
+    pairs.push_back({static_cast<u32>(key >> 32),
+                     static_cast<u32>(key & 0xffffffffu), count});
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const auto& p, const auto& q) {
+    return std::pair(p.a, p.b) < std::pair(q.a, q.b);
+  });
+  return pairs;
+}
+
+}  // namespace gpclust::align

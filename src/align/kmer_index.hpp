@@ -1,0 +1,38 @@
+#pragma once
+// Candidate-pair generation for homology-graph construction. pGraph uses
+// suffix trees to find promising pairs via maximal exact matches [14];
+// this substitute indexes fixed-length k-mers and promotes a pair when the
+// two sequences share at least `min_shared_kmers` distinct k-mers — the
+// same "exact-match seed" filtering idea with a simpler, well-understood
+// data structure (documented substitution, DESIGN.md §1).
+
+#include <unordered_map>
+#include <vector>
+
+#include "seq/sequence.hpp"
+#include "util/common.hpp"
+
+namespace gpclust::align {
+
+struct KmerIndexConfig {
+  std::size_t k = 5;                  ///< k-mer length (residues)
+  std::size_t min_shared_kmers = 2;   ///< seeds required to promote a pair
+  /// k-mers occurring in more than this many sequences are ignored
+  /// (low-complexity / repeat masking, keeps candidate lists near-linear).
+  std::size_t max_kmer_occurrences = 200;
+};
+
+struct CandidatePair {
+  u32 a;
+  u32 b;
+  u32 shared_kmers;
+
+  friend bool operator==(const CandidatePair&, const CandidatePair&) = default;
+};
+
+/// Builds the k-mer index over `sequences` and reports all promising pairs
+/// (a < b) with their shared-seed counts.
+std::vector<CandidatePair> find_candidate_pairs(const seq::SequenceSet& sequences,
+                                                const KmerIndexConfig& config = {});
+
+}  // namespace gpclust::align

@@ -1,0 +1,149 @@
+#include "align/suffix_array.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <unordered_map>
+
+namespace gpclust::align {
+
+SuffixArray SuffixArray::build(std::string text) {
+  SuffixArray out;
+  out.text_ = std::move(text);
+  const std::string& s = out.text_;
+  const std::size_t n = s.size();
+  out.sa_.resize(n);
+  out.rank_.resize(n);
+  out.lcp_.assign(n, 0);
+  if (n == 0) return out;
+
+  // Prefix doubling: rank by first 2^k characters, k = 0, 1, ...
+  std::iota(out.sa_.begin(), out.sa_.end(), 0u);
+  std::vector<u32>& rank = out.rank_;
+  for (std::size_t i = 0; i < n; ++i) {
+    rank[i] = static_cast<u8>(s[i]);
+  }
+  std::vector<u32> tmp(n);
+  for (std::size_t k = 1;; k <<= 1) {
+    auto key = [&](u32 p) {
+      const u32 second = p + k < n ? rank[p + k] + 1 : 0;
+      return std::pair<u32, u32>(rank[p], second);
+    };
+    std::sort(out.sa_.begin(), out.sa_.end(),
+              [&](u32 a, u32 b) { return key(a) < key(b); });
+    tmp[out.sa_[0]] = 0;
+    for (std::size_t r = 1; r < n; ++r) {
+      tmp[out.sa_[r]] = tmp[out.sa_[r - 1]] +
+                        (key(out.sa_[r - 1]) < key(out.sa_[r]) ? 1 : 0);
+    }
+    rank = tmp;
+    if (rank[out.sa_[n - 1]] == n - 1) break;  // all ranks distinct
+  }
+
+  // Kasai's LCP.
+  std::size_t h = 0;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (rank[p] == 0) {
+      h = 0;
+      continue;
+    }
+    const std::size_t q = out.sa_[rank[p] - 1];
+    while (p + h < n && q + h < n && s[p + h] == s[q + h]) ++h;
+    out.lcp_[rank[p]] = static_cast<u32>(h);
+    if (h > 0) --h;
+  }
+  return out;
+}
+
+std::vector<CandidatePair> find_candidate_pairs_suffix_array(
+    const seq::SequenceSet& sequences, const MaximalMatchConfig& config) {
+  GPCLUST_CHECK(config.min_match_length >= 2,
+                "min_match_length must be at least 2");
+
+  // Concatenate with '\x01' separators; record each position's sequence id
+  // and distance to the next separator so matches never span sequences.
+  std::string text;
+  std::size_t total = 0;
+  for (const auto& seq : sequences) total += seq.residues.size() + 1;
+  text.reserve(total);
+  std::vector<u32> seq_of;
+  seq_of.reserve(total);
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    text += sequences[i].residues;
+    text.push_back('\x01');
+    for (std::size_t j = 0; j <= sequences[i].residues.size(); ++j) {
+      seq_of.push_back(static_cast<u32>(i));
+    }
+  }
+  const std::size_t n = text.size();
+  std::vector<u32> dist_to_sep(n, 0);
+  for (std::size_t i = n; i-- > 0;) {
+    dist_to_sep[i] =
+        text[i] == '\x01' ? 0 : dist_to_sep[i + 1] + 1;  // i+1 < n: last is sep
+  }
+
+  const auto sa = SuffixArray::build(std::move(text));
+
+  // Effective adjacent-suffix LCP, clamped at the separator.
+  auto effective_lcp = [&](std::size_t r) -> u32 {
+    const u32 raw = sa.lcp()[r];
+    return std::min({raw, dist_to_sep[sa.sa()[r - 1]], dist_to_sep[sa.sa()[r]]});
+  };
+
+  // Sweep maximal runs of adjacent suffixes with effective LCP >= tau and
+  // emit pairs of the distinct sequences present in each run.
+  const u32 tau = static_cast<u32>(config.min_match_length);
+  std::unordered_map<u64, u32> best;  // packed pair -> longest match
+  std::set<u32> run_seqs;
+  u32 run_min_lcp = 0;
+
+  auto flush_run = [&](std::size_t first_rank, std::size_t last_rank) {
+    if (run_seqs.size() < 2 || run_seqs.size() > config.max_run_sequences) {
+      return;
+    }
+    (void)first_rank;
+    (void)last_rank;
+    for (auto it_a = run_seqs.begin(); it_a != run_seqs.end(); ++it_a) {
+      for (auto it_b = std::next(it_a); it_b != run_seqs.end(); ++it_b) {
+        const u64 key = (static_cast<u64>(*it_a) << 32) | *it_b;
+        auto [entry, inserted] = best.try_emplace(key, run_min_lcp);
+        if (!inserted) entry->second = std::max(entry->second, run_min_lcp);
+      }
+    }
+  };
+
+  std::size_t run_start = 0;
+  bool in_run = false;
+  for (std::size_t r = 1; r < sa.sa().size(); ++r) {
+    const u32 e = effective_lcp(r);
+    if (e >= tau) {
+      if (!in_run) {
+        in_run = true;
+        run_start = r - 1;
+        run_seqs.clear();
+        run_seqs.insert(seq_of[sa.sa()[r - 1]]);
+        run_min_lcp = e;
+      }
+      run_seqs.insert(seq_of[sa.sa()[r]]);
+      run_min_lcp = std::min(run_min_lcp, e);
+    } else if (in_run) {
+      flush_run(run_start, r - 1);
+      in_run = false;
+    }
+  }
+  if (in_run) flush_run(run_start, sa.sa().size() - 1);
+
+  std::vector<CandidatePair> pairs;
+  pairs.reserve(best.size());
+  for (const auto& [key, length] : best) {
+    pairs.push_back({static_cast<u32>(key >> 32),
+                     static_cast<u32>(key & 0xffffffffu), length});
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const auto& p, const auto& q) {
+    return std::pair(p.a, p.b) < std::pair(q.a, q.b);
+  });
+  return pairs;
+}
+
+}  // namespace gpclust::align

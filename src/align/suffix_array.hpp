@@ -1,0 +1,55 @@
+#pragma once
+// Generalized suffix array + LCP over a protein sequence set, and the
+// maximal-exact-match candidate-pair heuristic of pGraph (paper §I-B:
+// "identifying promising pairs of sequences based on a maximal-matching
+// heuristic (suffix trees are used in our implementation...)"). A suffix
+// array with an LCP table is the standard space-efficient equivalent of
+// the suffix tree for this query: any run of adjacent suffixes with LCP
+// >= tau identifies sequences sharing an exact match of length >= tau.
+
+#include <string>
+#include <vector>
+
+#include "align/kmer_index.hpp"
+#include "seq/sequence.hpp"
+#include "util/common.hpp"
+
+namespace gpclust::align {
+
+/// Plain suffix array over a byte string (prefix-doubling construction,
+/// O(n log^2 n)) with Kasai's LCP array.
+class SuffixArray {
+ public:
+  static SuffixArray build(std::string text);
+
+  const std::string& text() const { return text_; }
+  /// sa()[r] = start position of the r-th smallest suffix.
+  const std::vector<u32>& sa() const { return sa_; }
+  /// rank()[p] = lexicographic rank of the suffix starting at p.
+  const std::vector<u32>& rank() const { return rank_; }
+  /// lcp()[r] = longest common prefix of suffixes sa()[r-1] and sa()[r];
+  /// lcp()[0] = 0.
+  const std::vector<u32>& lcp() const { return lcp_; }
+
+ private:
+  std::string text_;
+  std::vector<u32> sa_;
+  std::vector<u32> rank_;
+  std::vector<u32> lcp_;
+};
+
+struct MaximalMatchConfig {
+  /// Minimum exact-match length to promote a pair (pGraph's tau).
+  std::size_t min_match_length = 8;
+  /// Runs touching more sequences than this are skipped (low-complexity
+  /// regions), mirroring the k-mer index's occurrence cap.
+  std::size_t max_run_sequences = 200;
+};
+
+/// Candidate pairs (a < b) of sequences sharing an exact substring match
+/// of at least min_match_length residues. CandidatePair::shared_kmers
+/// carries the longest qualifying match length for the pair.
+std::vector<CandidatePair> find_candidate_pairs_suffix_array(
+    const seq::SequenceSet& sequences, const MaximalMatchConfig& config = {});
+
+}  // namespace gpclust::align

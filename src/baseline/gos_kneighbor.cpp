@@ -1,0 +1,61 @@
+#include "baseline/gos_kneighbor.hpp"
+
+#include <algorithm>
+
+#include "graph/union_find.hpp"
+
+namespace gpclust::baseline {
+
+namespace {
+
+/// |Gamma(u) intersect Gamma(v)| for sorted adjacency lists.
+std::size_t shared_neighbors(std::span<const VertexId> a,
+                             std::span<const VertexId> b) {
+  std::size_t count = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++count;
+      ++ia;
+      ++ib;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+core::Clustering gos_kneighbor_cluster(const graph::CsrGraph& g,
+                                       const GosKNeighborParams& params) {
+  GPCLUST_CHECK(params.k >= 1, "k must be positive");
+  graph::UnionFind uf(g.num_vertices());
+
+  for (std::size_t u = 0; u < g.num_vertices(); ++u) {
+    const auto nu = g.neighbors(static_cast<VertexId>(u));
+    for (VertexId v : nu) {
+      if (v <= u) continue;  // each undirected edge once
+      const auto nv = g.neighbors(v);
+      std::size_t shared = shared_neighbors(nu, nv);
+      if (params.closed_neighborhood) {
+        // u and v are in each other's closed neighborhoods: an edge always
+        // contributes 2 shared members (u itself and v itself).
+        shared += 2;
+      }
+      if (shared >= params.k) uf.unite(u, v);
+    }
+  }
+
+  const auto labels = uf.component_labels();
+  std::vector<std::vector<VertexId>> clusters(uf.num_sets());
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    clusters[labels[v]].push_back(static_cast<VertexId>(v));
+  }
+  return core::Clustering(std::move(clusters), g.num_vertices());
+}
+
+}  // namespace gpclust::baseline

@@ -1,0 +1,29 @@
+#pragma once
+// The GOS k-neighbor linkage baseline (Yooseph et al. [26], as described
+// in the paper's §IV-D): "two vertices are included into a cluster if they
+// share a fixed number (k) of neighbors". The linkage is evaluated on
+// adjacent pairs and closed transitively, which is what produces the
+// paper's observation that a fixed k can chain highly-connected clusters
+// into loose super-clusters.
+
+#include "core/clustering.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace gpclust::baseline {
+
+struct GosKNeighborParams {
+  /// Number of shared neighbors required to link a pair (GOS used k = 10).
+  std::size_t k = 10;
+  /// Count the endpoints themselves as shared context: an edge (u,v) where
+  /// u and v are mutually adjacent contributes u and v to each other's
+  /// neighborhoods. GOS-style linkage uses the closed neighborhood.
+  bool closed_neighborhood = true;
+};
+
+/// Partitions the graph: every vertex belongs to exactly one cluster
+/// (singletons included), clusters are transitive closures of the
+/// shared-neighbor linkage over edges.
+core::Clustering gos_kneighbor_cluster(const graph::CsrGraph& g,
+                                       const GosKNeighborParams& params = {});
+
+}  // namespace gpclust::baseline

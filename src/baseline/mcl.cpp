@@ -1,0 +1,148 @@
+#include "baseline/mcl.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/union_find.hpp"
+
+namespace gpclust::baseline {
+
+namespace {
+
+struct Entry {
+  u32 row;
+  double value;
+};
+
+using Column = std::vector<Entry>;
+using Matrix = std::vector<Column>;  // column-major sparse
+
+void normalize_column(Column& col) {
+  double sum = 0.0;
+  for (const Entry& e : col) sum += e.value;
+  if (sum <= 0.0) return;
+  for (Entry& e : col) e.value /= sum;
+}
+
+/// Inflate (entry-wise power r), prune small/surplus entries, renormalize.
+void inflate_and_prune(Column& col, const MclParams& params) {
+  for (Entry& e : col) e.value = std::pow(e.value, params.inflation);
+  normalize_column(col);
+  // Prune by threshold.
+  col.erase(std::remove_if(col.begin(), col.end(),
+                           [&](const Entry& e) {
+                             return e.value < params.prune_threshold;
+                           }),
+            col.end());
+  // Cap the number of entries, keeping the heaviest.
+  if (col.size() > params.max_column_entries) {
+    std::nth_element(col.begin(),
+                     col.begin() + static_cast<std::ptrdiff_t>(
+                                       params.max_column_entries),
+                     col.end(), [](const Entry& a, const Entry& b) {
+                       return a.value > b.value;
+                     });
+    col.resize(params.max_column_entries);
+  }
+  std::sort(col.begin(), col.end(),
+            [](const Entry& a, const Entry& b) { return a.row < b.row; });
+  normalize_column(col);
+}
+
+}  // namespace
+
+core::Clustering mcl_cluster(const graph::CsrGraph& g, const MclParams& params,
+                             MclStats* stats) {
+  params.validate();
+  const std::size_t n = g.num_vertices();
+
+  // Column-stochastic transition matrix with self loops.
+  Matrix m(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto nbrs = g.neighbors(static_cast<VertexId>(v));
+    m[v].reserve(nbrs.size() + 1);
+    bool self_inserted = false;
+    for (VertexId w : nbrs) {
+      if (!self_inserted && w > v) {
+        m[v].push_back({static_cast<u32>(v), params.self_loop_weight});
+        self_inserted = true;
+      }
+      m[v].push_back({w, 1.0});
+    }
+    if (!self_inserted) {
+      m[v].push_back({static_cast<u32>(v), params.self_loop_weight});
+    }
+    normalize_column(m[v]);
+  }
+
+  // Scratch for one expanded column.
+  std::vector<double> dense(n, 0.0);
+  std::vector<u32> touched;
+
+  std::size_t iteration = 0;
+  bool converged = false;
+  for (; iteration < params.max_iterations && !converged; ++iteration) {
+    Matrix next(n);
+    double max_delta = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      // Expansion: next[:,j] = M * M[:,j].
+      touched.clear();
+      for (const Entry& kj : m[j]) {
+        for (const Entry& ik : m[kj.row]) {
+          if (dense[ik.row] == 0.0) touched.push_back(ik.row);
+          dense[ik.row] += ik.value * kj.value;
+        }
+      }
+      Column& col = next[j];
+      col.reserve(touched.size());
+      for (u32 row : touched) {
+        col.push_back({row, dense[row]});
+        dense[row] = 0.0;
+      }
+      std::sort(col.begin(), col.end(),
+                [](const Entry& a, const Entry& b) { return a.row < b.row; });
+      inflate_and_prune(col, params);
+
+      // Column change vs the previous iterate (both sorted by row).
+      double delta = 0.0;
+      auto it_old = m[j].begin();
+      for (const Entry& e : col) {
+        while (it_old != m[j].end() && it_old->row < e.row) {
+          delta = std::max(delta, it_old->value);
+          ++it_old;
+        }
+        if (it_old != m[j].end() && it_old->row == e.row) {
+          delta = std::max(delta, std::fabs(it_old->value - e.value));
+          ++it_old;
+        } else {
+          delta = std::max(delta, e.value);
+        }
+      }
+      for (; it_old != m[j].end(); ++it_old) {
+        delta = std::max(delta, it_old->value);
+      }
+      max_delta = std::max(max_delta, delta);
+    }
+    m = std::move(next);
+    converged = max_delta < params.convergence_delta;
+  }
+
+  // Clusters: weakly connected components of the limit matrix's support.
+  graph::UnionFind uf(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (const Entry& e : m[j]) uf.unite(j, e.row);
+  }
+  const auto labels = uf.component_labels();
+  std::vector<std::vector<VertexId>> clusters(uf.num_sets());
+  for (std::size_t v = 0; v < n; ++v) {
+    clusters[labels[v]].push_back(static_cast<VertexId>(v));
+  }
+
+  if (stats != nullptr) {
+    stats->iterations = iteration;
+    stats->converged = converged;
+  }
+  return core::Clustering(std::move(clusters), n);
+}
+
+}  // namespace gpclust::baseline

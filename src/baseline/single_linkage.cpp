@@ -1,0 +1,16 @@
+#include "baseline/single_linkage.hpp"
+
+#include "graph/connected_components.hpp"
+
+namespace gpclust::baseline {
+
+core::Clustering single_linkage_cluster(const graph::CsrGraph& g) {
+  const auto cc = graph::connected_components(g);
+  std::vector<std::vector<VertexId>> clusters(cc.num_components);
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    clusters[cc.labels[v]].push_back(static_cast<VertexId>(v));
+  }
+  return core::Clustering(std::move(clusters), g.num_vertices());
+}
+
+}  // namespace gpclust::baseline

@@ -1,0 +1,14 @@
+#pragma once
+// Single-linkage (connected-component) clustering — the loosest possible
+// graph clustering, included as a reference point: any similarity edge
+// merges clusters, so noise edges chain unrelated families together.
+
+#include "core/clustering.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace gpclust::baseline {
+
+/// Partition of the graph into connected components (singletons included).
+core::Clustering single_linkage_cluster(const graph::CsrGraph& g);
+
+}  // namespace gpclust::baseline

@@ -1,0 +1,89 @@
+#include "core/batching.hpp"
+
+#include <algorithm>
+
+namespace gpclust::core {
+
+bool Batch::has_split() const {
+  for (std::size_t i = 0; i < num_segments(); ++i) {
+    if (!seg_starts_list[i] || !seg_ends_list[i]) return true;
+  }
+  return false;
+}
+
+void Batch::stage(std::span<const u32> members,
+                  std::vector<u32>& staging) const {
+  staging.resize(num_elements());
+  for (std::size_t seg = 0; seg < num_segments(); ++seg) {
+    const u64 len = seg_offsets[seg + 1] - seg_offsets[seg];
+    GPCLUST_CHECK(seg_global_begin[seg] + len <= members.size(),
+                  "batch segment out of member range");
+    std::copy_n(members.begin() +
+                    static_cast<std::ptrdiff_t>(seg_global_begin[seg]),
+                len,
+                staging.begin() + static_cast<std::ptrdiff_t>(seg_offsets[seg]));
+  }
+}
+
+std::size_t BatchPlan::total_elements() const {
+  std::size_t total = 0;
+  for (const auto& b : batches) total += b.num_elements();
+  return total;
+}
+
+std::size_t BatchPlan::num_split_lists() const {
+  std::size_t count = 0;
+  for (const auto& b : batches) {
+    for (std::size_t i = 0; i < b.num_segments(); ++i) {
+      // Count each split list once, at its first piece.
+      if (b.seg_starts_list[i] && !b.seg_ends_list[i]) ++count;
+    }
+  }
+  return count;
+}
+
+BatchPlan plan_batches(std::span<const u64> offsets, u32 s,
+                       std::size_t max_batch_elements) {
+  GPCLUST_CHECK(!offsets.empty(), "offsets must have at least one entry");
+  GPCLUST_CHECK(max_batch_elements >= 1, "batch capacity must be positive");
+
+  BatchPlan plan;
+  Batch current;
+  current.seg_offsets.push_back(0);
+  std::size_t used = 0;
+
+  auto flush = [&] {
+    if (current.num_segments() > 0) {
+      plan.batches.push_back(std::move(current));
+    }
+    current = Batch{};
+    current.seg_offsets.push_back(0);
+    used = 0;
+  };
+
+  const std::size_t num_lists = offsets.size() - 1;
+  for (std::size_t i = 0; i < num_lists; ++i) {
+    const u64 len = offsets[i + 1] - offsets[i];
+    if (len < s) continue;  // cannot produce a shingle; skip entirely
+
+    u64 consumed = 0;
+    bool first_piece = true;
+    while (consumed < len) {
+      if (used == max_batch_elements) flush();
+      const u64 take =
+          std::min<u64>(len - consumed, max_batch_elements - used);
+      current.seg_list_ids.push_back(static_cast<u32>(i));
+      current.seg_global_begin.push_back(offsets[i] + consumed);
+      current.seg_starts_list.push_back(first_piece ? 1 : 0);
+      consumed += take;
+      current.seg_ends_list.push_back(consumed == len ? 1 : 0);
+      used += take;
+      current.seg_offsets.push_back(used);
+      first_piece = false;
+    }
+  }
+  flush();
+  return plan;
+}
+
+}  // namespace gpclust::core

@@ -1,0 +1,53 @@
+#pragma once
+// Partitioning of adjacency lists into device-sized batches (paper §III-C:
+// "the input graph for the first and second level shingling can be
+// partitioned into batches of adjacency lists, and subsequently moved to
+// the device memory batch by batch. In case an adjacency list has to be
+// split between two batches, a subsequent data aggregation on the CPU side
+// will ... merge the different copies of shingles into one correct copy").
+//
+// Lists shorter than the shingle size s are skipped entirely — they can
+// never produce a shingle — so a batch's members are gathered (not sliced)
+// from the global member array into a staging buffer before upload.
+
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gpclust::core {
+
+/// One device batch: a set of segments, each a (piece of a) left node's
+/// member list. seg_offsets are relative to the batch staging buffer.
+struct Batch {
+  std::vector<u64> seg_offsets;       ///< num_segments + 1, starts at 0
+  std::vector<u32> seg_list_ids;      ///< global left-node id per segment
+  std::vector<u64> seg_global_begin;  ///< source offset in the member array
+  std::vector<u8> seg_starts_list;    ///< segment begins its list
+  std::vector<u8> seg_ends_list;      ///< segment ends its list
+
+  std::size_t num_segments() const { return seg_list_ids.size(); }
+  std::size_t num_elements() const {
+    return seg_offsets.empty() ? 0 : seg_offsets.back();
+  }
+  /// True if any segment is a piece of a split list.
+  bool has_split() const;
+
+  /// Gathers this batch's member values into `staging` (resized to fit).
+  void stage(std::span<const u32> members, std::vector<u32>& staging) const;
+};
+
+struct BatchPlan {
+  std::vector<Batch> batches;
+
+  std::size_t total_elements() const;
+  std::size_t num_split_lists() const;
+};
+
+/// Plans batches over CSR-style lists. Lists with fewer than s members are
+/// skipped; lists longer than max_batch_elements are split across batches.
+/// Requires max_batch_elements >= 1.
+BatchPlan plan_batches(std::span<const u64> offsets, u32 s,
+                       std::size_t max_batch_elements);
+
+}  // namespace gpclust::core

@@ -1,0 +1,94 @@
+#include "core/cluster_report.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/union_find.hpp"
+
+namespace gpclust::core {
+
+namespace {
+
+/// Groups first-level shingle indices by G_II connectivity: two S1 nodes
+/// are connected iff they co-occur in some second-level shingle's list.
+std::vector<std::vector<u32>> s1_components(const BipartiteShingleGraph& gii,
+                                            std::size_t num_s1) {
+  graph::UnionFind uf(num_s1);
+  for (std::size_t t = 0; t < gii.num_left(); ++t) {
+    const auto list = gii.list(t);
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      uf.unite(list[0], list[i]);
+    }
+  }
+  // Only S1 nodes that appear in G_II belong to a component.
+  std::vector<u8> present(num_s1, 0);
+  for (std::size_t t = 0; t < gii.num_left(); ++t) {
+    for (u32 f : gii.list(t)) present[f] = 1;
+  }
+  constexpr u32 kUnset = std::numeric_limits<u32>::max();
+  std::vector<u32> comp_of_root(num_s1, kUnset);
+  std::vector<std::vector<u32>> comps;
+  for (std::size_t f = 0; f < num_s1; ++f) {
+    if (!present[f]) continue;
+    const std::size_t r = uf.find(f);
+    if (comp_of_root[r] == kUnset) {
+      comp_of_root[r] = static_cast<u32>(comps.size());
+      comps.emplace_back();
+    }
+    comps[comp_of_root[r]].push_back(static_cast<u32>(f));
+  }
+  return comps;
+}
+
+}  // namespace
+
+Clustering report_dense_subgraphs(const BipartiteShingleGraph& gi,
+                                  const BipartiteShingleGraph& gii,
+                                  std::size_t num_vertices, ReportMode mode) {
+  for (u32 f : gii.members) {
+    GPCLUST_CHECK(f < gi.num_left(), "G_II references unknown S1 shingle");
+  }
+  const auto comps = s1_components(gii, gi.num_left());
+
+  if (mode == ReportMode::Overlapping) {
+    std::vector<std::vector<VertexId>> clusters;
+    clusters.reserve(comps.size());
+    for (const auto& comp : comps) {
+      std::vector<VertexId> cluster;
+      for (u32 f : comp) {
+        const auto l = gi.list(f);
+        cluster.insert(cluster.end(), l.begin(), l.end());
+      }
+      std::sort(cluster.begin(), cluster.end());
+      cluster.erase(std::unique(cluster.begin(), cluster.end()),
+                    cluster.end());
+      clusters.push_back(std::move(cluster));
+    }
+    return Clustering(std::move(clusters), num_vertices);
+  }
+
+  // Partition mode: union the induced vertex set of every component.
+  graph::UnionFind uf(num_vertices);
+  for (const auto& comp : comps) {
+    VertexId anchor = 0;
+    bool have_anchor = false;
+    for (u32 f : comp) {
+      for (u32 v : gi.list(f)) {
+        if (!have_anchor) {
+          anchor = v;
+          have_anchor = true;
+        } else {
+          uf.unite(anchor, v);
+        }
+      }
+    }
+  }
+  const auto labels = uf.component_labels();
+  std::vector<std::vector<VertexId>> clusters(uf.num_sets());
+  for (std::size_t v = 0; v < num_vertices; ++v) {
+    clusters[labels[v]].push_back(static_cast<VertexId>(v));
+  }
+  return Clustering(std::move(clusters), num_vertices);
+}
+
+}  // namespace gpclust::core

@@ -1,0 +1,81 @@
+#include "core/clustering.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace gpclust::core {
+
+Clustering::Clustering(std::vector<std::vector<VertexId>> clusters,
+                       std::size_t num_vertices)
+    : clusters_(std::move(clusters)), num_vertices_(num_vertices) {
+  for (const auto& c : clusters_) {
+    for (VertexId v : c) {
+      GPCLUST_CHECK(v < num_vertices_, "cluster member out of range");
+    }
+  }
+}
+
+std::size_t Clustering::total_members() const {
+  std::size_t total = 0;
+  for (const auto& c : clusters_) total += c.size();
+  return total;
+}
+
+Clustering Clustering::filtered(std::size_t min_size) const {
+  std::vector<std::vector<VertexId>> kept;
+  for (const auto& c : clusters_) {
+    if (c.size() >= min_size) kept.push_back(c);
+  }
+  return Clustering(std::move(kept), num_vertices_);
+}
+
+bool Clustering::is_partition() const {
+  std::vector<u8> seen(num_vertices_, 0);
+  for (const auto& c : clusters_) {
+    for (VertexId v : c) {
+      if (seen[v]) return false;
+      seen[v] = 1;
+    }
+  }
+  return std::all_of(seen.begin(), seen.end(), [](u8 s) { return s == 1; });
+}
+
+std::vector<u32> Clustering::labels() const {
+  GPCLUST_CHECK(is_partition(), "labels() requires a partition");
+  std::vector<u32> labels(num_vertices_);
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    for (VertexId v : clusters_[c]) labels[v] = static_cast<u32>(c);
+  }
+  return labels;
+}
+
+void Clustering::normalize() {
+  for (auto& c : clusters_) std::sort(c.begin(), c.end());
+  std::sort(clusters_.begin(), clusters_.end(),
+            [](const std::vector<VertexId>& a, const std::vector<VertexId>& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a < b;
+            });
+}
+
+u64 Clustering::digest() const {
+  u64 h = util::mix64(num_vertices_);
+  for (const auto& c : clusters_) {
+    h = util::mix64(h ^ util::mix64(c.size()));
+    for (VertexId v : c) h = util::mix64(h ^ v);
+  }
+  return h;
+}
+
+std::string Clustering::summary() const {
+  std::size_t largest = 0;
+  for (const auto& c : clusters_) largest = std::max(largest, c.size());
+  return std::to_string(clusters_.size()) + " clusters over " +
+         std::to_string(num_vertices_) + " vertices (largest " +
+         std::to_string(largest) + ", members " +
+         std::to_string(total_members()) + ")";
+}
+
+}  // namespace gpclust::core

@@ -1,0 +1,56 @@
+#pragma once
+// The result type of pClust/gpClust: a set of clusters of vertex ids.
+// In Partition mode clusters are disjoint and cover every vertex; in
+// Overlapping mode a vertex may appear in several clusters.
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gpclust::core {
+
+class Clustering {
+ public:
+  Clustering() = default;
+  Clustering(std::vector<std::vector<VertexId>> clusters,
+             std::size_t num_vertices);
+
+  std::size_t num_clusters() const { return clusters_.size(); }
+  std::size_t num_vertices() const { return num_vertices_; }
+  const std::vector<std::vector<VertexId>>& clusters() const {
+    return clusters_;
+  }
+  const std::vector<VertexId>& cluster(std::size_t i) const {
+    return clusters_.at(i);
+  }
+
+  /// Total membership entries (= num_vertices for a partition).
+  std::size_t total_members() const;
+
+  /// Clusters with size >= min_size, preserving order. (The GOS study only
+  /// reports clusters of size >= 20; Table III/IV comparisons use this.)
+  Clustering filtered(std::size_t min_size) const;
+
+  /// True iff every vertex appears in exactly one cluster.
+  bool is_partition() const;
+
+  /// Per-vertex cluster labels; requires is_partition().
+  std::vector<u32> labels() const;
+
+  /// Sorts members within clusters and clusters by (descending size,
+  /// ascending first member) for deterministic comparison and output.
+  void normalize();
+
+  /// Deterministic content digest; equal clusterings hash equal after
+  /// normalize(). Used by the serial==device equivalence tests.
+  u64 digest() const;
+
+  std::string summary() const;
+
+ private:
+  std::vector<std::vector<VertexId>> clusters_;
+  std::size_t num_vertices_ = 0;
+};
+
+}  // namespace gpclust::core

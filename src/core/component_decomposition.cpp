@@ -1,0 +1,68 @@
+#include "core/component_decomposition.hpp"
+
+#include <algorithm>
+
+#include "graph/connected_components.hpp"
+
+namespace gpclust::core {
+
+graph::CsrGraph induced_subgraph(const graph::CsrGraph& g,
+                                 const std::vector<VertexId>& vertices) {
+  GPCLUST_CHECK(std::is_sorted(vertices.begin(), vertices.end()),
+                "vertex list must be sorted");
+  graph::EdgeList edges(vertices.size());
+  for (std::size_t local_u = 0; local_u < vertices.size(); ++local_u) {
+    const VertexId u = vertices[local_u];
+    GPCLUST_CHECK(u < g.num_vertices(), "vertex outside graph");
+    for (VertexId w : g.neighbors(u)) {
+      if (w <= u) continue;  // each edge once
+      const auto it = std::lower_bound(vertices.begin(), vertices.end(), w);
+      if (it != vertices.end() && *it == w) {
+        edges.add(static_cast<VertexId>(local_u),
+                  static_cast<VertexId>(it - vertices.begin()));
+      }
+    }
+  }
+  return graph::CsrGraph::from_edge_list(std::move(edges));
+}
+
+Clustering cluster_by_components(
+    const graph::CsrGraph& g,
+    const std::function<Clustering(const graph::CsrGraph&)>& cluster_component,
+    std::size_t min_component_size, ComponentDecompositionStats* stats) {
+  const auto cc = graph::connected_components(g);
+  const auto groups = cc.groups();
+
+  std::vector<std::vector<VertexId>> clusters;
+  std::size_t shingled = 0;
+  std::size_t largest = 0;
+  for (const auto& component : groups) {
+    largest = std::max(largest, component.size());
+    if (component.size() <= min_component_size) {
+      clusters.push_back(component);  // already a tight group (or singleton)
+      continue;
+    }
+    ++shingled;
+    const auto sub = induced_subgraph(g, component);
+    const Clustering local = cluster_component(sub);
+    GPCLUST_CHECK(local.is_partition(),
+                  "component clusterer must return a partition");
+    for (const auto& local_cluster : local.clusters()) {
+      std::vector<VertexId> global_cluster;
+      global_cluster.reserve(local_cluster.size());
+      for (VertexId local_v : local_cluster) {
+        global_cluster.push_back(component[local_v]);
+      }
+      clusters.push_back(std::move(global_cluster));
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->num_components = groups.size();
+    stats->num_shingled_components = shingled;
+    stats->largest_component = largest;
+  }
+  return Clustering(std::move(clusters), g.num_vertices());
+}
+
+}  // namespace gpclust::core

@@ -1,0 +1,49 @@
+#pragma once
+// pClust's divide-and-conquer preprocessing (paper §I-B): "In order to
+// process the large scale input graph, connected component detection is
+// applied to the input graph to break down the large problem instance
+// into subproblems of much smaller size. For each connected component,
+// [Shingling is applied] to report clusters."
+//
+// Shingling never merges vertices from different components (shingles are
+// neighborhood samples), so decomposition preserves the result while
+// letting each component's pass run on a smaller id universe — and
+// components below a size threshold can skip shingling entirely: a
+// connected component smaller than the shingle size cannot produce one.
+
+#include <functional>
+
+#include "core/clustering.hpp"
+#include "core/params.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace gpclust::core {
+
+struct ComponentDecompositionStats {
+  std::size_t num_components = 0;
+  std::size_t num_shingled_components = 0;  ///< components actually clustered
+  std::size_t largest_component = 0;
+};
+
+/// Splits g into connected components, relabels each component's vertices
+/// into a compact local id space, runs `cluster_component` on every
+/// component with more vertices than `min_component_size` (smaller ones
+/// are emitted as single clusters — they are already tightly connected at
+/// that size), and stitches the per-component clusters back into a global
+/// Clustering over g's vertex ids.
+///
+/// `cluster_component` receives the component subgraph and must return a
+/// partition of its (local) vertices — e.g. a SerialShingler or GpClust
+/// bound via lambda.
+Clustering cluster_by_components(
+    const graph::CsrGraph& g,
+    const std::function<Clustering(const graph::CsrGraph&)>& cluster_component,
+    std::size_t min_component_size = 3,
+    ComponentDecompositionStats* stats = nullptr);
+
+/// Extracts the subgraph induced by `vertices` (sorted ascending), with
+/// vertices relabeled to 0..vertices.size()-1 in that order.
+graph::CsrGraph induced_subgraph(const graph::CsrGraph& g,
+                                 const std::vector<VertexId>& vertices);
+
+}  // namespace gpclust::core

@@ -1,0 +1,155 @@
+#include "core/device_shingling.hpp"
+
+#include <unordered_map>
+
+#include "core/shingle.hpp"
+#include "device/primitives.hpp"
+
+namespace gpclust::core {
+
+namespace {
+
+/// Streams used by the pass: kernels and H2D on 0, async D2H on 1.
+constexpr device::StreamId kComputeStream = 0;
+constexpr device::StreamId kCopyStream = 1;
+
+/// Per-split-list accumulator: s minima per trial, merged piece by piece.
+struct PendingList {
+  std::vector<u64> minima;  // family.size() * s entries, kNoValue padded
+};
+
+}  // namespace
+
+std::size_t default_batch_elements(const device::DeviceContext& ctx, u32 s) {
+  // Per member element: u32 member + u64 permuted image = 12 bytes. The
+  // minima buffers are 2 * num_segments * s * 8 bytes; in the worst case
+  // every segment holds a single element, so bound them by 16*s bytes per
+  // element. Offsets add 8 bytes per segment. Use half the free memory to
+  // leave headroom for the auxiliary structures.
+  const std::size_t per_element = 12 + 16 * static_cast<std::size_t>(s) + 8;
+  const std::size_t budget = ctx.arena().available() / 2;
+  return std::max<std::size_t>(1, budget / per_element);
+}
+
+ShingleTuples extract_shingles_device(device::DeviceContext& ctx,
+                                      std::span<const u64> offsets,
+                                      std::span<const u32> members,
+                                      const HashFamily& family, u32 s,
+                                      const DevicePassOptions& options,
+                                      util::MetricsRegistry* metrics,
+                                      const std::string& cpu_metric,
+                                      DevicePassStats* stats) {
+  GPCLUST_CHECK(!offsets.empty() && offsets.back() == members.size(),
+                "offsets must cover the member array");
+  util::MetricsRegistry local;
+  util::MetricsRegistry& reg = metrics ? *metrics : local;
+
+  const std::size_t max_batch =
+      options.max_batch_elements > 0 ? options.max_batch_elements
+                                     : default_batch_elements(ctx, s);
+
+  BatchPlan plan;
+  {
+    util::ScopedTimer t(reg, cpu_metric);
+    plan = plan_batches(offsets, s, max_batch);
+  }
+
+  const u32 c = family.size();
+  ShingleTuples tuples;
+  std::unordered_map<u32, PendingList> pending;
+  std::vector<u32> staging;
+  std::vector<u64> host_minima;
+
+  for (const Batch& batch : plan.batches) {
+    const std::size_t nsegs = batch.num_segments();
+    const std::size_t nelems = batch.num_elements();
+
+    {  // CPU aggregates the batch for the device (Figure 3, step 1).
+      util::ScopedTimer t(reg, cpu_metric);
+      batch.stage(members, staging);
+    }
+
+    // Upload members and segment boundaries once per batch.
+    device::DeviceVector<u32> d_members(ctx, nelems);
+    device::copy_to_device<u32>(d_members, staging, kComputeStream);
+    device::DeviceVector<u64> d_offsets(ctx, nsegs + 1);
+    device::copy_to_device<u64>(d_offsets, batch.seg_offsets, kComputeStream);
+
+    device::DeviceVector<u64> d_perm(ctx, nelems);
+    // Double-buffered minima so an async D2H can overlap the next trial.
+    device::DeviceVector<u64> d_minima[2] = {
+        device::DeviceVector<u64>(ctx, nsegs * s),
+        device::DeviceVector<u64>(ctx, nsegs * s)};
+    double copy_done[2] = {0.0, 0.0};
+
+    const auto seg_span = d_offsets.device_span();
+
+    for (u32 j = 0; j < c; ++j) {
+      const std::size_t buf = j % 2;
+      const AffineHash h = family[j];
+
+      // hi() over every member of the batch (thrust::transform).
+      device::transform(
+          d_members, d_perm, [h](u32 v) { return h(v); }, kComputeStream);
+      // Per-segment sort (thrust-style segmented sort).
+      device::segmented_sort(d_perm, batch.seg_offsets, kComputeStream);
+      // Top-s selection into the trial's minima buffer. Must wait until
+      // the previous copy out of this buffer has completed.
+      const auto perm_span = d_perm.device_span();
+      const u32 s_local = s;
+      const double select_done = device::tabulate(
+          d_minima[buf],
+          [perm_span, seg_span, s_local](std::size_t i) {
+            const std::size_t seg = i / s_local;
+            const u64 pos = seg_span[seg] + (i % s_local);
+            return pos < seg_span[seg + 1] ? perm_span[pos] : kNoValue;
+          },
+          kComputeStream, copy_done[buf]);
+
+      host_minima.resize(nsegs * s);
+      copy_done[buf] = device::copy_to_host<u64>(
+          host_minima, d_minima[buf],
+          options.async ? kCopyStream : kComputeStream, select_done);
+
+      // CPU consumes the trial's minima: merge split pieces, hash complete
+      // lists into tuples (Figure 3, step 2 + the split-list merge).
+      util::ScopedTimer t(reg, cpu_metric);
+      for (std::size_t seg = 0; seg < nsegs; ++seg) {
+        const u32 list_id = batch.seg_list_ids[seg];
+        const bool starts = batch.seg_starts_list[seg] != 0;
+        const bool ends = batch.seg_ends_list[seg] != 0;
+        std::span<const u64> seg_minima{host_minima.data() + seg * s, s};
+
+        if (starts && ends) {
+          const ShingleId id = hash_shingle(j, seg_minima);
+          GPCLUST_CHECK(id != kNoValue, "complete list shorter than s");
+          tuples.append(id, list_id);
+          continue;
+        }
+        // Piece of a split list: accumulate across batches.
+        auto [it, inserted] = pending.try_emplace(list_id);
+        if (inserted) {
+          it->second.minima.assign(static_cast<std::size_t>(c) * s, kNoValue);
+        }
+        std::span<u64> acc{it->second.minima.data() + std::size_t{j} * s, s};
+        merge_minima(acc, seg_minima);
+        if (ends) {
+          const ShingleId id = hash_shingle(j, acc);
+          GPCLUST_CHECK(id != kNoValue, "split list shorter than s");
+          tuples.append(id, list_id);
+          if (j + 1 == c) pending.erase(it);
+        }
+      }
+    }
+  }
+  GPCLUST_CHECK(pending.empty(), "unfinished split lists after final batch");
+
+  if (stats != nullptr) {
+    stats->num_batches = plan.batches.size();
+    stats->num_split_lists = plan.num_split_lists();
+    stats->num_tuples = tuples.size();
+  }
+  return tuples;
+}
+
+}  // namespace gpclust::core

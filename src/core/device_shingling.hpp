@@ -1,0 +1,55 @@
+#pragma once
+// Algorithm 1 of the paper — "Shingling on GPU (D, s, c)" — executed over
+// every batch of a pass, plus the CPU-side merge of split adjacency lists.
+//
+// Per batch: the staged member array is uploaded once; then for each of
+// the family's c trials the device runs
+//     transform (hash h_j over every member)           [Figure 4, hi()]
+//   -> segmented sort (per adjacency-list segment)     [Figure 4]
+//   -> select kernel (front s of each segment)         [top-s elements]
+// and the s-minima per segment are copied back to the host, which hashes
+// them into <shingle, owner> tuples ("it is safe to transfer the generated
+// shingles back to the host memory after each iteration").
+//
+// In async mode the D2H copies run on a second stream with double-buffered
+// minima, modeling the CUDA-stream overlap the paper names as future work.
+
+#include "core/batching.hpp"
+#include "core/minhash.hpp"
+#include "core/shingle_graph.hpp"
+#include "device/device_context.hpp"
+#include "util/timer.hpp"
+
+namespace gpclust::core {
+
+struct DevicePassOptions {
+  std::size_t max_batch_elements = 0;  ///< 0: derive from device memory
+  bool async = false;                  ///< overlap D2H with compute
+};
+
+struct DevicePassStats {
+  std::size_t num_batches = 0;
+  std::size_t num_split_lists = 0;
+  std::size_t num_tuples = 0;
+};
+
+/// Derives the largest safe batch size (in member elements) from the
+/// device's free memory, accounting for the member, permutation, offset
+/// and double-buffered minima arrays.
+std::size_t default_batch_elements(const device::DeviceContext& ctx, u32 s);
+
+/// Runs one full shingling pass on the device over CSR-style lists
+/// (left node i owns members[offsets[i]..offsets[i+1])). Produces exactly
+/// the tuples extract_shingles_serial would produce, in a different order.
+/// CPU-side staging/merging wall time is recorded under `cpu_metric` when
+/// `metrics` is non-null.
+ShingleTuples extract_shingles_device(device::DeviceContext& ctx,
+                                      std::span<const u64> offsets,
+                                      std::span<const u32> members,
+                                      const HashFamily& family, u32 s,
+                                      const DevicePassOptions& options,
+                                      util::MetricsRegistry* metrics = nullptr,
+                                      const std::string& cpu_metric = "gpclust.cpu",
+                                      DevicePassStats* stats = nullptr);
+
+}  // namespace gpclust::core

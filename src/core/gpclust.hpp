@@ -1,0 +1,85 @@
+#pragma once
+// gpClust — the paper's contribution (Algorithm 2): the CPU-GPU pipeline
+// that loads the similarity graph on the host, runs both shingling levels
+// on the device batch by batch, aggregates shingle graphs on the CPU, and
+// reports dense subgraphs on the CPU.
+//
+// Produces bit-identical clusters to SerialShingler for the same
+// parameters (the tuples are the same set; aggregation and reporting are
+// shared code) — enforced by the integration tests.
+
+#include "core/cluster_report.hpp"
+#include "core/clustering.hpp"
+#include "core/device_shingling.hpp"
+#include "core/params.hpp"
+#include "core/serial_pclust.hpp"
+#include "device/device_context.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace gpclust::core {
+
+struct GpClustOptions {
+  /// Overlap device->host shingle transfers with the next trial's kernels
+  /// (the asynchronous mode the paper lists as future work). Results are
+  /// identical; only the modeled device makespan changes.
+  bool async = false;
+
+  /// Cap on member elements per device batch; 0 derives it from free
+  /// device memory. Tests use small values to force splits.
+  std::size_t max_batch_elements = 0;
+
+  /// Run the shingle-graph gather sort on the device too (radix
+  /// sort_by_key; extension beyond the paper's CPU-side aggregation).
+  /// Results are identical; the CPU column shrinks and the GPU/transfer
+  /// columns grow.
+  bool device_aggregation = false;
+};
+
+/// Per-component runtime breakdown in the shape of the paper's Table I.
+/// CPU and disk seconds are measured wall time; GPU and transfer seconds
+/// come from the device cost model (see DESIGN.md §1).
+struct GpClustReport {
+  double cpu_seconds = 0.0;       ///< host-side staging/aggregation/report
+  double gpu_seconds = 0.0;       ///< modeled kernel time
+  double h2d_seconds = 0.0;       ///< modeled Data_c->g
+  double d2h_seconds = 0.0;       ///< modeled Data_g->c
+  double disk_seconds = 0.0;      ///< measured input-load time (if any)
+  double device_makespan = 0.0;   ///< modeled device wall (respects overlap)
+
+  DevicePassStats pass1;
+  DevicePassStats pass2;
+
+  /// Paper's "Total runtime" analog: CPU + disk + modeled device makespan
+  /// (in sync mode the makespan equals gpu + h2d + d2h).
+  double total_seconds() const {
+    return cpu_seconds + disk_seconds + device_makespan;
+  }
+};
+
+class GpClust {
+ public:
+  GpClust(device::DeviceContext& ctx, ShinglingParams params,
+          GpClustOptions options = {});
+
+  const ShinglingParams& params() const { return params_; }
+
+  /// Clusters the similarity graph; fills `report` (if non-null) with the
+  /// per-component breakdown of this run.
+  Clustering cluster(const graph::CsrGraph& g,
+                     GpClustReport* report = nullptr);
+
+  /// Convenience: load the graph from a binary CSR file (disk I/O is
+  /// measured into the report) and cluster it.
+  Clustering cluster_file(const std::string& path,
+                          GpClustReport* report = nullptr);
+
+ private:
+  Clustering run(const graph::CsrGraph& g, GpClustReport* report,
+                 double disk_seconds);
+
+  device::DeviceContext& ctx_;
+  ShinglingParams params_;
+  GpClustOptions options_;
+};
+
+}  // namespace gpclust::core

@@ -1,0 +1,75 @@
+#include "core/serial_pclust.hpp"
+
+#include <array>
+
+#include "core/shingle.hpp"
+
+namespace gpclust::core {
+
+namespace {
+constexpr u32 kMaxShingleSize = 64;
+}
+
+ShingleTuples extract_shingles_serial(std::span<const u64> offsets,
+                                      std::span<const u32> members,
+                                      const HashFamily& family, u32 s) {
+  GPCLUST_CHECK(!offsets.empty() && offsets.back() == members.size(),
+                "offsets must cover the member array");
+  GPCLUST_CHECK(s >= 1 && s <= kMaxShingleSize, "unsupported shingle size");
+  const std::size_t num_left = offsets.size() - 1;
+
+  ShingleTuples tuples;
+  std::array<u64, kMaxShingleSize> minima;
+  for (u32 j = 0; j < family.size(); ++j) {
+    const AffineHash& h = family[j];
+    for (std::size_t i = 0; i < num_left; ++i) {
+      const std::size_t len =
+          static_cast<std::size_t>(offsets[i + 1] - offsets[i]);
+      if (len < s) continue;  // fewer than s links: no shingle (paper §III-B)
+      min_s_images({members.data() + offsets[i], len}, h, s,
+                   {minima.data(), s});
+      const ShingleId id = hash_shingle(j, {minima.data(), s});
+      tuples.append(id, static_cast<u32>(i));
+    }
+  }
+  return tuples;
+}
+
+Clustering SerialShingler::cluster(const graph::CsrGraph& g,
+                                   util::MetricsRegistry* metrics) const {
+  params_.validate(g.num_vertices());
+  util::MetricsRegistry local;
+  util::MetricsRegistry& reg = metrics ? *metrics : local;
+
+  const HashFamily family1(params_.c1, params_.prime, params_.seed, 1);
+  const HashFamily family2(params_.c2, params_.prime, params_.seed, 2);
+
+  ShingleTuples tuples1;
+  {
+    util::ScopedTimer t(reg, "serial.shingling1");
+    tuples1 = extract_shingles_serial(g.offsets(), g.adjacency(), family1,
+                                      params_.s1);
+  }
+  BipartiteShingleGraph gi;
+  {
+    util::ScopedTimer t(reg, "serial.aggregate1");
+    gi = aggregate_tuples(std::move(tuples1));
+  }
+
+  ShingleTuples tuples2;
+  {
+    util::ScopedTimer t(reg, "serial.shingling2");
+    tuples2 =
+        extract_shingles_serial(gi.offsets, gi.members, family2, params_.s2);
+  }
+  BipartiteShingleGraph gii;
+  {
+    util::ScopedTimer t(reg, "serial.aggregate2");
+    gii = aggregate_tuples(std::move(tuples2));
+  }
+
+  util::ScopedTimer t(reg, "serial.report");
+  return report_dense_subgraphs(gi, gii, g.num_vertices(), params_.mode);
+}
+
+}  // namespace gpclust::core

@@ -1,0 +1,57 @@
+#include "core/shingle_graph.hpp"
+
+#include <algorithm>
+
+#include "core/shingle_graph_detail.hpp"
+#include "util/parallel_sort.hpp"
+
+namespace gpclust::core {
+
+namespace detail {
+
+BipartiteShingleGraph group_packed(std::vector<__uint128_t>&& packed) {
+  packed.erase(std::unique(packed.begin(), packed.end()), packed.end());
+
+  BipartiteShingleGraph g;
+  g.offsets.push_back(0);
+  ShingleId current = 0;
+  bool in_group = false;
+  for (__uint128_t key : packed) {
+    const ShingleId s = static_cast<ShingleId>(key >> 32);
+    const u32 o = static_cast<u32>(key & 0xffffffffu);
+    if (!in_group || s != current) {
+      if (in_group) g.offsets.push_back(g.members.size());  // close group
+      current = s;
+      in_group = true;
+    }
+    g.members.push_back(o);
+  }
+  if (in_group) g.offsets.push_back(g.members.size());
+  return g;
+}
+
+std::vector<__uint128_t> pack_tuples(ShingleTuples&& tuples) {
+  const std::size_t n = tuples.size();
+  GPCLUST_CHECK(tuples.owner.size() == n, "tuple arrays out of sync");
+  std::vector<__uint128_t> packed(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    packed[i] = pack_tuple(tuples.shingle[i], tuples.owner[i]);
+  }
+  tuples.shingle.clear();
+  tuples.shingle.shrink_to_fit();
+  tuples.owner.clear();
+  tuples.owner.shrink_to_fit();
+  return packed;
+}
+
+}  // namespace detail
+
+BipartiteShingleGraph aggregate_tuples(ShingleTuples&& tuples) {
+  // The gather sort is the dominant CPU-side cost at scale; pack the
+  // (shingle, owner) pairs into contiguous 128-bit PODs before sorting.
+  auto packed = detail::pack_tuples(std::move(tuples));
+  util::parallel_sort(packed, util::default_thread_pool());
+  return detail::group_packed(std::move(packed));
+}
+
+}  // namespace gpclust::core

@@ -1,0 +1,79 @@
+#pragma once
+// The bipartite shingle graph G_I(S, V', E') in adjacency-list form
+// (paper §III-B): left nodes are distinct shingles, and each left node's
+// list is L(s) — the set of right-side nodes that generated shingle s.
+// The CPU-side aggregation that builds it from raw <shingle, owner>
+// tuples is the "compute shingle graph" box of the paper's Figure 3.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/timer.hpp"
+
+namespace gpclust::core {
+
+/// Raw output of a shingling pass: tuple i says `owner[i]` generated
+/// shingle `shingle[i]` during some trial (the trial index is already
+/// folded into the shingle id so trials do not mix).
+struct ShingleTuples {
+  std::vector<ShingleId> shingle;
+  std::vector<u32> owner;
+
+  std::size_t size() const { return shingle.size(); }
+  void append(ShingleId s, u32 o) {
+    shingle.push_back(s);
+    owner.push_back(o);
+  }
+};
+
+/// G_I / G_II in CSR-like form. Left node i owns
+/// members[offsets[i] .. offsets[i+1]), sorted ascending and de-duplicated.
+struct BipartiteShingleGraph {
+  std::vector<u64> offsets;   // num_left + 1 entries
+  std::vector<u32> members;   // right-node ids
+
+  std::size_t num_left() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  std::span<const u32> list(std::size_t i) const {
+    return {members.data() + offsets[i], members.data() + offsets[i + 1]};
+  }
+};
+
+/// Sorts tuples by shingle id and groups equal ids into one left node each
+/// ("a sorting is done to gather all vertices that generated each
+/// shingle"). Duplicate (shingle, owner) pairs collapse. Consumes the
+/// tuples to bound peak memory.
+BipartiteShingleGraph aggregate_tuples(ShingleTuples&& tuples);
+
+}  // namespace gpclust::core
+
+// Device-accelerated aggregation lives in a separate header to keep the
+// CPU-only path free of device dependencies.
+namespace gpclust::device {
+class DeviceContext;
+}
+
+namespace gpclust::core {
+
+/// Extension beyond the paper (its Figure 3 aggregates on the CPU): the
+/// gather sort runs on the device as a batched radix sort_by_key — the
+/// same Merrill radix sorting [15] Thrust uses — and only the linear
+/// grouping pass stays on the host. Produces a graph identical to
+/// aggregate_tuples. `max_batch_elements` = 0 derives the batch size from
+/// free device memory; tuples beyond one batch are sorted per batch and
+/// merged on the host.
+///
+/// When `metrics` is given, only the host-side phases (packing, run
+/// merging, grouping) accrue wall time under `cpu_metric`; the sort itself
+/// is device work and is accounted on the context's modeled timeline, like
+/// every other kernel.
+BipartiteShingleGraph aggregate_tuples_device(
+    device::DeviceContext& ctx, ShingleTuples&& tuples,
+    std::size_t max_batch_elements = 0,
+    util::MetricsRegistry* metrics = nullptr,
+    const std::string& cpu_metric = "cpu");
+
+}  // namespace gpclust::core

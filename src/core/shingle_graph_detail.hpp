@@ -1,0 +1,23 @@
+#pragma once
+// Internal helpers shared by the CPU and device tuple-aggregation paths.
+// Not part of the public API.
+
+#include <vector>
+
+#include "core/shingle_graph.hpp"
+
+namespace gpclust::core::detail {
+
+/// Packs a tuple into one 128-bit key ordered by (shingle, owner).
+inline __uint128_t pack_tuple(ShingleId shingle, u32 owner) {
+  return (static_cast<__uint128_t>(shingle) << 32) | owner;
+}
+
+/// Moves the tuple arrays into a packed key vector, releasing the inputs.
+std::vector<__uint128_t> pack_tuples(ShingleTuples&& tuples);
+
+/// Deduplicates a sorted packed array and groups it into the bipartite
+/// shingle graph.
+BipartiteShingleGraph group_packed(std::vector<__uint128_t>&& packed);
+
+}  // namespace gpclust::core::detail

@@ -1,0 +1,56 @@
+#pragma once
+// DeviceContext: one simulated GPU — memory arena, event timeline, cost
+// model and the host thread pool that stands in for the device's cores.
+// Mirrors the role of a CUDA context; DeviceVector and the primitives in
+// primitives.hpp all operate through one of these.
+
+#include <cstddef>
+#include <memory>
+
+#include "device/device_spec.hpp"
+#include "device/memory_arena.hpp"
+#include "device/sim_timeline.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gpclust::device {
+
+class DeviceContext {
+ public:
+  explicit DeviceContext(DeviceSpec spec,
+                         util::ThreadPool* pool = nullptr);
+
+  const DeviceSpec& spec() const { return spec_; }
+  MemoryArena& arena() { return arena_; }
+  const MemoryArena& arena() const { return arena_; }
+  SimTimeline& timeline() { return timeline_; }
+  const SimTimeline& timeline() const { return timeline_; }
+  util::ThreadPool& pool() { return *pool_; }
+
+  // --- cost model -------------------------------------------------------
+  double transform_cost(std::size_t elements) const;
+  double sort_cost(std::size_t elements) const;
+  /// Segmented sort: the base sort cost, multiplied by the global-memory
+  /// penalty when the largest segment exceeds per-block shared memory.
+  double segmented_sort_cost(std::size_t elements,
+                             std::size_t max_segment_bytes) const;
+  double h2d_cost(std::size_t bytes) const;
+  double d2h_cost(std::size_t bytes) const;
+
+  // --- accounting accessors (Table I columns) ----------------------------
+  double gpu_seconds() const { return timeline_.busy(OpKind::Kernel); }
+  double h2d_seconds() const { return timeline_.busy(OpKind::CopyH2D); }
+  double d2h_seconds() const { return timeline_.busy(OpKind::CopyD2H); }
+  /// Modeled device-side wall time respecting stream overlap.
+  double makespan() const { return timeline_.makespan(); }
+
+  /// Clears timing (not memory) state between runs.
+  void reset_timeline() { timeline_.reset(); }
+
+ private:
+  DeviceSpec spec_;
+  MemoryArena arena_;
+  SimTimeline timeline_;
+  util::ThreadPool* pool_;
+};
+
+}  // namespace gpclust::device

@@ -1,0 +1,27 @@
+#include "device/memory_arena.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace gpclust::device {
+
+void MemoryArena::allocate(std::size_t bytes) {
+  if (bytes > capacity_ - used_) {
+    throw DeviceError("out of device memory: requested " +
+                      std::to_string(bytes) + " bytes, " +
+                      std::to_string(capacity_ - used_) + " of " +
+                      std::to_string(capacity_) + " available");
+  }
+  used_ += bytes;
+  peak_ = std::max(peak_, used_);
+  ++live_allocations_;
+}
+
+void MemoryArena::release(std::size_t bytes) {
+  GPCLUST_CHECK(bytes <= used_, "releasing more device memory than allocated");
+  GPCLUST_CHECK(live_allocations_ > 0, "no live device allocations");
+  used_ -= bytes;
+  --live_allocations_;
+}
+
+}  // namespace gpclust::device

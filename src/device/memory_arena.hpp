@@ -1,0 +1,37 @@
+#pragma once
+// Accounting allocator for simulated device global memory. The backing
+// bytes live in host RAM (this is a simulation), but capacity is enforced
+// exactly like cudaMalloc on a 5 GB board: exceeding it throws
+// DeviceError, which is what forces gpClust's batch partitioning.
+
+#include <cstddef>
+
+#include "util/common.hpp"
+
+namespace gpclust::device {
+
+class MemoryArena {
+ public:
+  explicit MemoryArena(std::size_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+  std::size_t peak() const { return peak_; }
+  std::size_t available() const { return capacity_ - used_; }
+  std::size_t num_allocations() const { return live_allocations_; }
+
+  /// Reserve `bytes`; throws DeviceError("out of device memory") on OOM.
+  void allocate(std::size_t bytes);
+
+  /// Release `bytes` previously allocated.
+  void release(std::size_t bytes);
+
+ private:
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::size_t peak_ = 0;
+  std::size_t live_allocations_ = 0;
+};
+
+}  // namespace gpclust::device

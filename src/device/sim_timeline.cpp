@@ -1,0 +1,37 @@
+#include "device/sim_timeline.hpp"
+
+#include <algorithm>
+
+namespace gpclust::device {
+
+SimTimeline::SimTimeline(std::size_t num_streams) : cursors_(num_streams, 0.0) {
+  GPCLUST_CHECK(num_streams >= 1, "need at least one stream");
+}
+
+double SimTimeline::enqueue(StreamId stream, OpKind kind, double duration,
+                            double ready_after) {
+  GPCLUST_CHECK(stream < cursors_.size(), "stream id out of range");
+  GPCLUST_CHECK(duration >= 0.0, "negative duration");
+  const double start = std::max(cursors_[stream], ready_after);
+  cursors_[stream] = start + duration;
+  busy_[static_cast<std::size_t>(kind)] += duration;
+  ++num_ops_;
+  return cursors_[stream];
+}
+
+double SimTimeline::stream_cursor(StreamId stream) const {
+  GPCLUST_CHECK(stream < cursors_.size(), "stream id out of range");
+  return cursors_[stream];
+}
+
+double SimTimeline::makespan() const {
+  return *std::max_element(cursors_.begin(), cursors_.end());
+}
+
+void SimTimeline::reset() {
+  std::fill(cursors_.begin(), cursors_.end(), 0.0);
+  busy_.fill(0.0);
+  num_ops_ = 0;
+}
+
+}  // namespace gpclust::device

@@ -1,0 +1,62 @@
+#pragma once
+// Discrete-event timeline for the simulated device.
+//
+// Every device operation (kernel, H2D copy, D2H copy) is enqueued on a
+// stream with a modeled duration. Operations on the same stream execute
+// in order; operations on different streams may overlap unless linked by
+// an explicit dependency (completion time of a prior op). The makespan of
+// the timeline is the modeled device-side wall time — with one stream it
+// degenerates to the paper's synchronous Thrust behavior (sum of all
+// durations); with two streams it models the asynchronous copy/compute
+// overlap the paper lists as future work.
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gpclust::device {
+
+enum class OpKind : int { Kernel = 0, CopyH2D = 1, CopyD2H = 2 };
+inline constexpr std::size_t kNumOpKinds = 3;
+
+using StreamId = std::size_t;
+inline constexpr StreamId kDefaultStream = 0;
+
+class SimTimeline {
+ public:
+  explicit SimTimeline(std::size_t num_streams = 4);
+
+  std::size_t num_streams() const { return cursors_.size(); }
+
+  /// Schedules an op of `duration` seconds on `stream`, starting no earlier
+  /// than the stream's cursor and `ready_after` (a completion time returned
+  /// by a previous enqueue, for cross-stream dependencies).
+  /// Returns the op's completion time.
+  double enqueue(StreamId stream, OpKind kind, double duration,
+                 double ready_after = 0.0);
+
+  /// Completion time of the last op on `stream`.
+  double stream_cursor(StreamId stream) const;
+
+  /// Modeled device wall time: max completion over all streams.
+  double makespan() const;
+
+  /// Total busy seconds per op kind (sum of durations, ignoring overlap) —
+  /// these are the Table I per-component columns.
+  double busy(OpKind kind) const {
+    return busy_[static_cast<std::size_t>(kind)];
+  }
+
+  std::size_t num_ops() const { return num_ops_; }
+
+  void reset();
+
+ private:
+  std::vector<double> cursors_;
+  std::array<double, kNumOpKinds> busy_{};
+  std::size_t num_ops_ = 0;
+};
+
+}  // namespace gpclust::device

@@ -1,0 +1,69 @@
+#include "device/simt.hpp"
+
+#include <algorithm>
+
+namespace gpclust::device {
+
+SimtStats simt_launch(
+    DeviceContext& ctx, const LaunchConfig& config,
+    const std::function<void(const ThreadIdx&, LaneCtx&)>& kernel,
+    StreamId stream, double ready_after) {
+  GPCLUST_CHECK(config.block_dim >= 1, "block_dim must be positive");
+  const std::size_t warp_size = ctx.spec().warp_size;
+  const std::size_t n = config.num_threads;
+
+  SimtStats stats;
+  std::vector<std::vector<bool>> warp_votes(warp_size);
+
+  for (std::size_t warp_start = 0; warp_start < n; warp_start += warp_size) {
+    const std::size_t active = std::min(warp_size, n - warp_start);
+    ++stats.warps_executed;
+    stats.inactive_lanes += warp_size - active;
+
+    // Execute the warp's lanes (sequentially here; conceptually lock-step)
+    // and collect each lane's branch votes.
+    std::size_t max_votes = 0;
+    for (std::size_t lane = 0; lane < active; ++lane) {
+      const std::size_t global = warp_start + lane;
+      const ThreadIdx idx{
+          .global = global,
+          .block = global / config.block_dim,
+          .thread = global % config.block_dim,
+          .lane = lane,
+          .warp = warp_start / warp_size,
+      };
+      LaneCtx lane_ctx;
+      kernel(idx, lane_ctx);
+      warp_votes[lane] = std::move(lane_ctx.votes_);
+      max_votes = std::max(max_votes, warp_votes[lane].size());
+    }
+
+    // A branch point diverges when active lanes that reached it disagree.
+    bool diverged = false;
+    for (std::size_t b = 0; b < max_votes; ++b) {
+      bool any_true = false, any_false = false;
+      for (std::size_t lane = 0; lane < active; ++lane) {
+        if (b >= warp_votes[lane].size()) continue;  // lane exited early
+        (warp_votes[lane][b] ? any_true : any_false) = true;
+      }
+      if (any_true && any_false) {
+        diverged = true;
+        ++stats.branch_rounds;  // both sides execute: one extra round
+      }
+    }
+    if (diverged) ++stats.divergent_warps;
+    for (std::size_t lane = 0; lane < active; ++lane) warp_votes[lane].clear();
+  }
+
+  // Cost: every launched lane (padding included) executes once; each
+  // divergent branch round re-executes one warp.
+  const std::size_t lanes_launched =
+      (n + warp_size - 1) / warp_size * warp_size;
+  const std::size_t effective =
+      lanes_launched + stats.branch_rounds * warp_size;
+  ctx.timeline().enqueue(stream, OpKind::Kernel, ctx.transform_cost(effective),
+                         ready_after);
+  return stats;
+}
+
+}  // namespace gpclust::device

@@ -1,0 +1,77 @@
+#pragma once
+// Warp-granular SIMT kernel execution (paper §II): "Threads inside a SM
+// are executed in a fixed sized group, called warp... it runs most
+// efficiently if all the threads inside a warp execute same instructions.
+// In case different instructions are programmed into the threads of a
+// warp, the hardware will automatically handle the instruction divergence
+// through multiple rounds of executions."
+//
+// simt_launch runs a kernel over a 1-D index space in warp-sized groups.
+// Kernels observe their coordinates through ThreadIdx and report
+// data-dependent branches through LaneCtx::branch(); a warp whose lanes
+// disagree on a branch is *divergent* and is charged a second execution
+// round in the cost model, exactly the serialization the paper describes.
+
+#include <cstddef>
+#include <functional>
+
+#include "device/device_context.hpp"
+
+namespace gpclust::device {
+
+struct LaunchConfig {
+  std::size_t num_threads = 0;   ///< total 1-D launch size
+  std::size_t block_dim = 256;   ///< threads per block
+};
+
+struct ThreadIdx {
+  std::size_t global;  ///< global thread id in [0, num_threads)
+  std::size_t block;   ///< blockIdx.x
+  std::size_t thread;  ///< threadIdx.x
+  std::size_t lane;    ///< id within the warp, [0, warp_size)
+  std::size_t warp;    ///< global warp id
+};
+
+struct SimtStats {
+  std::size_t warps_executed = 0;
+  std::size_t divergent_warps = 0;   ///< warps with >= 1 split branch vote
+  std::size_t branch_rounds = 0;     ///< total extra execution rounds
+  std::size_t inactive_lanes = 0;    ///< padding lanes of partial warps
+
+  /// Fraction of warps that diverged (0 when nothing ran).
+  double divergence_rate() const {
+    return warps_executed == 0
+               ? 0.0
+               : static_cast<double>(divergent_warps) /
+                     static_cast<double>(warps_executed);
+  }
+};
+
+/// Per-lane handle a kernel uses to report data-dependent control flow.
+class LaneCtx {
+ public:
+  /// Records a branch decision; returns `taken` so it can wrap the
+  /// condition in place: if (lane.branch(x > 0)) { ... }.
+  bool branch(bool taken) {
+    votes_.push_back(taken);
+    return taken;
+  }
+
+ private:
+  friend SimtStats simt_launch(DeviceContext&, const LaunchConfig&,
+                               const std::function<void(const ThreadIdx&,
+                                                        LaneCtx&)>&,
+                               StreamId, double);
+  std::vector<bool> votes_;
+};
+
+/// Executes the kernel over every index, warp by warp, collecting
+/// divergence statistics and charging modeled kernel time on the context
+/// timeline: base transform cost for the launch plus one extra warp-round
+/// per divergent branch (the "multiple rounds of executions" of §II).
+SimtStats simt_launch(
+    DeviceContext& ctx, const LaunchConfig& config,
+    const std::function<void(const ThreadIdx&, LaneCtx&)>& kernel,
+    StreamId stream = kDefaultStream, double ready_after = 0.0);
+
+}  // namespace gpclust::device

@@ -1,0 +1,34 @@
+#include "dist/comm.hpp"
+
+#include <exception>
+#include <thread>
+
+namespace gpclust::dist {
+
+void run_ranks(std::size_t num_ranks,
+               const std::function<void(Communicator&)>& fn) {
+  GPCLUST_CHECK(num_ranks >= 1, "need at least one rank");
+  World world(num_ranks);
+  std::vector<std::exception_ptr> errors(num_ranks);
+  std::vector<std::thread> threads;
+  threads.reserve(num_ranks);
+  for (RankId r = 0; r < num_ranks; ++r) {
+    threads.emplace_back([&world, &fn, &errors, r] {
+      Communicator comm(world, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        // NOTE: a rank failing mid-collective leaves peers blocked, as a
+        // crashed MPI rank would; callers must not throw between matching
+        // collective calls.
+        errors[r] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace gpclust::dist

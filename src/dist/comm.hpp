@@ -1,0 +1,202 @@
+#pragma once
+// A small in-process message-passing runtime in the style of MPI: a World
+// of N ranks, each running on its own thread with a Communicator handle
+// providing point-to-point send/recv and the collectives the distributed
+// shingling implementation needs (barrier, all-to-all, gather, broadcast,
+// all-reduce). This is the substrate standing in for the MPI clusters of
+// the paper's lineage (pGraph ran on thousands of distributed-memory
+// processors [25]; pClust was ported to distributed memory in [18]).
+//
+// Messages are typed POD vectors; matching is by (source, tag) with FIFO
+// order per (source, destination, tag) channel, like MPI's non-overtaking
+// guarantee.
+
+#include <condition_variable>
+#include <functional>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gpclust::dist {
+
+using RankId = std::size_t;
+
+namespace detail {
+
+struct Mailbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  // (source, tag) -> FIFO of raw payloads.
+  std::map<std::pair<RankId, int>, std::deque<std::vector<u8>>> queues;
+};
+
+struct BarrierState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t waiting = 0;
+  u64 generation = 0;
+};
+
+}  // namespace detail
+
+/// Shared state of one rank group. Construct once, hand to every rank.
+class World {
+ public:
+  explicit World(std::size_t num_ranks) : mailboxes_(num_ranks) {
+    GPCLUST_CHECK(num_ranks >= 1, "world needs at least one rank");
+  }
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  std::size_t size() const { return mailboxes_.size(); }
+
+ private:
+  friend class Communicator;
+  std::vector<detail::Mailbox> mailboxes_;
+  detail::BarrierState barrier_;
+};
+
+/// Per-rank handle. Not thread-safe across callers; each rank thread owns
+/// exactly one.
+class Communicator {
+ public:
+  Communicator(World& world, RankId rank) : world_(world), rank_(rank) {
+    GPCLUST_CHECK(rank < world.size(), "rank out of range");
+  }
+
+  RankId rank() const { return rank_; }
+  std::size_t size() const { return world_.size(); }
+
+  /// Sends a typed payload to `dst` (self-sends are allowed). Non-blocking
+  /// (buffered, like MPI_Bsend).
+  template <typename T>
+  void send(RankId dst, int tag, const std::vector<T>& payload) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    GPCLUST_CHECK(dst < size(), "destination rank out of range");
+    std::vector<u8> bytes(payload.size() * sizeof(T));
+    std::memcpy(bytes.data(), payload.data(), bytes.size());
+    auto& box = world_.mailboxes_[dst];
+    {
+      std::lock_guard lock(box.mutex);
+      box.queues[{rank_, tag}].push_back(std::move(bytes));
+    }
+    box.cv.notify_all();
+  }
+
+  /// Blocks until a message with the given source and tag arrives.
+  template <typename T>
+  std::vector<T> recv(RankId src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    GPCLUST_CHECK(src < size(), "source rank out of range");
+    auto& box = world_.mailboxes_[rank_];
+    std::unique_lock lock(box.mutex);
+    auto& queue = box.queues[{src, tag}];
+    box.cv.wait(lock, [&] { return !queue.empty(); });
+    std::vector<u8> bytes = std::move(queue.front());
+    queue.pop_front();
+    lock.unlock();
+    GPCLUST_CHECK(bytes.size() % sizeof(T) == 0, "payload size mismatch");
+    std::vector<T> payload(bytes.size() / sizeof(T));
+    std::memcpy(payload.data(), bytes.data(), bytes.size());
+    return payload;
+  }
+
+  /// All ranks must call; returns when every rank has arrived.
+  void barrier() {
+    auto& b = world_.barrier_;
+    std::unique_lock lock(b.mutex);
+    const u64 my_generation = b.generation;
+    if (++b.waiting == size()) {
+      b.waiting = 0;
+      ++b.generation;
+      b.cv.notify_all();
+      return;
+    }
+    b.cv.wait(lock, [&] { return b.generation != my_generation; });
+  }
+
+  /// Personalized all-to-all: outgoing[d] goes to rank d; returns
+  /// incoming[s] from rank s. Every rank must call with size() buckets.
+  template <typename T>
+  std::vector<std::vector<T>> all_to_all(
+      const std::vector<std::vector<T>>& outgoing, int tag = kAllToAllTag) {
+    GPCLUST_CHECK(outgoing.size() == size(), "need one bucket per rank");
+    for (RankId d = 0; d < size(); ++d) send(d, tag, outgoing[d]);
+    std::vector<std::vector<T>> incoming(size());
+    for (RankId s = 0; s < size(); ++s) incoming[s] = recv<T>(s, tag);
+    return incoming;
+  }
+
+  /// Root receives the concatenation of every rank's payload in rank
+  /// order; non-roots receive an empty vector.
+  template <typename T>
+  std::vector<T> gather_to_root(const std::vector<T>& payload,
+                                RankId root = 0, int tag = kGatherTag) {
+    send(root, tag, payload);
+    std::vector<T> all;
+    if (rank_ == root) {
+      for (RankId s = 0; s < size(); ++s) {
+        auto part = recv<T>(s, tag);
+        all.insert(all.end(), part.begin(), part.end());
+      }
+    }
+    return all;
+  }
+
+  /// Root's payload is distributed to every rank.
+  template <typename T>
+  std::vector<T> broadcast(const std::vector<T>& payload, RankId root = 0,
+                           int tag = kBroadcastTag) {
+    if (rank_ == root) {
+      for (RankId d = 0; d < size(); ++d) send(d, tag, payload);
+    }
+    return recv<T>(root, tag);
+  }
+
+  /// Sum of every rank's value, available on all ranks.
+  u64 all_reduce_sum(u64 value, int tag = kReduceTag) {
+    const auto all = gather_to_root(std::vector<u64>{value}, 0, tag);
+    u64 total = 0;
+    if (rank_ == 0) {
+      for (u64 v : all) total += v;
+    }
+    return broadcast(std::vector<u64>{total}, 0, tag)[0];
+  }
+
+  /// Exclusive prefix sum over rank order (rank r gets sum of values of
+  /// ranks < r), available on all ranks.
+  u64 exclusive_prefix_sum(u64 value, int tag = kScanTag) {
+    const auto all = gather_to_root(std::vector<u64>{value}, 0, tag);
+    std::vector<u64> prefixes(size(), 0);
+    if (rank_ == 0) {
+      u64 running = 0;
+      for (RankId r = 0; r < size(); ++r) {
+        prefixes[r] = running;
+        running += all[r];
+      }
+    }
+    return broadcast(prefixes, 0, tag)[rank_];
+  }
+
+ private:
+  static constexpr int kAllToAllTag = -1;
+  static constexpr int kGatherTag = -2;
+  static constexpr int kBroadcastTag = -3;
+  static constexpr int kReduceTag = -4;
+  static constexpr int kScanTag = -5;
+
+  World& world_;
+  RankId rank_;
+};
+
+/// Runs fn(comm) on `num_ranks` threads; rethrows the first exception
+/// after all ranks have joined.
+void run_ranks(std::size_t num_ranks,
+               const std::function<void(Communicator&)>& fn);
+
+}  // namespace gpclust::dist

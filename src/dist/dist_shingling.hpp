@@ -1,0 +1,37 @@
+#pragma once
+// Distributed-memory Shingling over the in-process message-passing runtime
+// — the dpClust direction of the paper's lineage ([18] ported pClust to
+// distributed memory; [25] ran homology detection on thousands of ranks).
+//
+// Plan (per pass): each rank extracts shingles from a block of the
+// adjacency lists, tuples are exchanged all-to-all keyed by a hash of the
+// shingle id (so all owners of one shingle meet on one rank), every rank
+// aggregates its shingle range locally, and first-level shingles receive
+// globally unique ids via an exclusive prefix sum over local counts.
+// After the second pass the root gathers both bipartite shingle graphs
+// and reports dense subgraphs exactly like the serial implementation, so
+// the final clustering is **identical to SerialShingler's** for the same
+// parameters (verified by tests).
+
+#include "core/clustering.hpp"
+#include "core/params.hpp"
+#include "dist/comm.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace gpclust::dist {
+
+struct DistStats {
+  std::size_t num_ranks = 0;
+  std::size_t tuples_exchanged_pass1 = 0;
+  std::size_t tuples_exchanged_pass2 = 0;
+};
+
+/// Clusters `g` with `num_ranks` communicating ranks. The graph is shared
+/// read-only across ranks (shared-memory style); only shingle tuples and
+/// the gathered shingle graphs travel as messages.
+core::Clustering distributed_cluster(const graph::CsrGraph& g,
+                                     const core::ShinglingParams& params,
+                                     std::size_t num_ranks,
+                                     DistStats* stats = nullptr);
+
+}  // namespace gpclust::dist

@@ -1,0 +1,100 @@
+#pragma once
+// A minimal in-process MapReduce engine — the other branch of the paper's
+// pClust parallelization lineage: Rytsareva et al. [18] implemented
+// Shingling on Hadoop MapReduce ("the OpenMP implementation was
+// significantly faster than the Hadoop implementation due to the
+// expensive disk I/O operations involved in the Hadoop platform"); this
+// engine expresses the same dataflow shape (map -> shuffle/group-by-key
+// -> reduce) without the disk.
+//
+// Deterministic: reducers see keys in sorted order and each key's values
+// in emission order (mapper-index-major), so jobs are reproducible
+// regardless of worker count.
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gpclust::dist {
+
+struct MapReduceConfig {
+  std::size_t num_workers = 1;  ///< mapper parallelism (thread pool size)
+};
+
+/// Runs a MapReduce job over `inputs`.
+///   map_fn(index, input, emit)       — calls emit(key, value) any number
+///                                      of times;
+///   reduce_fn(key, values)           — called once per distinct key with
+///                                      all its values, keys ascending.
+/// K must be orderable; V is copied through the shuffle.
+template <typename Input, typename K, typename V>
+void run_mapreduce(
+    const std::vector<Input>& inputs,
+    const std::function<void(std::size_t, const Input&,
+                             const std::function<void(K, V)>&)>& map_fn,
+    const std::function<void(const K&, const std::vector<V>&)>& reduce_fn,
+    const MapReduceConfig& config = {}) {
+  GPCLUST_CHECK(config.num_workers >= 1, "need at least one worker");
+
+  // --- map phase: per-chunk local emit buffers (no locking) -------------
+  const std::size_t workers =
+      std::min<std::size_t>(std::max<std::size_t>(1, config.num_workers),
+                            std::max<std::size_t>(1, inputs.size()));
+  std::vector<std::vector<std::pair<K, V>>> emitted(workers);
+
+  auto map_chunk = [&](std::size_t w, std::size_t lo, std::size_t hi) {
+    auto emit = [&](K key, V value) {
+      emitted[w].emplace_back(std::move(key), std::move(value));
+    };
+    for (std::size_t i = lo; i < hi; ++i) map_fn(i, inputs[i], emit);
+  };
+
+  if (workers == 1) {
+    map_chunk(0, 0, inputs.size());
+  } else {
+    util::ThreadPool pool(workers);
+    const std::size_t chunk = (inputs.size() + workers - 1) / workers;
+    std::vector<std::future<void>> futures;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const std::size_t lo = std::min(inputs.size(), w * chunk);
+      const std::size_t hi = std::min(inputs.size(), lo + chunk);
+      if (lo >= hi) break;
+      futures.push_back(pool.submit([&, w, lo, hi] { map_chunk(w, lo, hi); }));
+    }
+    for (auto& f : futures) f.get();
+  }
+
+  // --- shuffle: concatenate mapper outputs in mapper order, then a stable
+  // sort by key keeps each key's values in emission order ----------------
+  std::vector<std::pair<K, V>> all;
+  std::size_t total = 0;
+  for (const auto& part : emitted) total += part.size();
+  all.reserve(total);
+  for (auto& part : emitted) {
+    for (auto& kv : part) all.push_back(std::move(kv));
+    part.clear();
+  }
+  std::stable_sort(all.begin(), all.end(), [](const auto& x, const auto& y) {
+    return x.first < y.first;
+  });
+
+  // --- reduce phase: one call per key run --------------------------------
+  std::size_t begin = 0;
+  while (begin < all.size()) {
+    std::size_t end = begin + 1;
+    while (end < all.size() && !(all[begin].first < all[end].first)) ++end;
+    std::vector<V> values;
+    values.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      values.push_back(std::move(all[i].second));
+    }
+    reduce_fn(all[begin].first, values);
+    begin = end;
+  }
+}
+
+}  // namespace gpclust::dist

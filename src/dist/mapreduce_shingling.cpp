@@ -1,0 +1,83 @@
+#include "dist/mapreduce_shingling.hpp"
+
+#include <algorithm>
+
+#include "core/cluster_report.hpp"
+#include "core/minhash.hpp"
+#include "core/shingle.hpp"
+
+namespace gpclust::dist {
+
+namespace {
+
+using core::AffineHash;
+using core::BipartiteShingleGraph;
+using core::HashFamily;
+
+/// All c shingles of one member list under the family (kNoValue entries
+/// are skipped by the caller; lists shorter than s emit nothing).
+void emit_shingles(std::span<const u32> members, const HashFamily& family,
+                   u32 s, const std::function<void(ShingleId)>& emit) {
+  if (members.size() < s) return;
+  std::vector<u64> minima(s);
+  for (u32 j = 0; j < family.size(); ++j) {
+    core::min_s_images(members, family[j], s, minima);
+    emit(core::hash_shingle(j, minima));
+  }
+}
+
+/// One MapReduce shingling job over CSR-style lists: returns the next
+/// level's bipartite shingle graph.
+BipartiteShingleGraph shingling_job(std::span<const u64> offsets,
+                                    std::span<const u32> members,
+                                    const HashFamily& family, u32 s,
+                                    std::size_t num_workers) {
+  const std::size_t num_lists = offsets.empty() ? 0 : offsets.size() - 1;
+  std::vector<u32> list_ids(num_lists);
+  for (std::size_t i = 0; i < num_lists; ++i) list_ids[i] = static_cast<u32>(i);
+
+  BipartiteShingleGraph out;
+  out.offsets.push_back(0);
+
+  MapReduceConfig config;
+  config.num_workers = num_workers;
+  run_mapreduce<u32, ShingleId, u32>(
+      list_ids,
+      [&](std::size_t, const u32& list, const std::function<void(ShingleId, u32)>& emit) {
+        const std::span<const u32> gamma{
+            members.data() + offsets[list],
+            static_cast<std::size_t>(offsets[list + 1] - offsets[list])};
+        emit_shingles(gamma, family, s,
+                      [&](ShingleId id) { emit(id, list); });
+      },
+      [&](const ShingleId&, const std::vector<u32>& owners) {
+        // Reducer builds L(shingle): sorted, de-duplicated owners.
+        std::vector<u32> sorted = owners;
+        std::sort(sorted.begin(), sorted.end());
+        sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+        out.members.insert(out.members.end(), sorted.begin(), sorted.end());
+        out.offsets.push_back(out.members.size());
+      },
+      config);
+  return out;
+}
+
+}  // namespace
+
+core::Clustering mapreduce_cluster(const graph::CsrGraph& g,
+                                   const core::ShinglingParams& params,
+                                   std::size_t num_workers) {
+  params.validate(g.num_vertices());
+  GPCLUST_CHECK(num_workers >= 1, "need at least one worker");
+
+  const HashFamily family1(params.c1, params.prime, params.seed, 1);
+  const HashFamily family2(params.c2, params.prime, params.seed, 2);
+
+  const BipartiteShingleGraph gi = shingling_job(
+      g.offsets(), g.adjacency(), family1, params.s1, num_workers);
+  const BipartiteShingleGraph gii =
+      shingling_job(gi.offsets, gi.members, family2, params.s2, num_workers);
+  return core::report_dense_subgraphs(gi, gii, g.num_vertices(), params.mode);
+}
+
+}  // namespace gpclust::dist

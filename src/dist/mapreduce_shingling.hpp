@@ -1,0 +1,28 @@
+#pragma once
+// Shingling expressed as two MapReduce jobs — the Hadoop-pClust dataflow
+// of Rytsareva et al. [18]:
+//
+//   Job 1: map(vertex)            -> emit <shingle_1, vertex>  (c1 per vertex)
+//          reduce(shingle_1, L)   -> a G_I adjacency list
+//   Job 2: map(G_I list)          -> emit <shingle_2, s1-index> (c2 per list)
+//          reduce(shingle_2, M)   -> a G_II adjacency list
+//   Driver: Phase III reporting over the collected G_I / G_II.
+//
+// Bit-identical to SerialShingler for the same parameters (tested),
+// because the shingle values depend only on the hash family and the
+// adjacency content, never on the execution shape.
+
+#include "core/clustering.hpp"
+#include "core/params.hpp"
+#include "dist/mapreduce.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace gpclust::dist {
+
+/// Clusters `g` through the two-job MapReduce dataflow with
+/// `num_workers`-way mapper parallelism.
+core::Clustering mapreduce_cluster(const graph::CsrGraph& g,
+                                   const core::ShinglingParams& params,
+                                   std::size_t num_workers = 1);
+
+}  // namespace gpclust::dist

@@ -1,0 +1,29 @@
+#include "eval/cluster_stats.hpp"
+
+namespace gpclust::eval {
+
+PartitionStats partition_stats(const core::Clustering& clustering) {
+  PartitionStats stats;
+  stats.num_groups = clustering.num_clusters();
+  for (const auto& c : clustering.clusters()) {
+    stats.num_sequences += c.size();
+    stats.largest = std::max(stats.largest, c.size());
+    stats.group_size.add(static_cast<double>(c.size()));
+  }
+  return stats;
+}
+
+util::BinnedHistogram group_size_histogram(const core::Clustering& clustering) {
+  auto hist = util::BinnedHistogram::figure5_bins();
+  for (const auto& c : clustering.clusters()) hist.add(c.size());
+  return hist;
+}
+
+util::BinnedHistogram sequence_distribution_histogram(
+    const core::Clustering& clustering) {
+  auto hist = util::BinnedHistogram::figure5_bins();
+  for (const auto& c : clustering.clusters()) hist.add(c.size(), c.size());
+  return hist;
+}
+
+}  // namespace gpclust::eval

@@ -1,0 +1,28 @@
+#pragma once
+// Partition statistics (paper Table IV: #groups, #sequences included,
+// largest and average group size) and group-size distributions
+// (Figure 5a: groups per size bin; Figure 5b: sequences per size bin).
+
+#include "core/clustering.hpp"
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
+
+namespace gpclust::eval {
+
+struct PartitionStats {
+  std::size_t num_groups = 0;
+  std::size_t num_sequences = 0;  ///< total members across groups
+  std::size_t largest = 0;
+  util::RunningStats group_size;
+};
+
+PartitionStats partition_stats(const core::Clustering& clustering);
+
+/// Figure 5(a): number of groups per size bin.
+util::BinnedHistogram group_size_histogram(const core::Clustering& clustering);
+
+/// Figure 5(b): number of sequences per group-size bin.
+util::BinnedHistogram sequence_distribution_histogram(
+    const core::Clustering& clustering);
+
+}  // namespace gpclust::eval

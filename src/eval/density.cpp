@@ -1,0 +1,43 @@
+#include "eval/density.hpp"
+
+#include <algorithm>
+
+namespace gpclust::eval {
+
+std::vector<double> cluster_densities(const graph::CsrGraph& g,
+                                      const core::Clustering& clustering) {
+  std::vector<double> out;
+  out.reserve(clustering.num_clusters());
+  for (const auto& cluster : clustering.clusters()) {
+    if (cluster.size() <= 1) {
+      out.push_back(1.0);
+      continue;
+    }
+    // Sorted member list -> binary-search membership per neighbor.
+    std::vector<VertexId> sorted(cluster.begin(), cluster.end());
+    std::sort(sorted.begin(), sorted.end());
+    u64 internal = 0;
+    for (VertexId v : sorted) {
+      GPCLUST_CHECK(v < g.num_vertices(), "cluster member outside graph");
+      for (VertexId w : g.neighbors(v)) {
+        if (w > v && std::binary_search(sorted.begin(), sorted.end(), w)) {
+          ++internal;
+        }
+      }
+    }
+    const u64 possible =
+        static_cast<u64>(sorted.size()) * (sorted.size() - 1) / 2;
+    out.push_back(static_cast<double>(internal) /
+                  static_cast<double>(possible));
+  }
+  return out;
+}
+
+util::RunningStats density_stats(const graph::CsrGraph& g,
+                                 const core::Clustering& clustering) {
+  util::RunningStats stats;
+  for (double d : cluster_densities(g, clustering)) stats.add(d);
+  return stats;
+}
+
+}  // namespace gpclust::eval

@@ -1,0 +1,54 @@
+#include "eval/partition_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace gpclust::eval {
+
+void write_clusters(const core::Clustering& clustering,
+                    const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw ParseError("cannot open cluster file for writing: " + path);
+  out << "# gpclust clusters: " << clustering.num_clusters() << " clusters, "
+      << clustering.num_vertices() << " vertices\n";
+  for (const auto& cluster : clustering.clusters()) {
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      if (i > 0) out << ' ';
+      out << cluster[i];
+    }
+    out << '\n';
+  }
+  if (!out) throw ParseError("write failed: " + path);
+}
+
+core::Clustering read_clusters(const std::string& path,
+                               std::size_t num_vertices) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open cluster file: " + path);
+  std::vector<std::vector<VertexId>> clusters;
+  std::size_t max_id = 0;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::vector<VertexId> cluster;
+    u64 id;
+    while (ss >> id) {
+      cluster.push_back(static_cast<VertexId>(id));
+      max_id = std::max<std::size_t>(max_id, id);
+    }
+    if (!ss.eof()) {
+      throw ParseError("malformed cluster line at " + path + ":" +
+                       std::to_string(lineno));
+    }
+    if (!cluster.empty()) clusters.push_back(std::move(cluster));
+  }
+  const std::size_t n =
+      num_vertices > 0 ? num_vertices
+                       : (clusters.empty() ? 0 : max_id + 1);
+  return core::Clustering(std::move(clusters), n);
+}
+
+}  // namespace gpclust::eval

@@ -1,0 +1,22 @@
+#pragma once
+// Cluster/partition serialization: one cluster per line, members as
+// whitespace-separated vertex ids, '#' comments. Interoperable with the
+// simple formats used by MCL and the GOS cluster dumps.
+
+#include <string>
+
+#include "core/clustering.hpp"
+
+namespace gpclust::eval {
+
+/// Writes one line per cluster ("id id id ..."), preceded by a comment
+/// header with counts.
+void write_clusters(const core::Clustering& clustering,
+                    const std::string& path);
+
+/// Reads a cluster file. `num_vertices` is the universe size (must be
+/// larger than every id in the file); pass 0 to infer max id + 1.
+core::Clustering read_clusters(const std::string& path,
+                               std::size_t num_vertices = 0);
+
+}  // namespace gpclust::eval

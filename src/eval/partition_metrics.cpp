@@ -1,0 +1,66 @@
+#include "eval/partition_metrics.hpp"
+
+#include <unordered_map>
+
+namespace gpclust::eval {
+
+namespace {
+double ratio(u64 num, u64 den) {
+  return den == 0 ? 1.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+u64 choose2(u64 n) { return n * (n - 1) / 2; }
+}  // namespace
+
+double PairConfusion::ppv() const { return ratio(tp, tp + fp); }
+double PairConfusion::npv() const { return ratio(tn, fn + tn); }
+double PairConfusion::specificity() const { return ratio(tn, fp + tn); }
+double PairConfusion::sensitivity() const { return ratio(tp, tp + fn); }
+
+std::vector<u32> labels_with_singletons(const core::Clustering& clustering) {
+  constexpr u32 kUnset = ~0u;
+  std::vector<u32> labels(clustering.num_vertices(), kUnset);
+  u32 next = 0;
+  for (const auto& cluster : clustering.clusters()) {
+    const u32 label = next++;
+    for (VertexId v : cluster) {
+      GPCLUST_CHECK(labels[v] == kUnset,
+                    "labels_with_singletons requires disjoint clusters");
+      labels[v] = label;
+    }
+  }
+  for (auto& l : labels) {
+    if (l == kUnset) l = next++;
+  }
+  return labels;
+}
+
+PairConfusion compare_partitions(const std::vector<u32>& test_labels,
+                                 const std::vector<u32>& benchmark_labels) {
+  GPCLUST_CHECK(test_labels.size() == benchmark_labels.size(),
+                "label vectors must describe the same universe");
+  const u64 n = test_labels.size();
+
+  // Contingency counting: pairs co-clustered in both = sum over joint
+  // (test, bench) cells of C(cell, 2); in test = sum over test clusters of
+  // C(size, 2); likewise for benchmark.
+  std::unordered_map<u64, u64> cell, test_size, bench_size;
+  for (u64 v = 0; v < n; ++v) {
+    ++test_size[test_labels[v]];
+    ++bench_size[benchmark_labels[v]];
+    ++cell[(static_cast<u64>(test_labels[v]) << 32) | benchmark_labels[v]];
+  }
+
+  PairConfusion out;
+  u64 test_pairs = 0, bench_pairs = 0;
+  for (const auto& [label, size] : test_size) test_pairs += choose2(size);
+  for (const auto& [label, size] : bench_size) bench_pairs += choose2(size);
+  for (const auto& [key, size] : cell) out.tp += choose2(size);
+
+  out.fp = test_pairs - out.tp;
+  out.fn = bench_pairs - out.tp;
+  out.tn = choose2(n) - out.tp - out.fp - out.fn;
+  return out;
+}
+
+}  // namespace gpclust::eval

@@ -1,0 +1,39 @@
+#pragma once
+// Pair-counting quality metrics of the paper's §IV-D: every pair of
+// sequences is classified TP/FP/FN/TN by comparing co-membership in the
+// test partition against the benchmark partition, yielding
+// PPV, NPV, specificity and sensitivity (equations 2-5). Computed via
+// contingency counting over cluster intersections — O(n) space/time —
+// never by enumerating the O(n^2) pairs.
+
+#include <vector>
+
+#include "core/clustering.hpp"
+#include "util/common.hpp"
+
+namespace gpclust::eval {
+
+struct PairConfusion {
+  u64 tp = 0;  ///< co-clustered in test and in benchmark
+  u64 fp = 0;  ///< co-clustered in test only
+  u64 fn = 0;  ///< co-clustered in benchmark only
+  u64 tn = 0;  ///< separated in both
+
+  double ppv() const;          ///< TP / (TP + FP), equation (2)
+  double npv() const;          ///< TN / (FN + TN), equation (3)
+  double specificity() const;  ///< TN / (FP + TN), equation (4)
+  double sensitivity() const;  ///< TP / (TP + FN), equation (5)
+};
+
+/// Per-vertex labels where vertices outside any reported cluster behave as
+/// singletons (each gets a unique label). This is how a size-filtered
+/// partition ("clusters of size >= 20 only") is compared over the full
+/// sequence universe.
+std::vector<u32> labels_with_singletons(const core::Clustering& clustering);
+
+/// Classifies all n-choose-2 pairs. Both label vectors must have the same
+/// length (one label per vertex of the universe).
+PairConfusion compare_partitions(const std::vector<u32>& test_labels,
+                                 const std::vector<u32>& benchmark_labels);
+
+}  // namespace gpclust::eval

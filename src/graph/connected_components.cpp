@@ -1,0 +1,68 @@
+#include "graph/connected_components.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/union_find.hpp"
+
+namespace gpclust::graph {
+
+std::vector<u64> ComponentResult::component_sizes() const {
+  std::vector<u64> sizes(num_components, 0);
+  for (u32 label : labels) ++sizes[label];
+  return sizes;
+}
+
+u64 ComponentResult::largest() const {
+  const auto sizes = component_sizes();
+  return sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+}
+
+std::vector<std::vector<VertexId>> ComponentResult::groups() const {
+  std::vector<std::vector<VertexId>> out(num_components);
+  const auto sizes = component_sizes();
+  for (std::size_t c = 0; c < num_components; ++c) out[c].reserve(sizes[c]);
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    out[labels[v]].push_back(static_cast<VertexId>(v));
+  }
+  return out;  // ascending within each group by construction
+}
+
+ComponentResult connected_components(const CsrGraph& g) {
+  constexpr u32 kUnvisited = std::numeric_limits<u32>::max();
+  ComponentResult result;
+  result.labels.assign(g.num_vertices(), kUnvisited);
+
+  std::vector<VertexId> stack;
+  u32 next_label = 0;
+  for (std::size_t start = 0; start < g.num_vertices(); ++start) {
+    if (result.labels[start] != kUnvisited) continue;
+    const u32 label = next_label++;
+    result.labels[start] = label;
+    stack.push_back(static_cast<VertexId>(start));
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (VertexId w : g.neighbors(v)) {
+        if (result.labels[w] == kUnvisited) {
+          result.labels[w] = label;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  result.num_components = next_label;
+  return result;
+}
+
+ComponentResult connected_components(std::size_t num_vertices,
+                                     const std::vector<Edge>& edges) {
+  UnionFind uf(num_vertices);
+  for (const Edge& e : edges) uf.unite(e.u, e.v);
+  ComponentResult result;
+  result.labels = uf.component_labels();
+  result.num_components = uf.num_sets();
+  return result;
+}
+
+}  // namespace gpclust::graph

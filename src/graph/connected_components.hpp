@@ -1,0 +1,36 @@
+#pragma once
+// Connected-component detection. pClust uses CC detection twice: to break
+// the input graph into independent subproblems, and in Phase III to
+// enumerate components of the level-2 shingle graph.
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "util/common.hpp"
+
+namespace gpclust::graph {
+
+struct ComponentResult {
+  /// labels[v] in [0, num_components); vertices share a label iff connected.
+  std::vector<u32> labels;
+  std::size_t num_components = 0;
+
+  /// Vertex count per component label.
+  std::vector<u64> component_sizes() const;
+
+  /// Size of the largest component (0 for an empty graph).
+  u64 largest() const;
+
+  /// Vertex ids grouped by component, each group sorted ascending.
+  std::vector<std::vector<VertexId>> groups() const;
+};
+
+/// Iterative BFS over the CSR graph.
+ComponentResult connected_components(const CsrGraph& g);
+
+/// Union-find over a raw (canonical or not) edge list with an explicit
+/// vertex count; avoids materializing CSR for one-shot CC queries.
+ComponentResult connected_components(std::size_t num_vertices,
+                                     const std::vector<Edge>& edges);
+
+}  // namespace gpclust::graph

@@ -1,0 +1,66 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+
+namespace gpclust::graph {
+
+CsrGraph CsrGraph::from_edge_list(EdgeList edges) {
+  edges.canonicalize();
+  const std::size_t n = edges.num_vertices();
+
+  CsrGraph g;
+  g.num_edges_ = edges.edges().size();
+  g.offsets_.assign(n + 1, 0);
+
+  // Counting pass: each undirected edge contributes to both endpoints.
+  for (const Edge& e : edges.edges()) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) g.offsets_[i] += g.offsets_[i - 1];
+
+  g.adjacency_.resize(g.offsets_[n]);
+  std::vector<u64> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges.edges()) {
+    g.adjacency_[cursor[e.u]++] = e.v;
+    g.adjacency_[cursor[e.v]++] = e.u;
+  }
+  // Edges were sorted by (u,v), so each u's list of v's is already ascending;
+  // but the reverse direction entries interleave, so sort per list.
+  for (std::size_t v = 0; v < n; ++v) {
+    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.adjacency_.begin() +
+                  static_cast<std::ptrdiff_t>(g.offsets_[v + 1]));
+  }
+  return g;
+}
+
+CsrGraph CsrGraph::from_csr(std::vector<u64> offsets,
+                            std::vector<VertexId> adjacency) {
+  GPCLUST_CHECK(!offsets.empty(), "offsets must have at least one entry");
+  GPCLUST_CHECK(offsets.back() == adjacency.size(),
+                "offsets.back() must equal adjacency.size()");
+  GPCLUST_CHECK(std::is_sorted(offsets.begin(), offsets.end()),
+                "offsets must be non-decreasing");
+  CsrGraph g;
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adjacency);
+  g.num_edges_ = g.adjacency_.size() / 2;
+  return g;
+}
+
+bool CsrGraph::has_edge(VertexId u, VertexId v) const {
+  if (u >= num_vertices() || v >= num_vertices()) return false;
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::size_t CsrGraph::num_singletons() const {
+  std::size_t count = 0;
+  for (std::size_t v = 0; v < num_vertices(); ++v) {
+    if (degree(static_cast<VertexId>(v)) == 0) ++count;
+  }
+  return count;
+}
+
+}  // namespace gpclust::graph

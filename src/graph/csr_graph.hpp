@@ -1,0 +1,71 @@
+#pragma once
+// Immutable undirected graph in Compressed Sparse Row form. This is the
+// "adjacency list" representation the Shingling algorithm consumes
+// (paper §III-B: "The graph is made available as an adjacency list").
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "util/common.hpp"
+
+namespace gpclust::graph {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds from an edge list. Duplicate edges and self-loops are removed.
+  /// Each undirected edge appears in both endpoints' adjacency lists; every
+  /// adjacency list is sorted ascending.
+  static CsrGraph from_edge_list(EdgeList edges);
+
+  /// Builds directly from offsets/adjacency (used by the shingle-graph
+  /// aggregation step, where the bipartite structure is already grouped).
+  /// offsets.size() must be num_vertices + 1 and offsets.back() must equal
+  /// adjacency.size().
+  static CsrGraph from_csr(std::vector<u64> offsets,
+                           std::vector<VertexId> adjacency);
+
+  std::size_t num_vertices() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// Number of undirected edges (adjacency.size() / 2 for symmetric graphs).
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Total adjacency entries (= sum of degrees).
+  std::size_t num_adjacency_entries() const { return adjacency_.size(); }
+
+  std::size_t degree(VertexId v) const {
+    return static_cast<std::size_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Neighbors of v, sorted ascending. (Gamma(v) in the paper's notation.)
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  bool has_edge(VertexId u, VertexId v) const;
+
+  const std::vector<u64>& offsets() const { return offsets_; }
+  const std::vector<VertexId>& adjacency() const { return adjacency_; }
+
+  /// Vertices with degree 0 (the paper drops these before clustering).
+  std::size_t num_singletons() const;
+
+  /// Approximate resident bytes of the CSR arrays.
+  std::size_t memory_bytes() const {
+    return offsets_.size() * sizeof(u64) +
+           adjacency_.size() * sizeof(VertexId);
+  }
+
+ private:
+  std::vector<u64> offsets_ = {0};  // size num_vertices + 1
+  std::vector<VertexId> adjacency_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace gpclust::graph

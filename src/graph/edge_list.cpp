@@ -1,0 +1,25 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+
+namespace gpclust::graph {
+
+void EdgeList::add(VertexId u, VertexId v) {
+  if (u == v) return;
+  if (u > v) std::swap(u, v);
+  edges_.push_back({u, v});
+  const std::size_t needed = static_cast<std::size_t>(v) + 1;
+  if (needed > num_vertices_) num_vertices_ = needed;
+}
+
+void EdgeList::canonicalize() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+}
+
+void EdgeList::merge(const EdgeList& other) {
+  edges_.insert(edges_.end(), other.edges_.begin(), other.edges_.end());
+  num_vertices_ = std::max(num_vertices_, other.num_vertices_);
+}
+
+}  // namespace gpclust::graph

@@ -1,0 +1,55 @@
+#pragma once
+// Mutable edge-list builder for undirected similarity graphs. Collects raw
+// (possibly duplicated, possibly self-loop) pairs and canonicalizes them:
+// self-loops dropped, duplicates removed, both directions present exactly
+// once in the derived CSR.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gpclust::graph {
+
+struct Edge {
+  VertexId u;
+  VertexId v;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+class EdgeList {
+ public:
+  EdgeList() = default;
+
+  /// Hint the number of vertices; grows automatically as edges are added.
+  explicit EdgeList(std::size_t num_vertices) : num_vertices_(num_vertices) {}
+
+  /// Records an undirected edge {u, v}. Self-loops are silently dropped.
+  void add(VertexId u, VertexId v);
+
+  void reserve(std::size_t edges) { edges_.reserve(edges); }
+
+  /// Number of vertices = max endpoint seen + 1 (or the constructor hint).
+  std::size_t num_vertices() const { return num_vertices_; }
+
+  /// Raw (canonicalized u<v, possibly duplicated) edge count.
+  std::size_t raw_size() const { return edges_.size(); }
+
+  /// Sorts and deduplicates; after this, edges() is the canonical set of
+  /// undirected edges with u < v.
+  void canonicalize();
+
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Appends all edges of `other` (vertex count becomes the max of both).
+  void merge(const EdgeList& other);
+
+ private:
+  std::vector<Edge> edges_;
+  std::size_t num_vertices_ = 0;
+};
+
+}  // namespace gpclust::graph

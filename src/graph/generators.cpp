@@ -1,0 +1,255 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace gpclust::graph {
+
+namespace {
+
+using util::Xoshiro256;
+
+/// Truncated Pareto sample in [lo, hi].
+std::size_t pareto_size(Xoshiro256& rng, std::size_t lo, std::size_t hi,
+                        double alpha) {
+  const double u = rng.next_double();
+  const double x = static_cast<double>(lo) * std::pow(1.0 - u, -1.0 / alpha);
+  return std::min<std::size_t>(
+      hi, std::max<std::size_t>(lo, static_cast<std::size_t>(x)));
+}
+
+/// Decodes lexicographic pair index in [0, C(k,2)) to (a, b), a < b < k.
+std::pair<u64, u64> decode_pair(u64 idx, u64 k) {
+  // f(a) = number of pairs whose first element is < a = a*(2k-a-1)/2.
+  const double kk = static_cast<double>(k);
+  double a_est = ((2.0 * kk - 1.0) -
+                  std::sqrt((2.0 * kk - 1.0) * (2.0 * kk - 1.0) -
+                            8.0 * static_cast<double>(idx))) /
+                 2.0;
+  u64 a = static_cast<u64>(std::max(0.0, a_est));
+  auto f = [&](u64 x) { return x * (2 * k - x - 1) / 2; };
+  while (a > 0 && f(a) > idx) --a;
+  while (f(a + 1) <= idx) ++a;
+  const u64 b = a + 1 + (idx - f(a));
+  return {a, b};
+}
+
+/// Calls visit(pair_index) for a Bernoulli(p) subset of [0, total) using
+/// geometric skipping — O(expected hits), not O(total).
+template <typename Visit>
+void sample_pairs(Xoshiro256& rng, u64 total, double p, Visit visit) {
+  if (total == 0 || p <= 0.0) return;
+  if (p >= 1.0) {
+    for (u64 i = 0; i < total; ++i) visit(i);
+    return;
+  }
+  const double log1mp = std::log1p(-p);
+  u64 i = 0;
+  for (;;) {
+    const double u = rng.next_double();
+    const double skip = std::floor(std::log1p(-u) / log1mp);
+    if (skip >= static_cast<double>(total - i)) return;
+    i += static_cast<u64>(skip);
+    if (i >= total) return;
+    visit(i);
+    ++i;
+    if (i >= total) return;
+  }
+}
+
+/// O(1) weighted sampling (Walker's alias method).
+class AliasTable {
+ public:
+  explicit AliasTable(const std::vector<double>& weights) {
+    const std::size_t n = weights.size();
+    prob_.resize(n);
+    alias_.resize(n);
+    const double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+    std::vector<double> scaled(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      scaled[i] = weights[i] * static_cast<double>(n) / sum;
+    }
+    std::vector<u32> small, large;
+    for (std::size_t i = 0; i < n; ++i) {
+      (scaled[i] < 1.0 ? small : large).push_back(static_cast<u32>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+      const u32 s = small.back();
+      small.pop_back();
+      const u32 l = large.back();
+      prob_[s] = scaled[s];
+      alias_[s] = l;
+      scaled[l] -= 1.0 - scaled[s];
+      if (scaled[l] < 1.0) {
+        large.pop_back();
+        small.push_back(l);
+      }
+    }
+    for (u32 i : large) prob_[i] = 1.0;
+    for (u32 i : small) prob_[i] = 1.0;
+  }
+
+  std::size_t sample(Xoshiro256& rng) const {
+    const std::size_t i = rng.next_below(prob_.size());
+    return rng.next_double() < prob_[i] ? i : alias_[i];
+  }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<u32> alias_;
+};
+
+}  // namespace
+
+PlantedGraph generate_planted_families(const PlantedFamilyConfig& config) {
+  GPCLUST_CHECK(config.num_families > 0, "need at least one family");
+  GPCLUST_CHECK(config.min_family_size >= 2, "families need >= 2 members");
+  GPCLUST_CHECK(config.min_family_size <= config.max_family_size,
+                "min_family_size must be <= max_family_size");
+  Xoshiro256 rng(config.seed);
+
+  // Draw family sizes and lay the members out over a shuffled id space so
+  // family membership is uncorrelated with vertex id.
+  std::vector<std::size_t> family_sizes(config.num_families);
+  std::size_t family_vertices = 0;
+  for (auto& size : family_sizes) {
+    size = pareto_size(rng, config.min_family_size, config.max_family_size,
+                       config.pareto_alpha);
+    family_vertices += size;
+  }
+  const std::size_t n = family_vertices + config.num_singletons;
+
+  std::vector<VertexId> id_of(n);
+  std::iota(id_of.begin(), id_of.end(), 0u);
+  for (std::size_t i = n; i > 1; --i) {  // Fisher-Yates
+    std::swap(id_of[i - 1], id_of[rng.next_below(i)]);
+  }
+
+  PlantedGraph out;
+  out.num_families = config.num_families;
+  out.family.assign(n, 0);
+  out.superfamily.assign(n, 0);
+
+  const std::size_t fps = std::max<std::size_t>(1, config.families_per_superfamily);
+  out.num_superfamilies = (config.num_families + fps - 1) / fps;
+
+  // members[f] = shuffled vertex ids of family f.
+  std::vector<std::vector<VertexId>> members(config.num_families);
+  {
+    std::size_t next = 0;
+    for (std::size_t f = 0; f < config.num_families; ++f) {
+      members[f].reserve(family_sizes[f]);
+      for (std::size_t i = 0; i < family_sizes[f]; ++i) {
+        const VertexId v = id_of[next++];
+        members[f].push_back(v);
+        out.family[v] = static_cast<u32>(f);
+        out.superfamily[v] = static_cast<u32>(f / fps);
+      }
+    }
+    // Singletons: unique labels beyond the family/superfamily ranges.
+    u32 next_family = static_cast<u32>(config.num_families);
+    u32 next_super = static_cast<u32>(out.num_superfamilies);
+    for (std::size_t i = 0; i < config.num_singletons; ++i) {
+      const VertexId v = id_of[next++];
+      out.family[v] = next_family++;
+      out.superfamily[v] = next_super++;
+    }
+  }
+
+  EdgeList edges(n);
+
+  // Intra-family edges (optionally with per-family density).
+  GPCLUST_CHECK(config.intra_family_edge_prob_min <=
+                    config.intra_family_edge_prob,
+                "intra_family_edge_prob_min must not exceed the max");
+  for (std::size_t f = 0; f < config.num_families; ++f) {
+    const auto& m = members[f];
+    const u64 k = m.size();
+    double p = config.intra_family_edge_prob;
+    if (config.intra_family_edge_prob_min > 0.0) {
+      p = config.intra_family_edge_prob_min +
+          rng.next_double() *
+              (config.intra_family_edge_prob - config.intra_family_edge_prob_min);
+    }
+    sample_pairs(rng, k * (k - 1) / 2, p, [&](u64 idx) {
+      const auto [a, b] = decode_pair(idx, k);
+      edges.add(m[a], m[b]);
+    });
+  }
+
+  // Intra-superfamily (cross-family) edges.
+  if (config.intra_superfamily_edge_prob > 0.0 && fps > 1) {
+    for (std::size_t sf = 0; sf < out.num_superfamilies; ++sf) {
+      const std::size_t f_lo = sf * fps;
+      const std::size_t f_hi = std::min(config.num_families, f_lo + fps);
+      for (std::size_t f1 = f_lo; f1 < f_hi; ++f1) {
+        for (std::size_t f2 = f1 + 1; f2 < f_hi; ++f2) {
+          const u64 cross =
+              static_cast<u64>(members[f1].size()) * members[f2].size();
+          sample_pairs(rng, cross, config.intra_superfamily_edge_prob,
+                       [&](u64 idx) {
+                         edges.add(members[f1][idx / members[f2].size()],
+                                   members[f2][idx % members[f2].size()]);
+                       });
+        }
+      }
+    }
+  }
+
+  // Background noise edges among family vertices (singletons stay isolated).
+  const u64 noise = static_cast<u64>(config.noise_edges_per_vertex *
+                                     static_cast<double>(family_vertices));
+  for (u64 e = 0; e < noise; ++e) {
+    const VertexId u = id_of[rng.next_below(family_vertices)];
+    const VertexId v = id_of[rng.next_below(family_vertices)];
+    edges.add(u, v);
+  }
+
+  out.graph = CsrGraph::from_edge_list(std::move(edges));
+  return out;
+}
+
+CsrGraph generate_erdos_renyi(std::size_t n, double p, u64 seed) {
+  GPCLUST_CHECK(p >= 0.0 && p <= 1.0, "probability out of range");
+  Xoshiro256 rng(seed);
+  EdgeList edges(n);
+  const u64 total = static_cast<u64>(n) * (n - 1) / 2;
+  sample_pairs(rng, total, p, [&](u64 idx) {
+    const auto [a, b] = decode_pair(idx, n);
+    edges.add(static_cast<VertexId>(a), static_cast<VertexId>(b));
+  });
+  return CsrGraph::from_edge_list(std::move(edges));
+}
+
+CsrGraph generate_power_law(std::size_t n, double avg_degree, double alpha,
+                            u64 seed) {
+  GPCLUST_CHECK(n >= 2, "need at least two vertices");
+  Xoshiro256 rng(seed);
+
+  // Pareto expected-degree sequence rescaled to the requested average.
+  std::vector<double> weights(n);
+  double sum = 0.0;
+  for (auto& w : weights) {
+    w = std::pow(1.0 - rng.next_double(), -1.0 / alpha);
+    sum += w;
+  }
+  const double scale = avg_degree * static_cast<double>(n) / sum;
+  for (auto& w : weights) w *= scale;
+
+  // Chung-Lu via weighted endpoint sampling (expected m = n*avg/2 edges).
+  AliasTable table(weights);
+  const u64 m = static_cast<u64>(avg_degree * static_cast<double>(n) / 2.0);
+  EdgeList edges(n);
+  edges.reserve(m);
+  for (u64 e = 0; e < m; ++e) {
+    const auto u = static_cast<VertexId>(table.sample(rng));
+    const auto v = static_cast<VertexId>(table.sample(rng));
+    edges.add(u, v);
+  }
+  return CsrGraph::from_edge_list(std::move(edges));
+}
+
+}  // namespace gpclust::graph

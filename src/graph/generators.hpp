@@ -1,0 +1,74 @@
+#pragma once
+// Synthetic graph generators.
+//
+// The planted-family generator is the data substitute for the GOS homology
+// graphs (see DESIGN.md): it plants a known family partition with dense
+// intra-family connectivity, sparser intra-superfamily connectivity
+// (mimicking the profile-level relationships of the paper's benchmark
+// partition), and background noise edges. The generator returns both the
+// graph and the two levels of ground truth.
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "util/common.hpp"
+
+namespace gpclust::graph {
+
+struct PlantedFamilyConfig {
+  std::size_t num_families = 100;
+  /// Family sizes are drawn from a truncated Pareto distribution, giving the
+  /// heavy-tailed size spectrum seen in Table IV (avg 201, max 20K).
+  std::size_t min_family_size = 4;
+  std::size_t max_family_size = 2000;
+  double pareto_alpha = 1.6;
+
+  /// Probability of an edge between two members of the same family.
+  double intra_family_edge_prob = 0.6;
+
+  /// When positive, each family draws its own edge probability uniformly
+  /// from [intra_family_edge_prob_min, intra_family_edge_prob] — real
+  /// homology graphs mix tight and loose families, which is what makes
+  /// fixed-k linkage baselines fragment the loose ones.
+  double intra_family_edge_prob_min = 0.0;
+
+  /// Families are grouped into superfamilies of this many families each;
+  /// the superfamily labels form the coarser "benchmark" partition.
+  std::size_t families_per_superfamily = 3;
+  /// Probability of an edge between members of different families within
+  /// the same superfamily (profile-level, weaker homology).
+  double intra_superfamily_edge_prob = 0.01;
+
+  /// Expected number of uniformly random background edges per vertex.
+  double noise_edges_per_vertex = 0.05;
+
+  /// Extra isolated vertices appended after the family vertices (the paper's
+  /// input has ~15% singletons which are dropped before clustering).
+  std::size_t num_singletons = 0;
+
+  u64 seed = 42;
+};
+
+struct PlantedGraph {
+  CsrGraph graph;
+  /// family[v]: fine-grained planted family of v; singletons get a unique
+  /// label each (so truth partitions are total).
+  std::vector<u32> family;
+  /// superfamily[v]: coarse "benchmark" label (profile-expanded analog).
+  std::vector<u32> superfamily;
+  std::size_t num_families = 0;
+  std::size_t num_superfamilies = 0;
+};
+
+PlantedGraph generate_planted_families(const PlantedFamilyConfig& config);
+
+/// Erdos-Renyi G(n, p) via geometric edge skipping; p small.
+CsrGraph generate_erdos_renyi(std::size_t n, double p, u64 seed);
+
+/// Chung-Lu graph with Pareto(alpha, min_degree) expected degrees —
+/// the scale-test workload for the large-run bench.
+CsrGraph generate_power_law(std::size_t n, double avg_degree, double alpha,
+                            u64 seed);
+
+}  // namespace gpclust::graph

@@ -1,0 +1,79 @@
+#include "graph/graph_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace gpclust::graph {
+
+namespace {
+constexpr u64 kMagic = 0x67704373725631ULL;  // "gpCsrV1"
+
+void throw_io(const std::string& what, const std::string& path) {
+  throw ParseError(what + ": " + path);
+}
+}  // namespace
+
+void write_edge_list_text(const CsrGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw_io("cannot open for writing", path);
+  out << "# gpclust edge list: " << g.num_vertices() << " vertices, "
+      << g.num_edges() << " edges\n";
+  for (std::size_t u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(static_cast<VertexId>(u))) {
+      if (v > u) out << u << ' ' << v << '\n';
+    }
+  }
+  if (!out) throw_io("write failed", path);
+}
+
+CsrGraph read_edge_list_text(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw_io("cannot open for reading", path);
+  EdgeList edges;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    u64 u, v;
+    if (!(ss >> u >> v)) {
+      throw ParseError("malformed edge at " + path + ":" +
+                       std::to_string(lineno));
+    }
+    edges.add(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return CsrGraph::from_edge_list(std::move(edges));
+}
+
+void write_csr_binary(const CsrGraph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw_io("cannot open for writing", path);
+  const u64 header[3] = {kMagic, g.offsets().size(), g.adjacency().size()};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(g.offsets().data()),
+            static_cast<std::streamsize>(g.offsets().size() * sizeof(u64)));
+  out.write(
+      reinterpret_cast<const char*>(g.adjacency().data()),
+      static_cast<std::streamsize>(g.adjacency().size() * sizeof(VertexId)));
+  if (!out) throw_io("write failed", path);
+}
+
+CsrGraph read_csr_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw_io("cannot open for reading", path);
+  u64 header[3];
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!in || header[0] != kMagic) throw_io("bad magic", path);
+  std::vector<u64> offsets(header[1]);
+  std::vector<VertexId> adjacency(header[2]);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>(offsets.size() * sizeof(u64)));
+  in.read(reinterpret_cast<char*>(adjacency.data()),
+          static_cast<std::streamsize>(adjacency.size() * sizeof(VertexId)));
+  if (!in) throw_io("truncated file", path);
+  return CsrGraph::from_csr(std::move(offsets), std::move(adjacency));
+}
+
+}  // namespace gpclust::graph

@@ -1,0 +1,24 @@
+#pragma once
+// Graph serialization. Two formats:
+//  * text: one "u v" pair per line, '#' comments — interoperable and
+//    human-inspectable (the format pGraph emits).
+//  * binary: magic + counts + raw CSR arrays — used by the large-scale
+//    bench so disk I/O time is measurable but not dominant.
+
+#include <string>
+
+#include "graph/csr_graph.hpp"
+
+namespace gpclust::graph {
+
+/// Writes "u v" lines (canonical u < v). Throws on I/O failure.
+void write_edge_list_text(const CsrGraph& g, const std::string& path);
+
+/// Parses "u v" lines into a graph. Throws ParseError on malformed input.
+CsrGraph read_edge_list_text(const std::string& path);
+
+/// Binary CSR dump/load (little-endian host layout).
+void write_csr_binary(const CsrGraph& g, const std::string& path);
+CsrGraph read_csr_binary(const std::string& path);
+
+}  // namespace gpclust::graph

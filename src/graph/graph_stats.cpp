@@ -1,0 +1,33 @@
+#include "graph/graph_stats.hpp"
+
+#include "graph/connected_components.hpp"
+
+namespace gpclust::graph {
+
+std::string GraphStats::summary() const {
+  return "V=" + std::to_string(num_vertices) +
+         " (non-singleton=" + std::to_string(num_non_singletons) + ")" +
+         " E=" + std::to_string(num_edges) + " deg=" + degree.format(0) +
+         " largestCC=" + std::to_string(largest_cc);
+}
+
+GraphStats compute_graph_stats(const CsrGraph& g) {
+  GraphStats stats;
+  stats.num_vertices = g.num_vertices();
+  stats.num_edges = g.num_edges();
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    const std::size_t d = g.degree(static_cast<VertexId>(v));
+    if (d == 0) continue;
+    ++stats.num_non_singletons;
+    stats.degree.add(static_cast<double>(d));
+  }
+  const auto cc = connected_components(g);
+  stats.largest_cc = cc.largest();
+  // Singletons each form a trivial component; exclude them from the count
+  // the way the paper's analysis does.
+  stats.num_components =
+      cc.num_components - (stats.num_vertices - stats.num_non_singletons);
+  return stats;
+}
+
+}  // namespace gpclust::graph

@@ -1,0 +1,26 @@
+#pragma once
+// Graph statistics matching the paper's Table II: vertex/edge counts,
+// average degree +/- standard deviation, largest connected component.
+
+#include <string>
+
+#include "graph/csr_graph.hpp"
+#include "util/stats.hpp"
+
+namespace gpclust::graph {
+
+struct GraphStats {
+  std::size_t num_vertices = 0;      // all vertices, incl. singletons
+  std::size_t num_non_singletons = 0;
+  std::size_t num_edges = 0;
+  util::RunningStats degree;         // over non-singleton vertices
+  u64 largest_cc = 0;
+  std::size_t num_components = 0;    // among non-singleton vertices
+
+  /// One-line summary, e.g. for logging.
+  std::string summary() const;
+};
+
+GraphStats compute_graph_stats(const CsrGraph& g);
+
+}  // namespace gpclust::graph

@@ -1,0 +1,49 @@
+#include "graph/union_find.hpp"
+
+#include <limits>
+#include <numeric>
+
+namespace gpclust::graph {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), rank_(n, 0), size_(n, 1), num_sets_(n) {
+  GPCLUST_CHECK(n <= std::numeric_limits<u32>::max(),
+                "UnionFind supports up to 2^32-1 elements");
+  std::iota(parent_.begin(), parent_.end(), 0u);
+}
+
+std::size_t UnionFind::find(std::size_t x) {
+  GPCLUST_CHECK(x < parent_.size(), "element out of range");
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::size_t a, std::size_t b) {
+  std::size_t ra = find(a);
+  std::size_t rb = find(b);
+  if (ra == rb) return false;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = static_cast<u32>(ra);
+  size_[ra] += size_[rb];
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --num_sets_;
+  return true;
+}
+
+std::vector<u32> UnionFind::component_labels() {
+  std::vector<u32> labels(parent_.size());
+  constexpr u32 kUnset = std::numeric_limits<u32>::max();
+  std::vector<u32> root_label(parent_.size(), kUnset);
+  u32 next = 0;
+  for (std::size_t i = 0; i < parent_.size(); ++i) {
+    const std::size_t r = find(i);
+    if (root_label[r] == kUnset) root_label[r] = next++;
+    labels[i] = root_label[r];
+  }
+  return labels;
+}
+
+}  // namespace gpclust::graph

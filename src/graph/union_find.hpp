@@ -1,0 +1,44 @@
+#pragma once
+// Disjoint-set forest with union by rank and path halving (Tarjan [21] in
+// the paper). Phase III of the Shingling heuristic unions first- and
+// second-level shingle membership into the final non-overlapping partition.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gpclust::graph {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  std::size_t size() const { return parent_.size(); }
+
+  /// Representative of x's set (with path halving).
+  std::size_t find(std::size_t x);
+
+  /// Merges the sets of a and b; returns true if they were distinct.
+  bool unite(std::size_t a, std::size_t b);
+
+  bool connected(std::size_t a, std::size_t b) { return find(a) == find(b); }
+
+  /// Number of disjoint sets remaining.
+  std::size_t num_sets() const { return num_sets_; }
+
+  /// Size of the set containing x.
+  std::size_t set_size(std::size_t x) { return size_[find(x)]; }
+
+  /// Labels each element with a dense set id in [0, num_sets()); elements in
+  /// the same set share a label.
+  std::vector<u32> component_labels();
+
+ private:
+  std::vector<u32> parent_;
+  std::vector<u32> rank_;
+  std::vector<u32> size_;
+  std::size_t num_sets_;
+};
+
+}  // namespace gpclust::graph

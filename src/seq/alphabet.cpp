@@ -1,0 +1,51 @@
+#include "seq/alphabet.hpp"
+
+#include <cctype>
+
+namespace gpclust::seq {
+
+namespace {
+constexpr u8 kInvalid = 0xff;
+
+constexpr std::array<u8, 256> build_index_table() {
+  std::array<u8, 256> table{};
+  for (auto& entry : table) entry = kInvalid;
+  for (std::size_t i = 0; i < kResidues.size(); ++i) {
+    const char c = kResidues[i];
+    table[static_cast<unsigned char>(c)] = static_cast<u8>(i);
+    if (c >= 'A' && c <= 'Z') {
+      table[static_cast<unsigned char>(c - 'A' + 'a')] = static_cast<u8>(i);
+    }
+  }
+  return table;
+}
+
+constexpr std::array<u8, 256> kIndexTable = build_index_table();
+}  // namespace
+
+u8 residue_index(char c) {
+  const u8 idx = kIndexTable[static_cast<unsigned char>(c)];
+  if (idx == kInvalid) {
+    throw InvalidArgument(std::string("not an amino acid code: '") + c + "'");
+  }
+  return idx;
+}
+
+bool is_standard_residue(char c) {
+  const u8 idx = kIndexTable[static_cast<unsigned char>(c)];
+  return idx < kNumStandardResidues;
+}
+
+char residue_char(u8 index) {
+  GPCLUST_CHECK(index < kNumResidues, "residue index out of range");
+  return kResidues[index];
+}
+
+bool is_valid_protein(std::string_view sequence) {
+  for (char c : sequence) {
+    if (kIndexTable[static_cast<unsigned char>(c)] == kInvalid) return false;
+  }
+  return true;
+}
+
+}  // namespace gpclust::seq

@@ -1,0 +1,30 @@
+#pragma once
+// The 20-letter amino-acid alphabet plus the ambiguity codes used by
+// BLOSUM62 (B, Z, X) and the stop symbol '*'.
+
+#include <array>
+#include <string_view>
+
+#include "util/common.hpp"
+
+namespace gpclust::seq {
+
+/// Canonical residue ordering — matches the NCBI BLOSUM62 row order.
+inline constexpr std::string_view kResidues = "ARNDCQEGHILKMFPSTWYVBZX*";
+inline constexpr std::size_t kNumResidues = 24;
+inline constexpr std::size_t kNumStandardResidues = 20;
+
+/// Residue letter -> index in kResidues; lowercase accepted.
+/// Throws InvalidArgument for characters outside the alphabet.
+u8 residue_index(char c);
+
+/// True for the 20 standard amino acids (not B/Z/X/*).
+bool is_standard_residue(char c);
+
+/// Index -> residue letter.
+char residue_char(u8 index);
+
+/// Validates every character of a putative protein sequence.
+bool is_valid_protein(std::string_view sequence);
+
+}  // namespace gpclust::seq

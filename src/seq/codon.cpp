@@ -1,0 +1,94 @@
+#include "seq/codon.hpp"
+
+#include <array>
+#include <cctype>
+#include <map>
+
+namespace gpclust::seq {
+
+namespace {
+
+int base_index(char base) {
+  switch (std::toupper(static_cast<unsigned char>(base))) {
+    case 'T':
+      return 0;
+    case 'C':
+      return 1;
+    case 'A':
+      return 2;
+    case 'G':
+      return 3;
+    default:
+      return -1;  // N or invalid
+  }
+}
+
+// Standard genetic code in TCAG order: index = b0*16 + b1*4 + b2.
+constexpr char kCode[65] =
+    "FFLLSSSSYY**CC*WLLLLPPPPHHQQRRRRIIIMTTTTNNKKSSRRVVVVAAAADDEEGGGG";
+
+const std::map<char, std::vector<std::string>>& codon_table() {
+  static const std::map<char, std::vector<std::string>> table = [] {
+    std::map<char, std::vector<std::string>> t;
+    constexpr char kBases[4] = {'T', 'C', 'A', 'G'};
+    for (int i = 0; i < 64; ++i) {
+      const std::string codon = {kBases[i / 16], kBases[(i / 4) % 4],
+                                 kBases[i % 4]};
+      t[kCode[i]].push_back(codon);
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+char translate_codon(std::string_view codon) {
+  GPCLUST_CHECK(codon.size() == 3, "codon must have exactly 3 bases");
+  const int b0 = base_index(codon[0]);
+  const int b1 = base_index(codon[1]);
+  const int b2 = base_index(codon[2]);
+  if (b0 < 0 || b1 < 0 || b2 < 0) return 'X';  // ambiguous
+  return kCode[b0 * 16 + b1 * 4 + b2];
+}
+
+std::string translate_frame(std::string_view dna, int frame) {
+  GPCLUST_CHECK(frame >= 0 && frame <= 2, "frame must be 0, 1 or 2");
+  std::string protein;
+  if (dna.size() < static_cast<std::size_t>(frame) + 3) return protein;
+  protein.reserve((dna.size() - frame) / 3);
+  for (std::size_t pos = static_cast<std::size_t>(frame); pos + 3 <= dna.size();
+       pos += 3) {
+    protein.push_back(translate_codon(dna.substr(pos, 3)));
+  }
+  return protein;
+}
+
+const std::vector<std::string>& codons_for(char amino_acid) {
+  const char aa =
+      static_cast<char>(std::toupper(static_cast<unsigned char>(amino_acid)));
+  const auto& table = codon_table();
+  const auto it = table.find(aa);
+  if (it == table.end()) {
+    throw InvalidArgument(std::string("no codon encodes '") + amino_acid +
+                          "'");
+  }
+  return it->second;
+}
+
+std::string back_translate(std::string_view protein, util::Xoshiro256& rng) {
+  std::string dna;
+  dna.reserve(protein.size() * 3);
+  for (char aa : protein) {
+    char effective = aa;
+    if (std::toupper(static_cast<unsigned char>(aa)) == 'X') {
+      // Any non-stop residue stands in for the ambiguity code.
+      effective = "ARNDCQEGHILKMFPSTWYV"[rng.next_below(20)];
+    }
+    const auto& options = codons_for(effective);
+    dna += options[rng.next_below(options.size())];
+  }
+  return dna;
+}
+
+}  // namespace gpclust::seq

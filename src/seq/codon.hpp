@@ -1,0 +1,31 @@
+#pragma once
+// The standard genetic code: codon -> amino acid translation and random
+// synonymous back-translation (used by the synthetic community generator
+// to embed protein families in genomes).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace gpclust::seq {
+
+/// Translates one codon (3 bases, case-insensitive) to an amino acid
+/// letter; stop codons yield '*', any codon containing N yields 'X'.
+char translate_codon(std::string_view codon);
+
+/// Translates a DNA strand in the given reading frame (0, 1 or 2),
+/// dropping the trailing partial codon.
+std::string translate_frame(std::string_view dna, int frame);
+
+/// All codons encoding `amino_acid` (uppercase); '*' gives the three stop
+/// codons. Throws for letters with no codon (B, Z, X).
+const std::vector<std::string>& codons_for(char amino_acid);
+
+/// Back-translates a protein into DNA, choosing uniformly among synonymous
+/// codons. X residues are encoded as a random non-stop codon.
+std::string back_translate(std::string_view protein, util::Xoshiro256& rng);
+
+}  // namespace gpclust::seq

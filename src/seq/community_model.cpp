@@ -1,0 +1,97 @@
+#include "seq/community_model.hpp"
+
+#include <algorithm>
+
+#include "seq/codon.hpp"
+#include "seq/dna.hpp"
+#include "util/rng.hpp"
+
+namespace gpclust::seq {
+
+namespace {
+
+constexpr char kBases[4] = {'A', 'C', 'G', 'T'};
+
+std::string random_dna(util::Xoshiro256& rng, std::size_t length) {
+  std::string out(length, 'A');
+  for (auto& b : out) b = kBases[rng.next_below(4)];
+  return out;
+}
+
+}  // namespace
+
+SyntheticCommunity generate_community(const CommunityConfig& config) {
+  GPCLUST_CHECK(config.num_genomes >= 1, "need at least one genome");
+  GPCLUST_CHECK(config.read_length >= 50, "reads must be at least 50 bp");
+  GPCLUST_CHECK(config.coverage > 0.0, "coverage must be positive");
+  GPCLUST_CHECK(config.intergenic_min <= config.intergenic_max,
+                "intergenic range inverted");
+
+  SyntheticCommunity out;
+  const auto metagenome = generate_metagenome(config.families);
+  out.proteins = metagenome.sequences;
+  out.family = metagenome.family;
+  out.num_families = metagenome.num_families;
+
+  util::Xoshiro256 rng(config.seed ^ 0xC0FFEEULL);
+
+  // Scatter the member proteins over genomes as genes: ATG + coding +
+  // stop codon, separated by random intergenic stretches.
+  std::vector<std::string> genomes(config.num_genomes);
+  for (const auto& protein : out.proteins) {
+    auto& genome = genomes[rng.next_below(config.num_genomes)];
+    const std::size_t span =
+        config.intergenic_max - config.intergenic_min + 1;
+    genome += random_dna(rng, config.intergenic_min + rng.next_below(span));
+    genome += "ATG";
+    genome += back_translate(protein.residues, rng);
+    genome += codons_for('*')[rng.next_below(3)];
+  }
+  for (std::size_t g = 0; g < genomes.size(); ++g) {
+    genomes[g] += random_dna(rng, config.intergenic_min);
+    out.genomes.push_back(
+        {"genome" + std::to_string(g), std::move(genomes[g])});
+  }
+
+  // Shotgun sequencing: total bases * coverage / read_length reads, each a
+  // uniform fragment of a genome chosen proportional to its length.
+  std::size_t total_bases = 0;
+  for (const auto& g : out.genomes) total_bases += g.residues.size();
+  const auto num_reads = static_cast<std::size_t>(
+      config.coverage * static_cast<double>(total_bases) /
+      static_cast<double>(config.read_length));
+
+  std::vector<std::size_t> cumulative;
+  cumulative.reserve(out.genomes.size());
+  std::size_t running = 0;
+  for (const auto& g : out.genomes) {
+    running += g.residues.size();
+    cumulative.push_back(running);
+  }
+
+  out.reads.reserve(num_reads);
+  for (std::size_t r = 0; r < num_reads; ++r) {
+    const std::size_t pick = rng.next_below(total_bases);
+    const std::size_t genome_idx = static_cast<std::size_t>(
+        std::upper_bound(cumulative.begin(), cumulative.end(), pick) -
+        cumulative.begin());
+    const std::string& genome = out.genomes[genome_idx].residues;
+    if (genome.size() < config.read_length) continue;
+    const std::size_t start =
+        rng.next_below(genome.size() - config.read_length + 1);
+    std::string read = genome.substr(start, config.read_length);
+    for (auto& base : read) {
+      if (rng.next_double() < config.read_error_rate) {
+        base = kBases[rng.next_below(4)];
+      }
+    }
+    // Either strand is sequenced with equal probability.
+    if (rng.next_below(2) == 1) {
+      read = reverse_complement(read);
+    }
+    out.reads.push_back({"read" + std::to_string(r), std::move(read)});
+  }
+  return out;
+}
+
+}  // namespace gpclust::seq

@@ -1,0 +1,48 @@
+#pragma once
+// Synthetic microbial community + shotgun sequencing simulator — the front
+// of the paper's pipeline (§I): "DNA material is collected from a target
+// environment ... the shotgun sequencing approach shreds the DNA pool into
+// millions of tiny fragments, each measuring only a few hundred base
+// pairs". Genomes embed the protein families of a FamilyModelConfig as
+// genes (random synonymous back-translation per member), separated by
+// random intergenic DNA; reads are uniform fragments with substitution
+// errors.
+
+#include "seq/family_model.hpp"
+#include "seq/sequence.hpp"
+#include "util/common.hpp"
+
+namespace gpclust::seq {
+
+struct CommunityConfig {
+  /// Protein families embedded as genes across the community's genomes.
+  FamilyModelConfig families;
+
+  std::size_t num_genomes = 10;   ///< members are scattered across these
+  std::size_t intergenic_min = 40;  ///< random bases between genes
+  std::size_t intergenic_max = 200;
+
+  /// Shotgun model: reads of `read_length` bp at `coverage`x depth with
+  /// per-base substitution error rate.
+  std::size_t read_length = 400;
+  double coverage = 3.0;
+  double read_error_rate = 0.002;
+
+  u64 seed = 7;
+};
+
+struct SyntheticCommunity {
+  /// Complete genome sequences (DNA).
+  SequenceSet genomes;
+  /// Shotgun reads (DNA), ids "read<N>".
+  SequenceSet reads;
+  /// The embedded protein-family truth (the generator's output before
+  /// back-translation): sequence i of `proteins` has family `family[i]`.
+  SequenceSet proteins;
+  std::vector<u32> family;
+  std::size_t num_families = 0;
+};
+
+SyntheticCommunity generate_community(const CommunityConfig& config);
+
+}  // namespace gpclust::seq

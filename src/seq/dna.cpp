@@ -1,0 +1,65 @@
+#include "seq/dna.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace gpclust::seq {
+
+namespace {
+char normalize(char base) {
+  return static_cast<char>(std::toupper(static_cast<unsigned char>(base)));
+}
+}  // namespace
+
+bool is_valid_dna(std::string_view dna) {
+  return std::all_of(dna.begin(), dna.end(), [](char c) {
+    switch (normalize(c)) {
+      case 'A':
+      case 'C':
+      case 'G':
+      case 'T':
+      case 'N':
+        return true;
+      default:
+        return false;
+    }
+  });
+}
+
+char complement(char base) {
+  switch (normalize(base)) {
+    case 'A':
+      return 'T';
+    case 'T':
+      return 'A';
+    case 'C':
+      return 'G';
+    case 'G':
+      return 'C';
+    case 'N':
+      return 'N';
+    default:
+      throw InvalidArgument(std::string("not a nucleotide: '") + base + "'");
+  }
+}
+
+std::string reverse_complement(std::string_view dna) {
+  std::string out(dna.size(), 'N');
+  for (std::size_t i = 0; i < dna.size(); ++i) {
+    out[dna.size() - 1 - i] = complement(dna[i]);
+  }
+  return out;
+}
+
+double gc_content(std::string_view dna) {
+  std::size_t gc = 0, known = 0;
+  for (char c : dna) {
+    const char b = normalize(c);
+    if (b == 'N') continue;
+    ++known;
+    if (b == 'G' || b == 'C') ++gc;
+  }
+  return known == 0 ? 0.0 : static_cast<double>(gc) / static_cast<double>(known);
+}
+
+}  // namespace gpclust::seq

@@ -1,0 +1,26 @@
+#pragma once
+// Nucleotide-level utilities. The paper's pipeline (§I) starts from
+// shotgun DNA reads: "The resulting environmental sequence DNA data can be
+// assembled, annotated for genetic regions and subsequently translated
+// into six frames to result in Open Reading Frames (ORFs)".
+
+#include <string>
+#include <string_view>
+
+#include "util/common.hpp"
+
+namespace gpclust::seq {
+
+/// Valid nucleotide codes: A, C, G, T plus the ambiguity code N.
+bool is_valid_dna(std::string_view dna);
+
+/// Watson-Crick complement of one base (N -> N). Throws on invalid input.
+char complement(char base);
+
+/// Reverse complement of a strand.
+std::string reverse_complement(std::string_view dna);
+
+/// GC fraction in [0, 1]; N bases are excluded from the denominator.
+double gc_content(std::string_view dna);
+
+}  // namespace gpclust::seq

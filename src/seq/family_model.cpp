@@ -1,0 +1,119 @@
+#include "seq/family_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "seq/alphabet.hpp"
+#include "util/rng.hpp"
+
+namespace gpclust::seq {
+
+namespace {
+
+using util::Xoshiro256;
+
+char random_residue(Xoshiro256& rng) {
+  return kResidues[rng.next_below(kNumStandardResidues)];
+}
+
+std::string random_protein(Xoshiro256& rng, std::size_t length) {
+  std::string s(length, 'A');
+  for (auto& c : s) c = random_residue(rng);
+  return s;
+}
+
+/// Applies substitutions and short indels to a copy of the ancestor.
+std::string mutate(const std::string& ancestor, double sub_rate,
+                   double indel_rate, Xoshiro256& rng) {
+  std::string out;
+  out.reserve(ancestor.size() + 8);
+  for (char c : ancestor) {
+    const double roll = rng.next_double();
+    if (roll < indel_rate / 2.0) {
+      // Deletion of this residue (skip).
+      continue;
+    }
+    if (roll < indel_rate) {
+      // Insertion of 1-3 random residues before this one.
+      const std::size_t ins = 1 + rng.next_below(3);
+      for (std::size_t i = 0; i < ins; ++i) out.push_back(random_residue(rng));
+    }
+    if (rng.next_double() < sub_rate) {
+      out.push_back(random_residue(rng));
+    } else {
+      out.push_back(c);
+    }
+  }
+  if (out.empty()) out.push_back(random_residue(rng));
+  return out;
+}
+
+/// Observes a contiguous fragment covering >= min_fraction of the copy.
+std::string fragment(const std::string& copy, double min_fraction,
+                     Xoshiro256& rng) {
+  const double fraction =
+      min_fraction + rng.next_double() * (1.0 - min_fraction);
+  const std::size_t len = std::max<std::size_t>(
+      1, static_cast<std::size_t>(fraction * static_cast<double>(copy.size())));
+  const std::size_t start = rng.next_below(copy.size() - len + 1);
+  return copy.substr(start, len);
+}
+
+}  // namespace
+
+SyntheticMetagenome generate_metagenome(const FamilyModelConfig& config) {
+  GPCLUST_CHECK(config.num_families > 0, "need at least one family");
+  GPCLUST_CHECK(config.min_members >= 1, "families need members");
+  GPCLUST_CHECK(config.min_members <= config.max_members,
+                "min_members must be <= max_members");
+  GPCLUST_CHECK(config.min_ancestor_length >= 10,
+                "ancestors must be at least 10 residues");
+  GPCLUST_CHECK(config.min_ancestor_length <= config.max_ancestor_length,
+                "ancestor length range inverted");
+  GPCLUST_CHECK(
+      config.substitution_rate >= 0.0 && config.substitution_rate <= 1.0,
+      "substitution rate out of range");
+  GPCLUST_CHECK(
+      config.fragment_min_fraction > 0.0 && config.fragment_min_fraction <= 1.0,
+      "fragment fraction out of range");
+
+  Xoshiro256 rng(config.seed);
+  SyntheticMetagenome out;
+  out.num_families = config.num_families;
+
+  for (std::size_t f = 0; f < config.num_families; ++f) {
+    const std::size_t span =
+        config.max_ancestor_length - config.min_ancestor_length + 1;
+    const std::string ancestor = random_protein(
+        rng, config.min_ancestor_length + rng.next_below(span));
+
+    // Truncated Pareto member count.
+    const double u = rng.next_double();
+    std::size_t members = static_cast<std::size_t>(
+        static_cast<double>(config.min_members) *
+        std::pow(1.0 - u, -1.0 / config.pareto_alpha));
+    members = std::clamp(members, config.min_members, config.max_members);
+
+    for (std::size_t m = 0; m < members; ++m) {
+      const std::string copy = mutate(ancestor, config.substitution_rate,
+                                      config.indel_rate, rng);
+      ProteinSequence s;
+      s.id = "fam" + std::to_string(f) + "_orf" + std::to_string(m);
+      s.residues = fragment(copy, config.fragment_min_fraction, rng);
+      out.sequences.push_back(std::move(s));
+      out.family.push_back(static_cast<u32>(f));
+    }
+  }
+
+  u32 next_label = static_cast<u32>(config.num_families);
+  for (std::size_t b = 0; b < config.num_background_orfs; ++b) {
+    ProteinSequence s;
+    s.id = "bg_orf" + std::to_string(b);
+    s.residues = random_protein(rng, config.background_length);
+    out.sequences.push_back(std::move(s));
+    out.family.push_back(next_label++);
+  }
+  return out;
+}
+
+}  // namespace gpclust::seq

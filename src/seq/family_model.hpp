@@ -1,0 +1,55 @@
+#pragma once
+// Synthetic metagenome generator — the data substitute for the GOS ORF
+// sets (DESIGN.md §1). Each protein family descends from a random ancestor
+// sequence; members are point-mutated, indel-edited copies observed as
+// partial fragments (shotgun sequencing covers genes only partially, so
+// ORFs are typically truncated). Unrelated background ORFs model the
+// singleton-rich tail of real survey data.
+
+#include <vector>
+
+#include "seq/sequence.hpp"
+#include "util/common.hpp"
+
+namespace gpclust::seq {
+
+struct FamilyModelConfig {
+  std::size_t num_families = 50;
+
+  /// Family sizes from a truncated Pareto (heavy-tailed, like real data).
+  std::size_t min_members = 3;
+  std::size_t max_members = 80;
+  double pareto_alpha = 1.6;
+
+  /// Ancestor lengths, uniform in [min, max] residues. A few hundred bp of
+  /// DNA translates to roughly 70-250 aa, matching survey ORFs.
+  std::size_t min_ancestor_length = 80;
+  std::size_t max_ancestor_length = 250;
+
+  /// Per-residue substitution probability applied to each member copy.
+  double substitution_rate = 0.10;
+  /// Per-residue probability of a 1-3 residue insertion or deletion.
+  double indel_rate = 0.01;
+
+  /// Members are observed as a contiguous fragment covering a uniform
+  /// fraction in [fragment_min_fraction, 1] of the mutated copy.
+  double fragment_min_fraction = 0.6;
+
+  /// Unrelated random ORFs appended after the family members.
+  std::size_t num_background_orfs = 0;
+  std::size_t background_length = 120;
+
+  u64 seed = 1;
+};
+
+struct SyntheticMetagenome {
+  SequenceSet sequences;
+  /// family[i]: planted family of sequences[i]; background ORFs get unique
+  /// labels starting at num_families.
+  std::vector<u32> family;
+  std::size_t num_families = 0;
+};
+
+SyntheticMetagenome generate_metagenome(const FamilyModelConfig& config);
+
+}  // namespace gpclust::seq

@@ -1,0 +1,57 @@
+#include "seq/fasta.hpp"
+
+#include <fstream>
+
+#include "seq/alphabet.hpp"
+
+namespace gpclust::seq {
+
+SequenceSet read_fasta(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open FASTA file: " + path);
+
+  SequenceSet sequences;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      const auto ws = line.find_first_of(" \t");
+      std::string id = line.substr(1, ws == std::string::npos ? ws : ws - 1);
+      if (id.empty()) {
+        throw ParseError("empty FASTA header at " + path + ":" +
+                         std::to_string(lineno));
+      }
+      sequences.push_back({std::move(id), ""});
+      continue;
+    }
+    if (sequences.empty()) {
+      throw ParseError("sequence data before first header at " + path + ":" +
+                       std::to_string(lineno));
+    }
+    if (!is_valid_protein(line)) {
+      throw ParseError("invalid residue at " + path + ":" +
+                       std::to_string(lineno));
+    }
+    sequences.back().residues += line;
+  }
+  return sequences;
+}
+
+void write_fasta(const SequenceSet& sequences, const std::string& path,
+                 std::size_t width) {
+  GPCLUST_CHECK(width >= 1, "line width must be positive");
+  std::ofstream out(path);
+  if (!out) throw ParseError("cannot open FASTA file for writing: " + path);
+  for (const auto& s : sequences) {
+    out << '>' << s.id << '\n';
+    for (std::size_t pos = 0; pos < s.residues.size(); pos += width) {
+      out << s.residues.substr(pos, width) << '\n';
+    }
+  }
+  if (!out) throw ParseError("write failed: " + path);
+}
+
+}  // namespace gpclust::seq

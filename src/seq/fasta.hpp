@@ -1,0 +1,19 @@
+#pragma once
+// FASTA I/O for protein sequence sets.
+
+#include <string>
+
+#include "seq/sequence.hpp"
+
+namespace gpclust::seq {
+
+/// Parses a FASTA file. Header is the text after '>' up to the first
+/// whitespace; sequence lines are concatenated and validated against the
+/// amino-acid alphabet. Throws ParseError on malformed input.
+SequenceSet read_fasta(const std::string& path);
+
+/// Writes sequences wrapped at `width` columns.
+void write_fasta(const SequenceSet& sequences, const std::string& path,
+                 std::size_t width = 70);
+
+}  // namespace gpclust::seq

@@ -1,0 +1,63 @@
+#include "seq/orf_finder.hpp"
+
+#include "seq/codon.hpp"
+#include "seq/dna.hpp"
+
+namespace gpclust::seq {
+
+namespace {
+
+/// Splits a translated frame into maximal stop-free stretches.
+void emit_stretches(const std::string& protein, const std::string& read_id,
+                    int frame, std::size_t min_length,
+                    std::vector<ProteinSequence>& out) {
+  std::size_t start = 0;
+  std::size_t index = 0;
+  for (std::size_t i = 0; i <= protein.size(); ++i) {
+    if (i < protein.size() && protein[i] != '*') continue;
+    const std::size_t len = i - start;
+    if (len >= min_length) {
+      ProteinSequence orf;
+      orf.id = read_id + "_f" + std::to_string(frame) + "_" +
+               std::to_string(index++);
+      orf.residues = protein.substr(start, len);
+      out.push_back(std::move(orf));
+    }
+    start = i + 1;
+  }
+}
+
+}  // namespace
+
+std::vector<ProteinSequence> find_orfs(std::string_view dna,
+                                       const std::string& read_id,
+                                       const OrfFinderConfig& config) {
+  GPCLUST_CHECK(config.min_length >= 1, "min_length must be positive");
+  GPCLUST_CHECK(is_valid_dna(dna), "input is not a DNA sequence");
+
+  std::vector<ProteinSequence> orfs;
+  for (int frame = 0; frame < 3; ++frame) {
+    emit_stretches(translate_frame(dna, frame), read_id, frame,
+                   config.min_length, orfs);
+  }
+  if (config.both_strands) {
+    const std::string rc = reverse_complement(dna);
+    for (int frame = 0; frame < 3; ++frame) {
+      emit_stretches(translate_frame(rc, frame), read_id, frame + 3,
+                     config.min_length, orfs);
+    }
+  }
+  return orfs;
+}
+
+SequenceSet find_orfs(const SequenceSet& dna_reads,
+                      const OrfFinderConfig& config) {
+  SequenceSet orfs;
+  for (const auto& read : dna_reads) {
+    auto read_orfs = find_orfs(read.residues, read.id, config);
+    for (auto& orf : read_orfs) orfs.push_back(std::move(orf));
+  }
+  return orfs;
+}
+
+}  // namespace gpclust::seq

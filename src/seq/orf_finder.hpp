@@ -1,0 +1,30 @@
+#pragma once
+// Six-frame ORF extraction (paper §I): each read/contig is translated in
+// all six reading frames (3 forward + 3 reverse-complement) and maximal
+// stop-free stretches of at least `min_length` residues are reported as
+// putative protein sequences.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "seq/sequence.hpp"
+
+namespace gpclust::seq {
+
+struct OrfFinderConfig {
+  std::size_t min_length = 30;  ///< minimum ORF length, residues
+  bool both_strands = true;     ///< translate the reverse complement too
+};
+
+/// All qualifying ORFs of one DNA sequence. Ids are formed as
+/// "<read_id>_f<frame>_<index>" with frames 0-2 forward, 3-5 reverse.
+std::vector<ProteinSequence> find_orfs(std::string_view dna,
+                                       const std::string& read_id,
+                                       const OrfFinderConfig& config = {});
+
+/// Convenience: ORFs of a whole read set, concatenated in input order.
+SequenceSet find_orfs(const SequenceSet& dna_reads,
+                      const OrfFinderConfig& config = {});
+
+}  // namespace gpclust::seq

@@ -1,0 +1,21 @@
+#pragma once
+// Protein sequence container. The paper uses "proteins", "ORFs" and
+// "sequences" interchangeably; so does this library.
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gpclust::seq {
+
+struct ProteinSequence {
+  std::string id;        ///< FASTA header token (unique within a set)
+  std::string residues;  ///< amino-acid letters, validated on load
+
+  std::size_t length() const { return residues.size(); }
+};
+
+using SequenceSet = std::vector<ProteinSequence>;
+
+}  // namespace gpclust::seq

@@ -1,0 +1,33 @@
+#pragma once
+// Minimal command-line flag parser for the examples and bench drivers.
+// Supports --name=value, --name value, and boolean --flag forms.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gpclust::util {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& name) const { return flags_.count(name) > 0; }
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  i64 get_int(const std::string& name, i64 fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gpclust::util

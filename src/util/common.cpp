@@ -1,0 +1,11 @@
+#include "util/common.hpp"
+
+namespace gpclust::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  throw InvalidArgument(std::string("check failed: ") + expr + " at " + file +
+                        ":" + std::to_string(line) + ": " + msg);
+}
+
+}  // namespace gpclust::detail

@@ -1,0 +1,56 @@
+#pragma once
+// Common small utilities shared by all gpclust modules.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace gpclust {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Vertex identifier in similarity/shingle graphs. 32-bit ids cover the
+/// paper's largest instance (11M vertices); shingle ids use 64 bits.
+using VertexId = u32;
+using ShingleId = u64;
+
+/// Thrown when a precondition on a public API is violated.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when the simulated device runs out of memory or is misused.
+class DeviceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown on malformed input files.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+/// Precondition check that stays on in release builds; use for public API
+/// argument validation where the cost is negligible.
+#define GPCLUST_CHECK(expr, msg)                                      \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::gpclust::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+    }                                                                 \
+  } while (0)
+
+}  // namespace gpclust

@@ -1,0 +1,63 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gpclust::util {
+
+BinnedHistogram::BinnedHistogram(std::vector<u64> edges)
+    : edges_(std::move(edges)) {
+  GPCLUST_CHECK(!edges_.empty(), "histogram needs at least one edge");
+  GPCLUST_CHECK(std::is_sorted(edges_.begin(), edges_.end()) &&
+                    std::adjacent_find(edges_.begin(), edges_.end()) ==
+                        edges_.end(),
+                "histogram edges must be strictly increasing");
+  counts_.assign(edges_.size(), 0);  // last bin is [edges.back(), inf)
+}
+
+BinnedHistogram BinnedHistogram::figure5_bins() {
+  return BinnedHistogram({20, 50, 100, 200, 500, 1000, 2000});
+}
+
+void BinnedHistogram::add(u64 value, u64 weight) {
+  if (value < edges_.front()) {
+    underflow_ += weight;
+    return;
+  }
+  // First edge > value, minus one, is the owning bin.
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+  const std::size_t bin = static_cast<std::size_t>(it - edges_.begin()) - 1;
+  counts_[bin] += weight;
+}
+
+u64 BinnedHistogram::total() const {
+  return std::accumulate(counts_.begin(), counts_.end(), u64{0}) + underflow_;
+}
+
+std::string BinnedHistogram::label(std::size_t bin) const {
+  GPCLUST_CHECK(bin < counts_.size(), "bin out of range");
+  if (bin + 1 == counts_.size()) {
+    return ">=" + std::to_string(edges_[bin]);
+  }
+  return std::to_string(edges_[bin]) + "-" + std::to_string(edges_[bin + 1] - 1);
+}
+
+std::string BinnedHistogram::render(std::size_t width) const {
+  u64 max_count = 1;
+  for (u64 c : counts_) max_count = std::max(max_count, c);
+
+  std::string out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    std::string lbl = label(b);
+    lbl.resize(12, ' ');
+    const std::size_t bar =
+        static_cast<std::size_t>(static_cast<double>(counts_[b]) /
+                                 static_cast<double>(max_count) *
+                                 static_cast<double>(width));
+    out += lbl + "| " + std::string(bar, '#') + " " +
+           std::to_string(counts_[b]) + "\n";
+  }
+  return out;
+}
+
+}  // namespace gpclust::util

@@ -1,0 +1,46 @@
+#pragma once
+// Binned histograms with ASCII bar rendering — used by the Figure 5
+// reproduction benches to print the group-size distributions the paper
+// plots ("20-49", "50-99", ..., ">2000" bins).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gpclust::util {
+
+/// Histogram over explicit right-open bins [edges[i], edges[i+1]).
+/// A final open bin [edges.back(), inf) is always present.
+class BinnedHistogram {
+ public:
+  /// `edges` must be strictly increasing and non-empty.
+  explicit BinnedHistogram(std::vector<u64> edges);
+
+  /// Figure 5's bins: [20,50) [50,100) [100,200) [200,500) [500,1000)
+  /// [1000,2000) [2000,inf).
+  static BinnedHistogram figure5_bins();
+
+  /// Adds `weight` to the bin containing `value`. Values below the first
+  /// edge land in an implicit underflow bin.
+  void add(u64 value, u64 weight = 1);
+
+  std::size_t num_bins() const { return counts_.size(); }
+  u64 count(std::size_t bin) const { return counts_.at(bin); }
+  u64 underflow() const { return underflow_; }
+  u64 total() const;
+
+  /// "20-49", "50-99", ..., ">=2000" labels.
+  std::string label(std::size_t bin) const;
+
+  /// Multi-line ASCII bar chart (one row per bin), bar scaled to `width`.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  std::vector<u64> edges_;
+  std::vector<u64> counts_;
+  u64 underflow_ = 0;
+};
+
+}  // namespace gpclust::util

@@ -1,0 +1,56 @@
+#pragma once
+// Thread-pool merge sort. The shingle-graph gather sort is the dominant
+// CPU-side cost of the pipeline (paper §III-C); on multi-core hosts it
+// parallelizes the way the OpenMP pClust of Rytsareva et al. [18] does.
+// Falls back to std::sort when the pool has a single worker or the input
+// is small.
+
+#include <algorithm>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace gpclust::util {
+
+/// Sorts `data` ascending using up to pool.size() workers. Stable: no.
+template <typename T>
+void parallel_sort(std::vector<T>& data, ThreadPool& pool,
+                   std::size_t min_parallel_size = 1 << 16) {
+  const std::size_t n = data.size();
+  if (pool.size() <= 1 || n < min_parallel_size) {
+    std::sort(data.begin(), data.end());
+    return;
+  }
+
+  // Sort contiguous chunks in parallel, then merge pairwise.
+  const std::size_t num_chunks = std::min<std::size_t>(pool.size(), 64);
+  const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
+  std::vector<std::size_t> bounds = {0};
+  while (bounds.back() < n) {
+    bounds.push_back(std::min(n, bounds.back() + chunk));
+  }
+
+  pool.parallel_for(0, bounds.size() - 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t c = lo; c < hi; ++c) {
+      std::sort(data.begin() + static_cast<std::ptrdiff_t>(bounds[c]),
+                data.begin() + static_cast<std::ptrdiff_t>(bounds[c + 1]));
+    }
+  });
+
+  // Pairwise merge rounds (inplace_merge; sequential across rounds, the
+  // merges within a round are independent but memory-bound anyway).
+  while (bounds.size() > 2) {
+    std::vector<std::size_t> next = {0};
+    for (std::size_t i = 2; i < bounds.size(); i += 2) {
+      std::inplace_merge(
+          data.begin() + static_cast<std::ptrdiff_t>(bounds[i - 2]),
+          data.begin() + static_cast<std::ptrdiff_t>(bounds[i - 1]),
+          data.begin() + static_cast<std::ptrdiff_t>(bounds[i]));
+      next.push_back(bounds[i]);
+    }
+    if (bounds.size() % 2 == 0) next.push_back(bounds.back());
+    bounds = std::move(next);
+  }
+}
+
+}  // namespace gpclust::util

@@ -1,0 +1,60 @@
+#include "util/prime.hpp"
+
+#include <array>
+
+namespace gpclust::util {
+
+u64 mulmod(u64 a, u64 b, u64 m) {
+  return static_cast<u64>(static_cast<__uint128_t>(a) * b % m);
+}
+
+u64 powmod(u64 base, u64 exp, u64 m) {
+  u64 result = 1 % m;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mulmod(result, base, m);
+    base = mulmod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+bool is_prime(u64 n) {
+  if (n < 2) return false;
+  for (u64 p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL,
+                29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  // Deterministic witness set for 64-bit integers (Sinclair, 2011).
+  u64 d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (u64 a : {2ULL, 325ULL, 9375ULL, 28178ULL, 450775ULL, 9780504ULL,
+                1795265022ULL}) {
+    u64 x = powmod(a % n, d, n);
+    if (x == 0 || x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = mulmod(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+u64 next_prime(u64 n) {
+  GPCLUST_CHECK(n <= kMersenne61, "next_prime bound exceeded");
+  if (n <= 2) return 2;
+  u64 candidate = n | 1;  // first odd >= n
+  while (!is_prime(candidate)) candidate += 2;
+  return candidate;
+}
+
+}  // namespace gpclust::util

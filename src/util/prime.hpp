@@ -1,0 +1,26 @@
+#pragma once
+// Prime utilities for the min-wise hash family. The shingling permutation
+// v -> (A*v + B) mod P requires P to be a prime larger than the universe
+// of vertex ids (paper §III-B: "P is a big prime number").
+
+#include "util/common.hpp"
+
+namespace gpclust::util {
+
+/// 2^61 - 1, a Mersenne prime large enough for any vertex/shingle universe
+/// used in this library. Default modulus of the min-wise hash family.
+inline constexpr u64 kMersenne61 = (1ULL << 61) - 1;
+
+/// Deterministic Miller-Rabin, exact for all 64-bit inputs.
+bool is_prime(u64 n);
+
+/// Smallest prime >= n. Requires n <= kMersenne61 (always satisfiable).
+u64 next_prime(u64 n);
+
+/// (a * b) mod m without overflow for m < 2^63.
+u64 mulmod(u64 a, u64 b, u64 m);
+
+/// (base ^ exp) mod m.
+u64 powmod(u64 base, u64 exp, u64 m);
+
+}  // namespace gpclust::util

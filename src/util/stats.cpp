@@ -1,0 +1,31 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gpclust::util {
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(n_ + other.n_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / total;
+  mean_ += delta * static_cast<double>(other.n_) / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::string RunningStats::format(int precision) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f \xC2\xB1 %.*f", precision, mean(),
+                precision, stddev());
+  return buf;
+}
+
+}  // namespace gpclust::util

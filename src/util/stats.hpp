@@ -1,0 +1,49 @@
+#pragma once
+// Streaming statistics accumulators used for graph/cluster reports
+// (Tables II and IV report "avg ± std" columns).
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace gpclust::util {
+
+/// Welford's online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Merge another accumulator (parallel reduction friendly).
+  void merge(const RunningStats& other);
+
+  /// Render as "mean ± std" with the given precision, e.g. "73 ± 153".
+  std::string format(int precision = 0) const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace gpclust::util

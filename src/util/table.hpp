@@ -1,0 +1,27 @@
+#pragma once
+// ASCII table rendering for the bench drivers that regenerate the paper's
+// Tables I-IV.
+
+#include <string>
+#include <vector>
+
+namespace gpclust::util {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column-width alignment and a header separator line.
+  std::string render() const;
+
+  static std::string fmt(double value, int precision = 2);
+  static std::string pct(double fraction, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gpclust::util

@@ -1,0 +1,10 @@
+#include "util/timer.hpp"
+
+namespace gpclust::util {
+
+double MetricsRegistry::get(const std::string& name) const {
+  auto it = totals_.find(name);
+  return it == totals_.end() ? 0.0 : it->second;
+}
+
+}  // namespace gpclust::util

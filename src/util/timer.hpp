@@ -1,0 +1,62 @@
+#pragma once
+// Wall-clock timing and a named-metric registry.
+//
+// The Table I reproduction needs a per-component runtime breakdown
+// (CPU, GPU, Data_c->g, Data_g->c, disk I/O). Real CPU-side work is timed
+// with WallTimer; simulated device work charges modeled seconds into the
+// same registry via SimClock (src/device/sim_clock.hpp).
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace gpclust::util {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named durations (seconds). Not thread-safe; each pipeline
+/// owns one registry.
+class MetricsRegistry {
+ public:
+  void add(const std::string& name, double seconds) { totals_[name] += seconds; }
+  double get(const std::string& name) const;
+  bool has(const std::string& name) const { return totals_.count(name) > 0; }
+  void clear() { totals_.clear(); }
+  const std::map<std::string, double>& all() const { return totals_; }
+
+ private:
+  std::map<std::string, double> totals_;
+};
+
+/// RAII helper: adds the scope's wall time to `registry[name]` on destruction.
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry& registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {}
+  ~ScopedTimer() { registry_.add(name_, timer_.seconds()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricsRegistry& registry_;
+  std::string name_;
+  WallTimer timer_;
+};
+
+}  // namespace gpclust::util

@@ -1,0 +1,51 @@
+#include "align/blosum.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpclust::align {
+namespace {
+
+TEST(Blosum62, KnownEntries) {
+  EXPECT_EQ(blosum62('A', 'A'), 4);
+  EXPECT_EQ(blosum62('W', 'W'), 11);
+  EXPECT_EQ(blosum62('C', 'C'), 9);
+  EXPECT_EQ(blosum62('A', 'R'), -1);
+  EXPECT_EQ(blosum62('W', 'G'), -2);
+  EXPECT_EQ(blosum62('I', 'L'), 2);
+  EXPECT_EQ(blosum62('D', 'E'), 2);
+  EXPECT_EQ(blosum62('*', '*'), 1);
+  EXPECT_EQ(blosum62('A', '*'), -4);
+}
+
+TEST(Blosum62, MatrixIsSymmetric) {
+  for (char a : seq::kResidues) {
+    for (char b : seq::kResidues) {
+      EXPECT_EQ(blosum62(a, b), blosum62(b, a)) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(Blosum62, DiagonalDominates) {
+  // Every standard residue scores at least as well against itself as
+  // against any other residue.
+  for (std::size_t i = 0; i < seq::kNumStandardResidues; ++i) {
+    const char a = seq::kResidues[i];
+    for (std::size_t j = 0; j < seq::kNumStandardResidues; ++j) {
+      if (i == j) continue;
+      EXPECT_GE(blosum62(a, a), blosum62(a, seq::kResidues[j]));
+    }
+  }
+}
+
+TEST(Blosum62, CaseInsensitive) {
+  EXPECT_EQ(blosum62('a', 'a'), 4);
+  EXPECT_EQ(blosum62('w', 'G'), -2);
+}
+
+TEST(Blosum62, InvalidResidueThrows) {
+  EXPECT_THROW(blosum62('J', 'A'), InvalidArgument);
+  EXPECT_THROW(blosum62_by_index(24, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpclust::align

@@ -1,0 +1,125 @@
+#include "align/homology_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "seq/family_model.hpp"
+
+namespace gpclust::align {
+namespace {
+
+TEST(HomologyGraph, ConnectsFamilyMembersNotStrangers) {
+  seq::FamilyModelConfig cfg;
+  cfg.num_families = 6;
+  cfg.min_members = 4;
+  cfg.max_members = 8;
+  cfg.substitution_rate = 0.05;
+  cfg.indel_rate = 0.0;
+  cfg.fragment_min_fraction = 0.9;
+  cfg.num_background_orfs = 10;
+  cfg.seed = 3;
+  const auto mg = seq::generate_metagenome(cfg);
+
+  HomologyGraphConfig hcfg;
+  hcfg.num_threads = 1;
+  HomologyGraphStats stats;
+  const auto g = build_homology_graph(mg.sequences, hcfg, &stats);
+
+  ASSERT_EQ(g.num_vertices(), mg.sequences.size());
+  EXPECT_GT(stats.num_candidate_pairs, 0u);
+  EXPECT_GT(g.num_edges(), 0u);
+
+  // Edges must be overwhelmingly intra-family; background ORFs isolated.
+  std::size_t intra = 0, inter = 0;
+  for (std::size_t u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(static_cast<VertexId>(u))) {
+      if (v <= u) continue;
+      (mg.family[u] == mg.family[v] ? intra : inter) += 1;
+    }
+  }
+  EXPECT_GT(intra, 0u);
+  EXPECT_EQ(inter, 0u);
+
+  // Most family pairs should be recovered at this low divergence.
+  std::size_t family_pairs = 0;
+  for (std::size_t u = 0; u < mg.sequences.size(); ++u) {
+    for (std::size_t v = u + 1; v < mg.sequences.size(); ++v) {
+      if (mg.family[u] == mg.family[v]) ++family_pairs;
+    }
+  }
+  EXPECT_GT(static_cast<double>(intra) / static_cast<double>(family_pairs),
+            0.6);
+}
+
+TEST(HomologyGraph, ThresholdControlsEdgeCount) {
+  seq::FamilyModelConfig cfg;
+  cfg.num_families = 4;
+  cfg.min_members = 5;
+  cfg.max_members = 6;
+  cfg.substitution_rate = 0.15;
+  cfg.seed = 8;
+  const auto mg = seq::generate_metagenome(cfg);
+
+  HomologyGraphConfig loose;
+  loose.num_threads = 1;
+  loose.min_score_per_residue = 0.5;
+  loose.min_score = 20;
+  HomologyGraphConfig strict = loose;
+  strict.min_score_per_residue = 4.0;
+  strict.min_score = 200;
+
+  const auto g_loose = build_homology_graph(mg.sequences, loose);
+  const auto g_strict = build_homology_graph(mg.sequences, strict);
+  EXPECT_GE(g_loose.num_edges(), g_strict.num_edges());
+  EXPECT_GT(g_loose.num_edges(), 0u);
+}
+
+TEST(HomologyGraph, IdentityThresholdPrunesEdges) {
+  seq::FamilyModelConfig cfg;
+  cfg.num_families = 4;
+  cfg.min_members = 5;
+  cfg.max_members = 6;
+  cfg.substitution_rate = 0.25;  // divergent members: moderate identity
+  cfg.seed = 12;
+  const auto mg = seq::generate_metagenome(cfg);
+
+  HomologyGraphConfig loose;
+  loose.num_threads = 1;
+  loose.min_score_per_residue = 0.3;
+  loose.min_score = 15;
+  HomologyGraphConfig strict = loose;
+  strict.min_identity = 0.95;  // members differ by ~25% substitutions
+
+  const auto g_loose = build_homology_graph(mg.sequences, loose);
+  const auto g_strict = build_homology_graph(mg.sequences, strict);
+  EXPECT_GT(g_loose.num_edges(), 0u);
+  EXPECT_LT(g_strict.num_edges(), g_loose.num_edges());
+}
+
+TEST(HomologyGraph, ParallelAndSerialAgree) {
+  seq::FamilyModelConfig cfg;
+  cfg.num_families = 5;
+  cfg.min_members = 4;
+  cfg.max_members = 6;
+  cfg.seed = 21;
+  const auto mg = seq::generate_metagenome(cfg);
+
+  HomologyGraphConfig serial_cfg;
+  serial_cfg.num_threads = 1;
+  HomologyGraphConfig parallel_cfg;
+  parallel_cfg.num_threads = 4;
+
+  const auto a = build_homology_graph(mg.sequences, serial_cfg);
+  const auto b = build_homology_graph(mg.sequences, parallel_cfg);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.adjacency(), b.adjacency());
+  EXPECT_EQ(a.offsets(), b.offsets());
+}
+
+TEST(HomologyGraph, EmptyInput) {
+  const auto g = build_homology_graph({}, {});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace gpclust::align

@@ -1,0 +1,106 @@
+#include "align/kmer_index.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpclust::align {
+namespace {
+
+seq::SequenceSet make_set(std::vector<std::string> residues) {
+  seq::SequenceSet set;
+  for (std::size_t i = 0; i < residues.size(); ++i) {
+    set.push_back({"s" + std::to_string(i), std::move(residues[i])});
+  }
+  return set;
+}
+
+TEST(KmerIndex, FindsSharedKmerPair) {
+  // Two sequences sharing a 12-residue block -> many shared 5-mers.
+  const auto set = make_set({"AAAAAWWHHKKFFRRAAAAA",
+                             "GGGGGWWHHKKFFRRGGGGG",
+                             "CCCCCCCCCCCCCCCC"});
+  KmerIndexConfig cfg;
+  cfg.k = 5;
+  cfg.min_shared_kmers = 2;
+  const auto pairs = find_candidate_pairs(set, cfg);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].a, 0u);
+  EXPECT_EQ(pairs[0].b, 1u);
+  EXPECT_GE(pairs[0].shared_kmers, 2u);
+}
+
+TEST(KmerIndex, NoPairsForDissimilarSequences) {
+  const auto set = make_set({"ACDEFGHIKLMNPQRSTVWY", "YWVTSRQPNMLKIHGFEDCA"});
+  KmerIndexConfig cfg;
+  cfg.k = 5;
+  EXPECT_TRUE(find_candidate_pairs(set, cfg).empty());
+}
+
+TEST(KmerIndex, MinSharedThresholdFilters) {
+  // Exactly one shared 5-mer ("WWHHK").
+  const auto set = make_set({"AAAAAWWHHKAAAAA", "GGGGGWWHHKGGGGG"});
+  KmerIndexConfig cfg;
+  cfg.k = 5;
+  cfg.min_shared_kmers = 1;
+  EXPECT_EQ(find_candidate_pairs(set, cfg).size(), 1u);
+  cfg.min_shared_kmers = 3;
+  EXPECT_TRUE(find_candidate_pairs(set, cfg).empty());
+}
+
+TEST(KmerIndex, RepeatMaskingDropsUbiquitousKmers) {
+  // A k-mer present in every sequence is masked when it exceeds the
+  // occurrence cap, so no pairs are promoted through it.
+  std::vector<std::string> residues(10, "AAAAAWWHHKAAAAA");
+  const auto set = make_set(std::move(residues));
+  KmerIndexConfig cfg;
+  cfg.k = 5;
+  cfg.min_shared_kmers = 1;
+  cfg.max_kmer_occurrences = 5;
+  EXPECT_TRUE(find_candidate_pairs(set, cfg).empty());
+}
+
+TEST(KmerIndex, DuplicateKmersWithinOneSequenceCountOnce) {
+  // "WWHHK" appears twice in each sequence but shared count must be 1.
+  const auto set = make_set({"WWHHKAAAAAWWHHK", "WWHHKGGGGGWWHHK"});
+  KmerIndexConfig cfg;
+  cfg.k = 5;
+  cfg.min_shared_kmers = 1;
+  const auto pairs = find_candidate_pairs(set, cfg);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].shared_kmers, 1u);
+}
+
+TEST(KmerIndex, SequencesShorterThanKIgnored) {
+  const auto set = make_set({"MKV", "MKV"});
+  KmerIndexConfig cfg;
+  cfg.k = 5;
+  EXPECT_TRUE(find_candidate_pairs(set, cfg).empty());
+}
+
+TEST(KmerIndex, PairsAreOrderedAndUnique) {
+  const auto set = make_set({"AAAAAWWHHKKFFRR", "GGGGWWHHKKFFRRG",
+                             "CCCWWHHKKFFRRCC"});
+  KmerIndexConfig cfg;
+  cfg.k = 5;
+  cfg.min_shared_kmers = 1;
+  const auto pairs = find_candidate_pairs(set, cfg);
+  ASSERT_EQ(pairs.size(), 3u);
+  for (const auto& p : pairs) EXPECT_LT(p.a, p.b);
+  EXPECT_TRUE(std::is_sorted(pairs.begin(), pairs.end(),
+                             [](const auto& p, const auto& q) {
+                               return std::pair(p.a, p.b) <
+                                      std::pair(q.a, q.b);
+                             }));
+}
+
+TEST(KmerIndex, Validation) {
+  const auto set = make_set({"MKVLA"});
+  KmerIndexConfig cfg;
+  cfg.k = 1;
+  EXPECT_THROW(find_candidate_pairs(set, cfg), InvalidArgument);
+  cfg = KmerIndexConfig{};
+  cfg.min_shared_kmers = 0;
+  EXPECT_THROW(find_candidate_pairs(set, cfg), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpclust::align

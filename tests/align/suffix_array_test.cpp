@@ -1,0 +1,168 @@
+#include "align/suffix_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace gpclust::align {
+namespace {
+
+TEST(SuffixArray, BananaReference) {
+  const auto sa = SuffixArray::build("banana");
+  // Suffixes sorted: a(5) ana(3) anana(1) banana(0) na(4) nana(2).
+  EXPECT_EQ(sa.sa(), (std::vector<u32>{5, 3, 1, 0, 4, 2}));
+  // LCPs:             -   1      3        0         0     2
+  EXPECT_EQ(sa.lcp(), (std::vector<u32>{0, 1, 3, 0, 0, 2}));
+}
+
+TEST(SuffixArray, EmptyAndSingle) {
+  const auto empty = SuffixArray::build("");
+  EXPECT_TRUE(empty.sa().empty());
+  const auto one = SuffixArray::build("x");
+  EXPECT_EQ(one.sa(), (std::vector<u32>{0}));
+}
+
+TEST(SuffixArray, MatchesNaiveConstructionOnRandomStrings) {
+  util::Xoshiro256 rng(77);
+  for (int iter = 0; iter < 25; ++iter) {
+    const std::size_t n = 1 + rng.next_below(300);
+    std::string s(n, 'a');
+    for (auto& c : s) c = static_cast<char>('a' + rng.next_below(4));
+
+    const auto sa = SuffixArray::build(s);
+    std::vector<u32> naive(n);
+    std::iota(naive.begin(), naive.end(), 0u);
+    std::sort(naive.begin(), naive.end(), [&](u32 a, u32 b) {
+      return s.substr(a) < s.substr(b);
+    });
+    EXPECT_EQ(sa.sa(), naive);
+
+    // LCP check against direct computation.
+    for (std::size_t r = 1; r < n; ++r) {
+      const std::string_view sv(s);
+      const auto a = sv.substr(sa.sa()[r - 1]);
+      const auto b = sv.substr(sa.sa()[r]);
+      u32 expected = 0;
+      while (expected < a.size() && expected < b.size() &&
+             a[expected] == b[expected]) {
+        ++expected;
+      }
+      EXPECT_EQ(sa.lcp()[r], expected);
+    }
+  }
+}
+
+TEST(SuffixArray, RankIsInverseOfSa) {
+  const auto sa = SuffixArray::build("mississippi");
+  for (std::size_t r = 0; r < sa.sa().size(); ++r) {
+    EXPECT_EQ(sa.rank()[sa.sa()[r]], r);
+  }
+}
+
+seq::SequenceSet make_set(std::vector<std::string> residues) {
+  seq::SequenceSet set;
+  for (std::size_t i = 0; i < residues.size(); ++i) {
+    set.push_back({"s" + std::to_string(i), std::move(residues[i])});
+  }
+  return set;
+}
+
+TEST(MaximalMatchPairs, FindsSharedSubstring) {
+  const auto set = make_set({"AAAAAWWHHKKFFRRAAAAA",
+                             "GGGGGWWHHKKFFRRGGGGG",
+                             "CCCCCCCCCCCCCCCC"});
+  MaximalMatchConfig cfg;
+  cfg.min_match_length = 10;  // "WWHHKKFFRR"
+  const auto pairs = find_candidate_pairs_suffix_array(set, cfg);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].a, 0u);
+  EXPECT_EQ(pairs[0].b, 1u);
+  EXPECT_GE(pairs[0].shared_kmers, 10u);  // match length
+}
+
+TEST(MaximalMatchPairs, MatchLengthThresholdRespected) {
+  const auto set = make_set({"AAAAAWWHHKAAAAA", "GGGGGWWHHKGGGGG"});
+  MaximalMatchConfig cfg;
+  cfg.min_match_length = 5;  // "WWHHK" qualifies
+  EXPECT_EQ(find_candidate_pairs_suffix_array(set, cfg).size(), 1u);
+  cfg.min_match_length = 6;  // no 6-residue shared match
+  EXPECT_TRUE(find_candidate_pairs_suffix_array(set, cfg).empty());
+}
+
+TEST(MaximalMatchPairs, MatchesNeverSpanSequenceBoundary) {
+  // s0 ends with "WWW" and s1 starts with "HHH": the concatenation contains
+  // "WWWHHH" only across the separator — must not count.
+  const auto set = make_set({"KKKKKWWW", "HHHKKKKK", "RRRWWWHHHRRR"});
+  MaximalMatchConfig cfg;
+  cfg.min_match_length = 6;
+  const auto pairs = find_candidate_pairs_suffix_array(set, cfg);
+  for (const auto& p : pairs) {
+    EXPECT_FALSE(p.a == 0 && p.b == 1) << "boundary-spanning match leaked";
+  }
+}
+
+TEST(MaximalMatchPairs, RunCapSkipsUbiquitousMatches) {
+  std::vector<std::string> residues(10, "AAAAAWWHHKKAAAAA");
+  const auto set = make_set(std::move(residues));
+  MaximalMatchConfig cfg;
+  cfg.min_match_length = 5;
+  cfg.max_run_sequences = 4;
+  EXPECT_TRUE(find_candidate_pairs_suffix_array(set, cfg).empty());
+}
+
+TEST(MaximalMatchPairs, AgreesWithBruteForceOnRandomSets) {
+  util::Xoshiro256 rng(12);
+  for (int iter = 0; iter < 10; ++iter) {
+    // Random sequences with occasional shared blocks.
+    std::vector<std::string> residues;
+    const std::string block = "WWHHKKFFRRYY";
+    for (int i = 0; i < 8; ++i) {
+      std::string s;
+      for (int j = 0; j < 30; ++j) {
+        s += static_cast<char>('A' + rng.next_below(4));  // A C D E... use ACDE
+      }
+      if (rng.next_below(2) == 1) {
+        const std::size_t pos = rng.next_below(s.size());
+        s.insert(pos, block);
+      }
+      residues.push_back(s);
+    }
+    const auto set = make_set(std::move(residues));
+    MaximalMatchConfig cfg;
+    cfg.min_match_length = 12;
+
+    const auto pairs = find_candidate_pairs_suffix_array(set, cfg);
+    // Brute force: longest common substring >= 12?
+    auto has_long_match = [&](const std::string& a, const std::string& b) {
+      for (std::size_t i = 0; i + 12 <= a.size(); ++i) {
+        if (b.find(a.substr(i, 12)) != std::string::npos) return true;
+      }
+      return false;
+    };
+    std::set<std::pair<u32, u32>> expected;
+    for (u32 a = 0; a < set.size(); ++a) {
+      for (u32 b = a + 1; b < set.size(); ++b) {
+        if (has_long_match(set[a].residues, set[b].residues)) {
+          expected.insert({a, b});
+        }
+      }
+    }
+    std::set<std::pair<u32, u32>> actual;
+    for (const auto& p : pairs) actual.insert({p.a, p.b});
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST(MaximalMatchPairs, Validation) {
+  const auto set = make_set({"MKVLA"});
+  MaximalMatchConfig cfg;
+  cfg.min_match_length = 1;
+  EXPECT_THROW(find_candidate_pairs_suffix_array(set, cfg), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpclust::align

@@ -1,0 +1,93 @@
+#include "baseline/gos_kneighbor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/connected_components.hpp"
+#include "graph/generators.hpp"
+
+namespace gpclust::baseline {
+namespace {
+
+graph::CsrGraph clique(std::size_t n, std::size_t extra_isolated = 0) {
+  graph::EdgeList e(n + extra_isolated);
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = i + 1; j < n; ++j) e.add(i, j);
+  }
+  return graph::CsrGraph::from_edge_list(std::move(e));
+}
+
+TEST(GosKNeighbor, CliqueWithEnoughSharedNeighborsClusters) {
+  // In a 12-clique every adjacent pair shares 10 open + 2 closed = 12.
+  const auto g = clique(12);
+  GosKNeighborParams p;
+  p.k = 10;
+  const auto c = gos_kneighbor_cluster(g, p);
+  EXPECT_TRUE(c.is_partition());
+  EXPECT_EQ(c.num_clusters(), 1u);
+}
+
+TEST(GosKNeighbor, SmallCliqueFallsBelowK) {
+  // In a 6-clique adjacent pairs share 4 open + 2 closed = 6 < 10.
+  const auto g = clique(6);
+  GosKNeighborParams p;
+  p.k = 10;
+  const auto c = gos_kneighbor_cluster(g, p);
+  EXPECT_EQ(c.num_clusters(), 6u);  // all singletons
+}
+
+TEST(GosKNeighbor, OpenNeighborhoodVariant) {
+  const auto g = clique(12);
+  GosKNeighborParams p;
+  p.k = 10;
+  p.closed_neighborhood = false;  // adjacent pairs share exactly 10
+  EXPECT_EQ(gos_kneighbor_cluster(g, p).num_clusters(), 1u);
+  p.k = 11;
+  EXPECT_EQ(gos_kneighbor_cluster(g, p).num_clusters(), 12u);
+}
+
+TEST(GosKNeighbor, ChainsLooselyBridgedCliques) {
+  // Two 12-cliques sharing 11 bridge vertices... simpler: two cliques
+  // joined by enough common members get chained into one cluster — the
+  // fixed-k failure mode the paper criticizes.
+  graph::EdgeList e;
+  // Clique A: 0..11; clique B: 6..17 (overlap 6..11).
+  for (VertexId i = 0; i < 12; ++i) {
+    for (VertexId j = i + 1; j < 12; ++j) e.add(i, j);
+  }
+  for (VertexId i = 6; i < 18; ++i) {
+    for (VertexId j = i + 1; j < 18; ++j) e.add(i, j);
+  }
+  const auto g = graph::CsrGraph::from_edge_list(std::move(e));
+  GosKNeighborParams p;
+  p.k = 10;
+  const auto c = gos_kneighbor_cluster(g, p);
+  EXPECT_EQ(c.num_clusters(), 1u) << "overlapping cliques chain together";
+}
+
+TEST(GosKNeighbor, SingletonsReported) {
+  const auto g = clique(12, 3);
+  GosKNeighborParams p;
+  p.k = 10;
+  const auto c = gos_kneighbor_cluster(g, p);
+  EXPECT_EQ(c.num_clusters(), 4u);  // clique + 3 singletons
+  EXPECT_TRUE(c.is_partition());
+}
+
+TEST(GosKNeighbor, KOneWithClosedNeighborhoodIsSingleLinkage) {
+  const auto g = graph::generate_erdos_renyi(100, 0.03, 5);
+  GosKNeighborParams p;
+  p.k = 1;  // any edge qualifies (closed neighborhood >= 2)
+  const auto c = gos_kneighbor_cluster(g, p);
+  const auto cc = graph::connected_components(g);
+  EXPECT_EQ(c.num_clusters(), cc.num_components);
+}
+
+TEST(GosKNeighbor, Validation) {
+  const auto g = clique(4);
+  GosKNeighborParams p;
+  p.k = 0;
+  EXPECT_THROW(gos_kneighbor_cluster(g, p), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpclust::baseline

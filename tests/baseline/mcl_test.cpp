@@ -1,0 +1,121 @@
+#include "baseline/mcl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eval/partition_metrics.hpp"
+#include "graph/generators.hpp"
+
+namespace gpclust::baseline {
+namespace {
+
+TEST(Mcl, SeparatesTwoCliques) {
+  graph::EdgeList e;
+  for (VertexId i = 0; i < 8; ++i) {
+    for (VertexId j = i + 1; j < 8; ++j) {
+      e.add(i, j);
+      e.add(i + 8, j + 8);
+    }
+  }
+  const auto g = graph::CsrGraph::from_edge_list(std::move(e));
+  MclStats stats;
+  const auto c = mcl_cluster(g, {}, &stats);
+  EXPECT_TRUE(c.is_partition());
+  EXPECT_EQ(c.num_clusters(), 2u);
+  EXPECT_TRUE(stats.converged);
+  const auto labels = c.labels();
+  for (VertexId i = 1; i < 8; ++i) {
+    EXPECT_EQ(labels[0], labels[i]);
+    EXPECT_EQ(labels[8], labels[8 + i]);
+  }
+  EXPECT_NE(labels[0], labels[8]);
+}
+
+TEST(Mcl, SplitsBridgedCliques) {
+  // Two 10-cliques joined by a single edge: MCL's inflation cuts the
+  // bridge (single-linkage would not).
+  graph::EdgeList e;
+  for (VertexId i = 0; i < 10; ++i) {
+    for (VertexId j = i + 1; j < 10; ++j) {
+      e.add(i, j);
+      e.add(i + 10, j + 10);
+    }
+  }
+  e.add(0, 10);
+  const auto g = graph::CsrGraph::from_edge_list(std::move(e));
+  const auto c = mcl_cluster(g);
+  EXPECT_EQ(c.num_clusters(), 2u);
+}
+
+TEST(Mcl, IsolatedVerticesAreSingletons) {
+  graph::EdgeList e(6);
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(0, 2);
+  const auto g = graph::CsrGraph::from_edge_list(std::move(e));
+  const auto c = mcl_cluster(g);
+  EXPECT_TRUE(c.is_partition());
+  EXPECT_EQ(c.num_clusters(), 4u);  // triangle + three singletons
+}
+
+TEST(Mcl, HigherInflationGivesFinerClusters) {
+  graph::PlantedFamilyConfig cfg;
+  cfg.num_families = 6;
+  cfg.min_family_size = 10;
+  cfg.max_family_size = 20;
+  cfg.intra_family_edge_prob = 0.5;
+  cfg.intra_superfamily_edge_prob = 0.05;
+  cfg.seed = 3;
+  const auto pg = graph::generate_planted_families(cfg);
+
+  MclParams coarse;
+  coarse.inflation = 1.4;
+  MclParams fine;
+  fine.inflation = 4.0;
+  const auto c_coarse = mcl_cluster(pg.graph, coarse);
+  const auto c_fine = mcl_cluster(pg.graph, fine);
+  EXPECT_LE(c_coarse.num_clusters(), c_fine.num_clusters());
+}
+
+TEST(Mcl, RecoversPlantedFamilies) {
+  graph::PlantedFamilyConfig cfg;
+  cfg.num_families = 8;
+  cfg.min_family_size = 12;
+  cfg.max_family_size = 25;
+  cfg.intra_family_edge_prob = 0.8;
+  cfg.intra_superfamily_edge_prob = 0.0;
+  cfg.noise_edges_per_vertex = 0.0;
+  cfg.seed = 9;
+  const auto pg = graph::generate_planted_families(cfg);
+  const auto c = mcl_cluster(pg.graph);
+  const auto conf = eval::compare_partitions(
+      eval::labels_with_singletons(c.filtered(2)), pg.family);
+  EXPECT_GT(conf.ppv(), 0.95);
+  EXPECT_GT(conf.sensitivity(), 0.8);
+}
+
+TEST(Mcl, Validation) {
+  const auto g = graph::generate_erdos_renyi(10, 0.5, 1);
+  MclParams params;
+  params.inflation = 1.0;
+  EXPECT_THROW(mcl_cluster(g, params), InvalidArgument);
+  params = MclParams{};
+  params.max_column_entries = 0;
+  EXPECT_THROW(mcl_cluster(g, params), InvalidArgument);
+}
+
+TEST(Mcl, EmptyGraph) {
+  const graph::CsrGraph g;
+  EXPECT_EQ(mcl_cluster(g).num_clusters(), 0u);
+}
+
+TEST(Mcl, DeterministicAcrossRuns) {
+  const auto g = graph::generate_erdos_renyi(100, 0.08, 17);
+  auto a = mcl_cluster(g);
+  auto b = mcl_cluster(g);
+  a.normalize();
+  b.normalize();
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+}  // namespace
+}  // namespace gpclust::baseline

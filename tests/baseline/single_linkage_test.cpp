@@ -1,0 +1,45 @@
+#include "baseline/single_linkage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace gpclust::baseline {
+namespace {
+
+TEST(SingleLinkage, ClustersAreConnectedComponents) {
+  graph::EdgeList e(7);
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(4, 5);
+  const auto g = graph::CsrGraph::from_edge_list(std::move(e));
+  const auto c = single_linkage_cluster(g);
+  EXPECT_TRUE(c.is_partition());
+  EXPECT_EQ(c.num_clusters(), 4u);  // {0,1,2}, {4,5}, {3}, {6}
+  const auto labels = c.labels();
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_EQ(labels[4], labels[5]);
+  EXPECT_NE(labels[0], labels[4]);
+}
+
+TEST(SingleLinkage, SingleEdgeChainsEverything) {
+  // The known failure mode: one noise edge merges two families.
+  graph::EdgeList e;
+  for (VertexId i = 0; i < 5; ++i) {
+    for (VertexId j = i + 1; j < 5; ++j) {
+      e.add(i, j);
+      e.add(i + 5, j + 5);
+    }
+  }
+  e.add(0, 5);  // single bridge
+  const auto g = graph::CsrGraph::from_edge_list(std::move(e));
+  EXPECT_EQ(single_linkage_cluster(g).num_clusters(), 1u);
+}
+
+TEST(SingleLinkage, EmptyGraph) {
+  const graph::CsrGraph g;
+  EXPECT_EQ(single_linkage_cluster(g).num_clusters(), 0u);
+}
+
+}  // namespace
+}  // namespace gpclust::baseline

@@ -1,0 +1,124 @@
+#include "core/batching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace gpclust::core {
+namespace {
+
+TEST(PlanBatches, SingleBatchWhenEverythingFits) {
+  // Lists of length 3, 2, 4.
+  const std::vector<u64> offsets = {0, 3, 5, 9};
+  const auto plan = plan_batches(offsets, 2, 100);
+  ASSERT_EQ(plan.batches.size(), 1u);
+  const auto& b = plan.batches[0];
+  EXPECT_EQ(b.num_segments(), 3u);
+  EXPECT_EQ(b.num_elements(), 9u);
+  EXPECT_FALSE(b.has_split());
+  EXPECT_EQ(plan.num_split_lists(), 0u);
+}
+
+TEST(PlanBatches, SkipsListsShorterThanS) {
+  const std::vector<u64> offsets = {0, 1, 4, 5, 8};  // lengths 1,3,1,3
+  const auto plan = plan_batches(offsets, 2, 100);
+  ASSERT_EQ(plan.batches.size(), 1u);
+  const auto& b = plan.batches[0];
+  ASSERT_EQ(b.num_segments(), 2u);
+  EXPECT_EQ(b.seg_list_ids[0], 1u);
+  EXPECT_EQ(b.seg_list_ids[1], 3u);
+  EXPECT_EQ(b.num_elements(), 6u);
+}
+
+TEST(PlanBatches, SplitsLongListAcrossBatches) {
+  const std::vector<u64> offsets = {0, 10};  // one list of length 10
+  const auto plan = plan_batches(offsets, 2, 4);
+  ASSERT_EQ(plan.batches.size(), 3u);  // 4 + 4 + 2
+  EXPECT_EQ(plan.num_split_lists(), 1u);
+  EXPECT_TRUE(plan.batches[0].has_split());
+  EXPECT_EQ(plan.batches[0].seg_starts_list[0], 1);
+  EXPECT_EQ(plan.batches[0].seg_ends_list[0], 0);
+  EXPECT_EQ(plan.batches[1].seg_starts_list[0], 0);
+  EXPECT_EQ(plan.batches[1].seg_ends_list[0], 0);
+  EXPECT_EQ(plan.batches[2].seg_starts_list[0], 0);
+  EXPECT_EQ(plan.batches[2].seg_ends_list[0], 1);
+  EXPECT_EQ(plan.total_elements(), 10u);
+}
+
+TEST(PlanBatches, PacksMultipleListsPerBatch) {
+  const std::vector<u64> offsets = {0, 2, 4, 6, 8};
+  const auto plan = plan_batches(offsets, 2, 4);
+  ASSERT_EQ(plan.batches.size(), 2u);
+  EXPECT_EQ(plan.batches[0].num_segments(), 2u);
+  EXPECT_EQ(plan.batches[1].num_segments(), 2u);
+  EXPECT_EQ(plan.num_split_lists(), 0u);
+}
+
+TEST(PlanBatches, BoundaryStraddlingListIsSplit) {
+  const std::vector<u64> offsets = {0, 3, 6};  // two lists of 3, capacity 4
+  const auto plan = plan_batches(offsets, 2, 4);
+  ASSERT_EQ(plan.batches.size(), 2u);
+  // Batch 0: list 0 complete (3) + first element of list 1.
+  EXPECT_EQ(plan.batches[0].num_segments(), 2u);
+  EXPECT_EQ(plan.batches[0].seg_ends_list[1], 0);
+  EXPECT_EQ(plan.batches[1].seg_starts_list[0], 0);
+  EXPECT_EQ(plan.num_split_lists(), 1u);
+}
+
+TEST(PlanBatches, EveryElementCoveredExactlyOnce) {
+  util::Xoshiro256 rng(3);
+  std::vector<u64> offsets = {0};
+  for (int i = 0; i < 100; ++i) {
+    offsets.push_back(offsets.back() + rng.next_below(30));
+  }
+  const u32 s = 2;
+  const auto plan = plan_batches(offsets, s, 17);
+
+  std::vector<int> covered(offsets.back(), 0);
+  for (const auto& b : plan.batches) {
+    for (std::size_t seg = 0; seg < b.num_segments(); ++seg) {
+      const u64 len = b.seg_offsets[seg + 1] - b.seg_offsets[seg];
+      EXPECT_LE(b.num_elements(), 17u);
+      for (u64 k = 0; k < len; ++k) ++covered[b.seg_global_begin[seg] + k];
+    }
+  }
+  for (std::size_t i = 0; i + 1 < offsets.size(); ++i) {
+    const u64 len = offsets[i + 1] - offsets[i];
+    const int expected = len >= s ? 1 : 0;
+    for (u64 pos = offsets[i]; pos < offsets[i + 1]; ++pos) {
+      EXPECT_EQ(covered[pos], expected) << "position " << pos;
+    }
+  }
+}
+
+TEST(PlanBatches, StageGathersCorrectValues) {
+  const std::vector<u64> offsets = {0, 1, 4, 7};  // skip list 0 (len 1 < 2)
+  const std::vector<u32> members = {9, 10, 11, 12, 20, 21, 22};
+  const auto plan = plan_batches(offsets, 2, 100);
+  std::vector<u32> staging;
+  plan.batches[0].stage(members, staging);
+  EXPECT_EQ(staging, (std::vector<u32>{10, 11, 12, 20, 21, 22}));
+}
+
+TEST(PlanBatches, EmptyInput) {
+  const std::vector<u64> offsets = {0};
+  const auto plan = plan_batches(offsets, 2, 10);
+  EXPECT_TRUE(plan.batches.empty());
+}
+
+TEST(PlanBatches, AllListsTooShort) {
+  const std::vector<u64> offsets = {0, 1, 2, 3};
+  const auto plan = plan_batches(offsets, 5, 10);
+  EXPECT_TRUE(plan.batches.empty());
+}
+
+TEST(PlanBatches, Validation) {
+  EXPECT_THROW(plan_batches(std::span<const u64>{}, 2, 10), InvalidArgument);
+  const std::vector<u64> offsets = {0, 2};
+  EXPECT_THROW(plan_batches(offsets, 2, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpclust::core

@@ -1,0 +1,96 @@
+#include "core/cluster_report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpclust::core {
+namespace {
+
+// Helper: build a bipartite shingle graph from explicit lists.
+BipartiteShingleGraph make_graph(std::vector<std::vector<u32>> lists) {
+  BipartiteShingleGraph g;
+  g.offsets.push_back(0);
+  for (auto& l : lists) {
+    g.members.insert(g.members.end(), l.begin(), l.end());
+    g.offsets.push_back(g.members.size());
+  }
+  return g;
+}
+
+TEST(ReportDenseSubgraphs, PartitionUnionsComponentVertices) {
+  // G_I: shingle 0 -> {0,1}, shingle 1 -> {1,2}, shingle 2 -> {5,6}.
+  const auto gi = make_graph({{0, 1}, {1, 2}, {5, 6}});
+  // G_II: one second-level shingle connecting S1 nodes 0 and 1; another
+  // containing only node 2.
+  const auto gii = make_graph({{0, 1}, {2}});
+  const auto c = report_dense_subgraphs(gi, gii, 8, ReportMode::Partition);
+  EXPECT_TRUE(c.is_partition());
+  const auto labels = c.labels();
+  // {0,1,2} unioned through the first component.
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  // {5,6} unioned through the second.
+  EXPECT_EQ(labels[5], labels[6]);
+  EXPECT_NE(labels[0], labels[5]);
+  // 3,4,7 remain singletons.
+  EXPECT_NE(labels[3], labels[4]);
+  EXPECT_NE(labels[3], labels[0]);
+}
+
+TEST(ReportDenseSubgraphs, OverlappingReportsComponentsOnly) {
+  const auto gi = make_graph({{0, 1}, {1, 2}, {5, 6}});
+  const auto gii = make_graph({{0, 1}, {2}});
+  const auto c = report_dense_subgraphs(gi, gii, 8, ReportMode::Overlapping);
+  ASSERT_EQ(c.num_clusters(), 2u);
+  // Clusters are deduplicated unions; singletons 3,4,7 are not reported.
+  std::vector<std::vector<VertexId>> expect = {{0, 1, 2}, {5, 6}};
+  auto clusters = c.clusters();
+  std::sort(clusters.begin(), clusters.end());
+  EXPECT_EQ(clusters, expect);
+}
+
+TEST(ReportDenseSubgraphs, OverlapPossibleInOverlappingMode) {
+  // Vertex 1 participates in two different S1 shingles that end up in two
+  // different G_II components.
+  const auto gi = make_graph({{0, 1}, {1, 2}});
+  const auto gii = make_graph({{0}, {1}});
+  const auto c = report_dense_subgraphs(gi, gii, 3, ReportMode::Overlapping);
+  ASSERT_EQ(c.num_clusters(), 2u);
+  EXPECT_FALSE(c.is_partition());
+}
+
+TEST(ReportDenseSubgraphs, PartitionMergesThroughSharedVertex) {
+  // Same setup as above but partition mode: union-find chains both
+  // components through vertex 1 into one cluster.
+  const auto gi = make_graph({{0, 1}, {1, 2}});
+  const auto gii = make_graph({{0}, {1}});
+  const auto c = report_dense_subgraphs(gi, gii, 3, ReportMode::Partition);
+  EXPECT_TRUE(c.is_partition());
+  EXPECT_EQ(c.num_clusters(), 1u);
+}
+
+TEST(ReportDenseSubgraphs, EmptyGiiLeavesAllSingletons) {
+  const auto gi = make_graph({{0, 1}});
+  const auto gii = make_graph({});
+  const auto c = report_dense_subgraphs(gi, gii, 4, ReportMode::Partition);
+  EXPECT_EQ(c.num_clusters(), 4u);
+  const auto o = report_dense_subgraphs(gi, gii, 4, ReportMode::Overlapping);
+  EXPECT_EQ(o.num_clusters(), 0u);
+}
+
+TEST(ReportDenseSubgraphs, SharedSecondLevelShingleMergesS1Nodes) {
+  // A single G_II node listing three S1 shingles merges all their vertices.
+  const auto gi = make_graph({{0}, {1}, {2}});
+  const auto gii = make_graph({{0, 1, 2}});
+  const auto c = report_dense_subgraphs(gi, gii, 3, ReportMode::Partition);
+  EXPECT_EQ(c.num_clusters(), 1u);
+}
+
+TEST(ReportDenseSubgraphs, RejectsDanglingS1Reference) {
+  const auto gi = make_graph({{0}});
+  const auto gii = make_graph({{5}});
+  EXPECT_THROW(report_dense_subgraphs(gi, gii, 2, ReportMode::Partition),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpclust::core

@@ -1,0 +1,72 @@
+#include "core/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpclust::core {
+namespace {
+
+TEST(Clustering, BasicAccessors) {
+  Clustering c({{0, 1}, {2}, {3, 4, 5}}, 6);
+  EXPECT_EQ(c.num_clusters(), 3u);
+  EXPECT_EQ(c.num_vertices(), 6u);
+  EXPECT_EQ(c.total_members(), 6u);
+  EXPECT_EQ(c.cluster(2).size(), 3u);
+}
+
+TEST(Clustering, RejectsOutOfRangeMember) {
+  EXPECT_THROW(Clustering({{0, 7}}, 5), InvalidArgument);
+}
+
+TEST(Clustering, FilteredKeepsLargeClusters) {
+  Clustering c({{0, 1, 2}, {3}, {4, 5}}, 6);
+  const auto f = c.filtered(2);
+  EXPECT_EQ(f.num_clusters(), 2u);
+  EXPECT_EQ(f.total_members(), 5u);
+  EXPECT_EQ(f.num_vertices(), 6u);
+}
+
+TEST(Clustering, IsPartitionDetectsOverlapAndGaps) {
+  EXPECT_TRUE(Clustering({{0, 1}, {2}}, 3).is_partition());
+  EXPECT_FALSE(Clustering({{0, 1}, {1, 2}}, 3).is_partition());  // overlap
+  EXPECT_FALSE(Clustering({{0, 1}}, 3).is_partition());          // gap
+}
+
+TEST(Clustering, LabelsRoundTrip) {
+  Clustering c({{2, 0}, {1, 3}}, 4);
+  const auto labels = c.labels();
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_EQ(labels[1], labels[3]);
+  EXPECT_NE(labels[0], labels[1]);
+}
+
+TEST(Clustering, LabelsOnNonPartitionThrows) {
+  Clustering c({{0, 1}}, 3);
+  EXPECT_THROW(c.labels(), InvalidArgument);
+}
+
+TEST(Clustering, NormalizeIsCanonical) {
+  Clustering a({{3, 1}, {0}, {5, 2, 4}}, 6);
+  Clustering b({{0}, {2, 4, 5}, {1, 3}}, 6);
+  a.normalize();
+  b.normalize();
+  EXPECT_EQ(a.clusters(), b.clusters());
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Clustering, DigestDistinguishesContents) {
+  Clustering a({{0, 1}, {2}}, 3);
+  Clustering b({{0, 2}, {1}}, 3);
+  a.normalize();
+  b.normalize();
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Clustering, SummaryMentionsCounts) {
+  Clustering c({{0, 1, 2}}, 3);
+  const auto s = c.summary();
+  EXPECT_NE(s.find("1 clusters"), std::string::npos);
+  EXPECT_NE(s.find("largest 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpclust::core

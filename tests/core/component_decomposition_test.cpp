@@ -1,0 +1,144 @@
+#include "core/component_decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/serial_pclust.hpp"
+#include "graph/connected_components.hpp"
+#include "graph/generators.hpp"
+
+namespace gpclust::core {
+namespace {
+
+ShinglingParams small_params() {
+  ShinglingParams p;
+  p.c1 = 30;
+  p.c2 = 15;
+  p.seed = 5;
+  return p;
+}
+
+TEST(InducedSubgraph, ExtractsAndRelabels) {
+  // Path 0-1-2-3 plus edge 4-5; take {1, 2, 3, 5}.
+  graph::EdgeList e(6);
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(2, 3);
+  e.add(4, 5);
+  const auto g = graph::CsrGraph::from_edge_list(std::move(e));
+  const auto sub = induced_subgraph(g, {1, 2, 3, 5});
+  EXPECT_EQ(sub.num_vertices(), 4u);
+  EXPECT_EQ(sub.num_edges(), 2u);  // 1-2 -> 0-1, 2-3 -> 1-2
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_TRUE(sub.has_edge(1, 2));
+  EXPECT_FALSE(sub.has_edge(0, 3));  // 1-5 never existed
+}
+
+TEST(InducedSubgraph, RequiresSortedVertices) {
+  const auto g = graph::generate_erdos_renyi(10, 0.5, 1);
+  EXPECT_THROW(induced_subgraph(g, {3, 1}), InvalidArgument);
+}
+
+TEST(ClusterByComponents, NoClusterSpansComponents) {
+  // Decomposition is sound because Shingling never links vertices from
+  // different components; relabeling changes the random permutations, so
+  // results are equivalent in distribution, not bit-identical.
+  const auto g = graph::generate_erdos_renyi(300, 0.01, 11);  // fragmented
+  const SerialShingler shingler(small_params());
+
+  ComponentDecompositionStats stats;
+  const auto decomposed = cluster_by_components(
+      g, [&](const graph::CsrGraph& sub) { return shingler.cluster(sub); },
+      /*min_component_size=*/2, &stats);
+
+  EXPECT_GT(stats.num_components, 1u);
+  EXPECT_TRUE(decomposed.is_partition());
+  const auto cc = graph::connected_components(g);
+  for (const auto& cluster : decomposed.clusters()) {
+    for (VertexId v : cluster) {
+      EXPECT_EQ(cc.labels[v], cc.labels[cluster.front()])
+          << "cluster spans two components";
+    }
+  }
+}
+
+TEST(ClusterByComponents, RecoversCliquesLikeWholeGraphRun) {
+  // On disjoint cliques both the whole-graph run and the decomposed run
+  // deterministically report exactly the cliques.
+  graph::EdgeList e;
+  for (VertexId base : {0u, 12u, 24u, 36u}) {
+    for (VertexId i = 0; i < 12; ++i) {
+      for (VertexId j = i + 1; j < 12; ++j) e.add(base + i, base + j);
+    }
+  }
+  const auto g = graph::CsrGraph::from_edge_list(std::move(e));
+  const SerialShingler shingler(small_params());
+  auto whole = shingler.cluster(g);
+  auto decomposed = cluster_by_components(
+      g, [&](const graph::CsrGraph& sub) { return shingler.cluster(sub); },
+      /*min_component_size=*/2);
+  whole.normalize();
+  decomposed.normalize();
+  EXPECT_EQ(whole.digest(), decomposed.digest());
+}
+
+TEST(ClusterByComponents, SmallComponentsBypassShingling) {
+  // Two triangles + one isolated vertex; threshold 3 keeps triangles whole
+  // without invoking the clusterer.
+  graph::EdgeList e(7);
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(0, 2);
+  e.add(3, 4);
+  e.add(4, 5);
+  e.add(3, 5);
+  const auto g = graph::CsrGraph::from_edge_list(std::move(e));
+  std::size_t calls = 0;
+  const auto c = cluster_by_components(
+      g,
+      [&](const graph::CsrGraph& sub) {
+        ++calls;
+        return SerialShingler(small_params()).cluster(sub);
+      },
+      /*min_component_size=*/3);
+  EXPECT_EQ(calls, 0u);
+  EXPECT_TRUE(c.is_partition());
+  EXPECT_EQ(c.num_clusters(), 3u);  // two triangles + singleton
+}
+
+TEST(ClusterByComponents, StatsPopulated) {
+  const auto g = graph::generate_erdos_renyi(200, 0.02, 9);
+  ComponentDecompositionStats stats;
+  cluster_by_components(
+      g,
+      [&](const graph::CsrGraph& sub) {
+        return SerialShingler(small_params()).cluster(sub);
+      },
+      3, &stats);
+  EXPECT_GT(stats.num_components, 0u);
+  EXPECT_GE(stats.num_components, stats.num_shingled_components);
+  EXPECT_GT(stats.largest_component, 3u);
+}
+
+TEST(ClusterByComponents, RejectsNonPartitionClusterer) {
+  const auto g = graph::generate_erdos_renyi(30, 0.5, 2);
+  EXPECT_THROW(
+      cluster_by_components(
+          g,
+          [](const graph::CsrGraph& sub) {
+            return Clustering({{0}}, sub.num_vertices());  // not a partition
+          },
+          2),
+      InvalidArgument);
+}
+
+TEST(ClusterByComponents, EmptyGraph) {
+  const graph::CsrGraph g;
+  const auto c = cluster_by_components(
+      g, [](const graph::CsrGraph& sub) {
+        return Clustering({}, sub.num_vertices());
+      });
+  EXPECT_EQ(c.num_clusters(), 0u);
+}
+
+}  // namespace
+}  // namespace gpclust::core

@@ -1,0 +1,112 @@
+// Tests for the device-side shingle-graph aggregation extension
+// (aggregate_tuples_device) and its GpClust integration.
+
+#include <gtest/gtest.h>
+
+#include "core/gpclust.hpp"
+#include "core/serial_pclust.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace gpclust::core {
+namespace {
+
+ShingleTuples random_tuples(std::size_t n, u64 seed, u64 shingle_range = 200,
+                            u32 owner_range = 50) {
+  util::Xoshiro256 rng(seed);
+  ShingleTuples t;
+  for (std::size_t i = 0; i < n; ++i) {
+    t.append(rng.next_below(shingle_range),
+             static_cast<u32>(rng.next_below(owner_range)));
+  }
+  return t;
+}
+
+void expect_same_graph(const BipartiteShingleGraph& a,
+                       const BipartiteShingleGraph& b) {
+  EXPECT_EQ(a.offsets, b.offsets);
+  EXPECT_EQ(a.members, b.members);
+}
+
+class DeviceAggregationTest : public ::testing::Test {
+ protected:
+  device::DeviceContext ctx_{device::DeviceSpec::small_test_device(8 << 20)};
+};
+
+TEST_F(DeviceAggregationTest, MatchesCpuAggregation) {
+  auto cpu_tuples = random_tuples(5000, 1);
+  auto dev_tuples = random_tuples(5000, 1);
+  const auto cpu = aggregate_tuples(std::move(cpu_tuples));
+  const auto dev = aggregate_tuples_device(ctx_, std::move(dev_tuples));
+  expect_same_graph(cpu, dev);
+}
+
+TEST_F(DeviceAggregationTest, SmallBatchesForceMultiChunkMerge) {
+  for (std::size_t batch : {1u, 7u, 100u, 1024u}) {
+    auto cpu_tuples = random_tuples(3000, 2);
+    auto dev_tuples = random_tuples(3000, 2);
+    const auto cpu = aggregate_tuples(std::move(cpu_tuples));
+    const auto dev =
+        aggregate_tuples_device(ctx_, std::move(dev_tuples), batch);
+    expect_same_graph(cpu, dev);
+  }
+}
+
+TEST_F(DeviceAggregationTest, EmptyTuples) {
+  const auto g = aggregate_tuples_device(ctx_, ShingleTuples{});
+  EXPECT_EQ(g.num_left(), 0u);
+}
+
+TEST_F(DeviceAggregationTest, ChargesDeviceTime) {
+  ctx_.reset_timeline();
+  auto tuples = random_tuples(10000, 3);
+  aggregate_tuples_device(ctx_, std::move(tuples));
+  EXPECT_GT(ctx_.gpu_seconds(), 0.0);
+  EXPECT_GT(ctx_.h2d_seconds(), 0.0);
+  EXPECT_GT(ctx_.d2h_seconds(), 0.0);
+  EXPECT_EQ(ctx_.arena().used(), 0u);
+}
+
+TEST_F(DeviceAggregationTest, GpClustWithDeviceAggregationMatchesSerial) {
+  const auto g = graph::generate_erdos_renyi(250, 0.06, 77);
+  ShinglingParams params;
+  params.c1 = 20;
+  params.c2 = 10;
+  params.seed = 9;
+
+  auto serial = SerialShingler(params).cluster(g);
+  serial.normalize();
+
+  GpClustOptions options;
+  options.device_aggregation = true;
+  GpClustReport report;
+  auto accelerated = GpClust(ctx_, params, options).cluster(g, &report);
+  accelerated.normalize();
+
+  EXPECT_EQ(serial.digest(), accelerated.digest());
+  EXPECT_GT(report.gpu_seconds, 0.0);
+}
+
+TEST_F(DeviceAggregationTest, DeviceAggregationShiftsTimeFromCpuToGpu) {
+  const auto g = graph::generate_erdos_renyi(400, 0.1, 5);
+  ShinglingParams params;
+  params.c1 = 30;
+  params.c2 = 15;
+
+  GpClustReport cpu_report, dev_report;
+  {
+    GpClust gp(ctx_, params, {});
+    gp.cluster(g, &cpu_report);
+  }
+  {
+    GpClustOptions options;
+    options.device_aggregation = true;
+    GpClust gp(ctx_, params, options);
+    gp.cluster(g, &dev_report);
+  }
+  EXPECT_GT(dev_report.gpu_seconds, cpu_report.gpu_seconds);
+  EXPECT_GT(dev_report.h2d_seconds, cpu_report.h2d_seconds);
+}
+
+}  // namespace
+}  // namespace gpclust::core

@@ -1,0 +1,118 @@
+#include "core/device_shingling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/serial_pclust.hpp"
+#include "graph/generators.hpp"
+
+namespace gpclust::core {
+namespace {
+
+/// Canonical multiset view of tuples for order-independent comparison.
+std::vector<std::pair<ShingleId, u32>> canon(const ShingleTuples& t) {
+  std::vector<std::pair<ShingleId, u32>> out;
+  out.reserve(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    out.emplace_back(t.shingle[i], t.owner[i]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class DeviceShinglingTest : public ::testing::Test {
+ protected:
+  device::DeviceContext ctx_{device::DeviceSpec::small_test_device(8 << 20)};
+  const HashFamily family_{20, util::kMersenne61, 4, 1};
+};
+
+TEST_F(DeviceShinglingTest, MatchesSerialExtraction) {
+  const auto g = graph::generate_erdos_renyi(200, 0.05, 3);
+  const auto serial =
+      extract_shingles_serial(g.offsets(), g.adjacency(), family_, 2);
+  auto device_tuples = extract_shingles_device(ctx_, g.offsets(),
+                                               g.adjacency(), family_, 2, {});
+  EXPECT_EQ(canon(serial), canon(device_tuples));
+}
+
+class BatchSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BatchSizeSweep, TupleSetInvariantUnderBatching) {
+  // DESIGN.md invariant 4 at the pass level, across batch sizes that force
+  // zero, some, and per-element splits.
+  device::DeviceContext ctx(device::DeviceSpec::small_test_device(8 << 20));
+  const HashFamily family(15, util::kMersenne61, 9, 1);
+  const auto g = graph::generate_erdos_renyi(100, 0.15, 8);
+  const auto serial =
+      extract_shingles_serial(g.offsets(), g.adjacency(), family, 2);
+
+  DevicePassOptions options;
+  options.max_batch_elements = GetParam();
+  DevicePassStats stats;
+  auto tuples = extract_shingles_device(ctx, g.offsets(), g.adjacency(),
+                                        family, 2, options, nullptr,
+                                        "cpu", &stats);
+  EXPECT_EQ(canon(serial), canon(tuples));
+  EXPECT_GT(stats.num_batches, 0u);
+  EXPECT_EQ(stats.num_tuples, serial.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, BatchSizeSweep,
+                         ::testing::Values(1, 2, 3, 7, 16, 64, 1000, 1u << 20));
+
+TEST_F(DeviceShinglingTest, AsyncTuplesIdenticalToSync) {
+  const auto g = graph::generate_erdos_renyi(150, 0.1, 6);
+  DevicePassOptions sync_opt, async_opt;
+  async_opt.async = true;
+  auto sync_tuples = extract_shingles_device(ctx_, g.offsets(), g.adjacency(),
+                                             family_, 2, sync_opt);
+  auto async_tuples = extract_shingles_device(ctx_, g.offsets(), g.adjacency(),
+                                              family_, 2, async_opt);
+  EXPECT_EQ(canon(sync_tuples), canon(async_tuples));
+}
+
+TEST_F(DeviceShinglingTest, StatsReportSplits) {
+  const auto g = graph::generate_erdos_renyi(60, 0.5, 2);  // high degree
+  DevicePassOptions options;
+  options.max_batch_elements = 10;  // far below max degree
+  DevicePassStats stats;
+  extract_shingles_device(ctx_, g.offsets(), g.adjacency(), family_, 2,
+                          options, nullptr, "cpu", &stats);
+  EXPECT_GT(stats.num_split_lists, 0u);
+  EXPECT_GT(stats.num_batches, 1u);
+}
+
+TEST_F(DeviceShinglingTest, DefaultBatchSizeRespectsDeviceMemory) {
+  const std::size_t batch = default_batch_elements(ctx_, 2);
+  EXPECT_GE(batch, 1u);
+  // Must leave room: the per-batch allocations for `batch` elements cannot
+  // exceed the arena.
+  EXPECT_LT(batch * 12, ctx_.arena().capacity());
+}
+
+TEST_F(DeviceShinglingTest, CpuMetricAccumulates) {
+  const auto g = graph::generate_erdos_renyi(100, 0.1, 1);
+  util::MetricsRegistry reg;
+  extract_shingles_device(ctx_, g.offsets(), g.adjacency(), family_, 2, {},
+                          &reg, "pass.cpu");
+  EXPECT_GT(reg.get("pass.cpu"), 0.0);
+}
+
+TEST_F(DeviceShinglingTest, EmptyGraphYieldsNoTuples) {
+  const std::vector<u64> offsets = {0};
+  auto tuples = extract_shingles_device(ctx_, offsets, {}, family_, 2, {});
+  EXPECT_EQ(tuples.size(), 0u);
+}
+
+TEST_F(DeviceShinglingTest, ChargesDeviceTime) {
+  const auto g = graph::generate_erdos_renyi(100, 0.1, 2);
+  ctx_.reset_timeline();
+  extract_shingles_device(ctx_, g.offsets(), g.adjacency(), family_, 2, {});
+  EXPECT_GT(ctx_.gpu_seconds(), 0.0);
+  EXPECT_GT(ctx_.h2d_seconds(), 0.0);
+  EXPECT_GT(ctx_.d2h_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace gpclust::core

@@ -1,0 +1,90 @@
+#include "core/shingle_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace gpclust::core {
+namespace {
+
+TEST(AggregateTuples, EmptyInputYieldsEmptyGraph) {
+  const auto g = aggregate_tuples(ShingleTuples{});
+  EXPECT_EQ(g.num_left(), 0u);
+  EXPECT_TRUE(g.members.empty());
+}
+
+TEST(AggregateTuples, GroupsByShingle) {
+  ShingleTuples t;
+  t.append(100, 1);
+  t.append(200, 2);
+  t.append(100, 3);
+  t.append(200, 1);
+  const auto g = aggregate_tuples(std::move(t));
+  ASSERT_EQ(g.num_left(), 2u);
+  // Groups ordered by shingle id; members ascending.
+  const auto l0 = g.list(0);
+  const auto l1 = g.list(1);
+  EXPECT_EQ(std::vector<u32>(l0.begin(), l0.end()), (std::vector<u32>{1, 3}));
+  EXPECT_EQ(std::vector<u32>(l1.begin(), l1.end()), (std::vector<u32>{1, 2}));
+}
+
+TEST(AggregateTuples, DuplicatePairsCollapse) {
+  ShingleTuples t;
+  t.append(5, 9);
+  t.append(5, 9);
+  t.append(5, 9);
+  const auto g = aggregate_tuples(std::move(t));
+  ASSERT_EQ(g.num_left(), 1u);
+  EXPECT_EQ(g.list(0).size(), 1u);
+}
+
+TEST(AggregateTuples, OrderOfTuplesIrrelevant) {
+  util::Xoshiro256 rng(21);
+  ShingleTuples a, b;
+  std::vector<std::pair<ShingleId, u32>> pairs;
+  for (int i = 0; i < 500; ++i) {
+    pairs.emplace_back(rng.next_below(50), static_cast<u32>(rng.next_below(40)));
+  }
+  for (const auto& [s, o] : pairs) a.append(s, o);
+  // Shuffle for b.
+  for (std::size_t i = pairs.size(); i > 1; --i) {
+    std::swap(pairs[i - 1], pairs[rng.next_below(i)]);
+  }
+  for (const auto& [s, o] : pairs) b.append(s, o);
+
+  const auto ga = aggregate_tuples(std::move(a));
+  const auto gb = aggregate_tuples(std::move(b));
+  EXPECT_EQ(ga.offsets, gb.offsets);
+  EXPECT_EQ(ga.members, gb.members);
+}
+
+TEST(AggregateTuples, MatchesMapBasedReference) {
+  util::Xoshiro256 rng(33);
+  ShingleTuples t;
+  std::map<ShingleId, std::set<u32>> reference;
+  for (int i = 0; i < 1000; ++i) {
+    const ShingleId s = rng.next_below(100);
+    const u32 o = static_cast<u32>(rng.next_below(64));
+    t.append(s, o);
+    reference[s].insert(o);
+  }
+  const auto g = aggregate_tuples(std::move(t));
+  ASSERT_EQ(g.num_left(), reference.size());
+  std::size_t i = 0;
+  for (const auto& [shingle, owners] : reference) {
+    const auto list = g.list(i++);
+    EXPECT_EQ(std::set<u32>(list.begin(), list.end()), owners);
+  }
+}
+
+TEST(AggregateTuples, MismatchedArraysThrow) {
+  ShingleTuples t;
+  t.shingle.push_back(1);
+  EXPECT_THROW(aggregate_tuples(std::move(t)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpclust::core

@@ -1,0 +1,99 @@
+#include "device/device_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace gpclust::device {
+namespace {
+
+class DeviceVectorTest : public ::testing::Test {
+ protected:
+  DeviceContext ctx_{DeviceSpec::small_test_device(1 << 16)};
+};
+
+TEST_F(DeviceVectorTest, AllocationChargesArena) {
+  DeviceVector<u32> v(ctx_, 100);
+  EXPECT_EQ(ctx_.arena().used(), 400u);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.bytes(), 400u);
+}
+
+TEST_F(DeviceVectorTest, DestructionReleasesArena) {
+  {
+    DeviceVector<u64> v(ctx_, 10);
+    EXPECT_EQ(ctx_.arena().used(), 80u);
+  }
+  EXPECT_EQ(ctx_.arena().used(), 0u);
+}
+
+TEST_F(DeviceVectorTest, OversizedAllocationThrows) {
+  EXPECT_THROW(DeviceVector<u64>(ctx_, 1 << 20), DeviceError);
+  EXPECT_EQ(ctx_.arena().used(), 0u);
+}
+
+TEST_F(DeviceVectorTest, MoveTransfersOwnership) {
+  DeviceVector<u32> a(ctx_, 50);
+  DeviceVector<u32> b = std::move(a);
+  EXPECT_EQ(b.size(), 50u);
+  EXPECT_EQ(a.context(), nullptr);
+  EXPECT_EQ(ctx_.arena().used(), 200u);
+
+  DeviceVector<u32> c(ctx_, 10);
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 50u);
+  EXPECT_EQ(ctx_.arena().used(), 200u);  // the 10-element block was freed
+}
+
+TEST_F(DeviceVectorTest, CopyRoundTrip) {
+  std::vector<u32> host(64);
+  std::iota(host.begin(), host.end(), 1u);
+  DeviceVector<u32> dev(ctx_, 64);
+  copy_to_device<u32>(dev, host);
+
+  std::vector<u32> back(64, 0);
+  copy_to_host<u32>(back, dev);
+  EXPECT_EQ(back, host);
+}
+
+TEST_F(DeviceVectorTest, CopiesChargeModeledTransferTime) {
+  std::vector<u32> host(100, 1);
+  DeviceVector<u32> dev(ctx_, 100);
+  copy_to_device<u32>(dev, host);
+  EXPECT_GT(ctx_.h2d_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(ctx_.d2h_seconds(), 0.0);
+
+  std::vector<u32> back(100);
+  copy_to_host<u32>(back, dev);
+  EXPECT_GT(ctx_.d2h_seconds(), 0.0);
+  // Modeled, not wall time: 400 bytes over the test device's 100 MB/s plus
+  // fixed latency.
+  EXPECT_NEAR(ctx_.h2d_seconds(),
+              ctx_.spec().transfer_latency_sec + 400.0 / 100e6, 1e-12);
+}
+
+TEST_F(DeviceVectorTest, PartialCopyToHost) {
+  std::vector<u32> host = {1, 2, 3, 4};
+  DeviceVector<u32> dev(ctx_, 4);
+  copy_to_device<u32>(dev, host);
+  std::vector<u32> front(2);
+  copy_to_host<u32>(front, dev);
+  EXPECT_EQ(front, (std::vector<u32>{1, 2}));
+}
+
+TEST_F(DeviceVectorTest, SizeMismatchesThrow) {
+  DeviceVector<u32> dev(ctx_, 4);
+  std::vector<u32> big(8, 0);
+  EXPECT_THROW(copy_to_device<u32>(dev, big), InvalidArgument);
+  EXPECT_THROW(copy_to_host<u32>(big, dev), InvalidArgument);
+}
+
+TEST_F(DeviceVectorTest, UnallocatedVectorRejectsCopies) {
+  DeviceVector<u32> empty;
+  std::vector<u32> host(1);
+  EXPECT_THROW(copy_to_device<u32>(empty, host), InvalidArgument);
+  EXPECT_THROW(copy_to_host<u32>(host, empty), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpclust::device

@@ -1,0 +1,60 @@
+#include "device/memory_arena.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpclust::device {
+namespace {
+
+TEST(MemoryArena, TracksUsedAndAvailable) {
+  MemoryArena arena(1000);
+  EXPECT_EQ(arena.capacity(), 1000u);
+  EXPECT_EQ(arena.available(), 1000u);
+  arena.allocate(300);
+  EXPECT_EQ(arena.used(), 300u);
+  EXPECT_EQ(arena.available(), 700u);
+  EXPECT_EQ(arena.num_allocations(), 1u);
+}
+
+TEST(MemoryArena, ThrowsOnOverCapacity) {
+  MemoryArena arena(100);
+  arena.allocate(60);
+  EXPECT_THROW(arena.allocate(50), DeviceError);
+  EXPECT_EQ(arena.used(), 60u) << "failed allocation must not leak";
+  arena.allocate(40);  // exact fit succeeds
+  EXPECT_EQ(arena.available(), 0u);
+}
+
+TEST(MemoryArena, ReleaseReturnsCapacity) {
+  MemoryArena arena(100);
+  arena.allocate(80);
+  arena.release(80);
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_EQ(arena.num_allocations(), 0u);
+  arena.allocate(100);
+  EXPECT_EQ(arena.used(), 100u);
+}
+
+TEST(MemoryArena, PeakIsHighWaterMark) {
+  MemoryArena arena(100);
+  arena.allocate(70);
+  arena.release(70);
+  arena.allocate(30);
+  EXPECT_EQ(arena.peak(), 70u);
+}
+
+TEST(MemoryArena, OverReleaseThrows) {
+  MemoryArena arena(100);
+  arena.allocate(10);
+  EXPECT_THROW(arena.release(20), InvalidArgument);
+}
+
+TEST(MemoryArena, ZeroByteAllocationCounts) {
+  MemoryArena arena(10);
+  arena.allocate(0);
+  EXPECT_EQ(arena.num_allocations(), 1u);
+  arena.release(0);
+  EXPECT_EQ(arena.num_allocations(), 0u);
+}
+
+}  // namespace
+}  // namespace gpclust::device

@@ -1,0 +1,166 @@
+#include "device/primitives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace gpclust::device {
+namespace {
+
+class PrimitivesTest : public ::testing::Test {
+ protected:
+  DeviceContext ctx_{DeviceSpec::small_test_device(8 << 20)};
+
+  template <typename T>
+  DeviceVector<T> upload(const std::vector<T>& host) {
+    DeviceVector<T> dev(ctx_, host.size());
+    copy_to_device<T>(dev, host);
+    return dev;
+  }
+
+  template <typename T>
+  std::vector<T> download(const DeviceVector<T>& dev) {
+    std::vector<T> host(dev.size());
+    copy_to_host<T>(host, dev);
+    return host;
+  }
+};
+
+TEST_F(PrimitivesTest, TransformAppliesFunctor) {
+  auto in = upload<u32>({1, 2, 3, 4});
+  DeviceVector<u32> out(ctx_, 4);
+  transform(in, out, [](u32 x) { return x * x; });
+  EXPECT_EQ(download(out), (std::vector<u32>{1, 4, 9, 16}));
+}
+
+TEST_F(PrimitivesTest, TransformChargesKernelTime) {
+  auto in = upload<u32>(std::vector<u32>(1000, 1));
+  DeviceVector<u32> out(ctx_, 1000);
+  const double before = ctx_.gpu_seconds();
+  transform(in, out, [](u32 x) { return x; });
+  EXPECT_GT(ctx_.gpu_seconds(), before);
+}
+
+TEST_F(PrimitivesTest, TabulateGeneratesByIndex) {
+  DeviceVector<u64> v(ctx_, 5);
+  tabulate(v, [](std::size_t i) { return static_cast<u64>(i * 10); });
+  EXPECT_EQ(download(v), (std::vector<u64>{0, 10, 20, 30, 40}));
+}
+
+TEST_F(PrimitivesTest, SortMatchesStdSort) {
+  util::Xoshiro256 rng(4);
+  std::vector<u64> host(5000);
+  for (auto& x : host) x = rng.next();
+  auto dev = upload(host);
+  sort(dev);
+  std::sort(host.begin(), host.end());
+  EXPECT_EQ(download(dev), host);
+}
+
+TEST_F(PrimitivesTest, SortWithCustomComparator) {
+  auto dev = upload<u32>({3, 1, 2});
+  sort(dev, std::greater<u32>{});
+  EXPECT_EQ(download(dev), (std::vector<u32>{3, 2, 1}));
+}
+
+TEST_F(PrimitivesTest, SegmentedSortSortsWithinSegmentsOnly) {
+  auto dev = upload<u32>({5, 3, 9, 2, 8, 1, 7});
+  const std::vector<u64> offsets = {0, 3, 3, 7};  // middle segment is empty
+  segmented_sort(dev, offsets);
+  EXPECT_EQ(download(dev), (std::vector<u32>{3, 5, 9, 1, 2, 7, 8}));
+}
+
+TEST_F(PrimitivesTest, SegmentedSortMatchesPerSegmentStdSort) {
+  util::Xoshiro256 rng(11);
+  std::vector<u64> host(2000);
+  for (auto& x : host) x = rng.next_below(1000);
+  // Random segment boundaries.
+  std::vector<u64> offsets = {0};
+  while (offsets.back() < host.size()) {
+    offsets.push_back(
+        std::min<u64>(host.size(), offsets.back() + 1 + rng.next_below(50)));
+  }
+  auto dev = upload(host);
+  segmented_sort(dev, offsets);
+  auto expected = host;
+  for (std::size_t s = 0; s + 1 < offsets.size(); ++s) {
+    std::sort(expected.begin() + static_cast<std::ptrdiff_t>(offsets[s]),
+              expected.begin() + static_cast<std::ptrdiff_t>(offsets[s + 1]));
+  }
+  EXPECT_EQ(download(dev), expected);
+}
+
+TEST_F(PrimitivesTest, SegmentedSortValidatesOffsets) {
+  auto dev = upload<u32>({1, 2, 3});
+  const std::vector<u64> bad = {0, 2};
+  EXPECT_THROW(segmented_sort(dev, bad), InvalidArgument);
+  EXPECT_THROW(segmented_sort(dev, std::span<const u64>{}), InvalidArgument);
+}
+
+TEST_F(PrimitivesTest, SortByKeyReordersValuesWithKeys) {
+  auto keys = upload<u64>({30, 10, 20});
+  auto values = upload<u32>({3, 1, 2});
+  sort_by_key(keys, values);
+  EXPECT_EQ(download(keys), (std::vector<u64>{10, 20, 30}));
+  EXPECT_EQ(download(values), (std::vector<u32>{1, 2, 3}));
+}
+
+TEST_F(PrimitivesTest, SortByKeyIsStable) {
+  auto keys = upload<u64>({1, 0, 1, 0});
+  auto values = upload<u32>({10, 20, 30, 40});
+  sort_by_key(keys, values);
+  EXPECT_EQ(download(values), (std::vector<u32>{20, 40, 10, 30}));
+}
+
+TEST_F(PrimitivesTest, ReduceSums) {
+  auto dev = upload<u64>({1, 2, 3, 4, 5});
+  EXPECT_EQ(reduce(dev, u64{100}), 115u);
+}
+
+TEST_F(PrimitivesTest, ExclusiveScan) {
+  auto dev = upload<u64>({3, 1, 4, 1, 5});
+  exclusive_scan(dev, u64{0});
+  EXPECT_EQ(download(dev), (std::vector<u64>{0, 3, 4, 8, 9}));
+}
+
+TEST_F(PrimitivesTest, Gather) {
+  auto src = upload<u32>({10, 20, 30, 40});
+  auto map = upload<u64>({3, 0, 2});
+  DeviceVector<u32> out(ctx_, 3);
+  gather(src, map, out);
+  EXPECT_EQ(download(out), (std::vector<u32>{40, 10, 30}));
+}
+
+TEST_F(PrimitivesTest, GatherRejectsOutOfRangeIndex) {
+  auto src = upload<u32>({1, 2});
+  auto map = upload<u64>({5});
+  DeviceVector<u32> out(ctx_, 1);
+  EXPECT_THROW(gather(src, map, out), InvalidArgument);
+}
+
+TEST_F(PrimitivesTest, MixedContextsRejected) {
+  DeviceContext other(DeviceSpec::small_test_device(1 << 20));
+  auto a = upload<u32>({1, 2, 3});
+  DeviceVector<u32> b(other, 3);
+  EXPECT_THROW(transform(a, b, [](u32 x) { return x; }), InvalidArgument);
+}
+
+TEST_F(PrimitivesTest, KernelCostScalesWithElements) {
+  auto small = upload<u32>(std::vector<u32>(100, 1));
+  auto big = upload<u32>(std::vector<u32>(100000, 1));
+  DeviceVector<u32> out_small(ctx_, 100), out_big(ctx_, 100000);
+
+  ctx_.reset_timeline();
+  transform(small, out_small, [](u32 x) { return x; });
+  const double t_small = ctx_.gpu_seconds();
+  ctx_.reset_timeline();
+  transform(big, out_big, [](u32 x) { return x; });
+  const double t_big = ctx_.gpu_seconds();
+  EXPECT_GT(t_big, t_small * 10);
+}
+
+}  // namespace
+}  // namespace gpclust::device

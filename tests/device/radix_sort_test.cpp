@@ -1,0 +1,125 @@
+#include "device/radix_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace gpclust::device {
+namespace {
+
+class RadixSortTest : public ::testing::Test {
+ protected:
+  DeviceContext ctx_{DeviceSpec::small_test_device(32 << 20)};
+
+  template <typename T>
+  DeviceVector<T> upload(const std::vector<T>& host) {
+    DeviceVector<T> dev(ctx_, host.size());
+    copy_to_device<T>(dev, host);
+    return dev;
+  }
+
+  template <typename T>
+  std::vector<T> download(const DeviceVector<T>& dev) {
+    std::vector<T> host(dev.size());
+    copy_to_host<T>(host, dev);
+    return host;
+  }
+};
+
+TEST_F(RadixSortTest, MatchesStdSortU64) {
+  util::Xoshiro256 rng(1);
+  std::vector<u64> host(20000);
+  for (auto& x : host) x = rng.next();
+  auto dev = upload(host);
+  radix_sort(dev);
+  std::sort(host.begin(), host.end());
+  EXPECT_EQ(download(dev), host);
+}
+
+TEST_F(RadixSortTest, MatchesStdSortU32) {
+  util::Xoshiro256 rng(2);
+  std::vector<u32> host(10000);
+  for (auto& x : host) x = static_cast<u32>(rng.next());
+  auto dev = upload(host);
+  radix_sort(dev);
+  std::sort(host.begin(), host.end());
+  EXPECT_EQ(download(dev), host);
+}
+
+TEST_F(RadixSortTest, HandlesDuplicatesAndExtremes) {
+  std::vector<u64> host = {0, ~0ULL, 5, 5, 5, 0, ~0ULL, 1};
+  auto dev = upload(host);
+  radix_sort(dev);
+  EXPECT_EQ(download(dev),
+            (std::vector<u64>{0, 0, 1, 5, 5, 5, ~0ULL, ~0ULL}));
+}
+
+TEST_F(RadixSortTest, EmptyVector) {
+  DeviceVector<u64> dev(ctx_, 0);
+  radix_sort(dev);
+  EXPECT_EQ(dev.size(), 0u);
+}
+
+TEST_F(RadixSortTest, ByKeyPermutesValues) {
+  auto keys = upload<u64>({300, 100, 200});
+  auto values = upload<u32>({3, 1, 2});
+  radix_sort_by_key(keys, values);
+  EXPECT_EQ(download(keys), (std::vector<u64>{100, 200, 300}));
+  EXPECT_EQ(download(values), (std::vector<u32>{1, 2, 3}));
+}
+
+TEST_F(RadixSortTest, ByKeyIsStable) {
+  auto keys = upload<u64>({1, 0, 1, 0, 1});
+  auto values = upload<u32>({10, 20, 30, 40, 50});
+  radix_sort_by_key(keys, values);
+  EXPECT_EQ(download(values), (std::vector<u32>{20, 40, 10, 30, 50}));
+}
+
+TEST_F(RadixSortTest, ByKeyMatchesStableSortReference) {
+  util::Xoshiro256 rng(3);
+  std::vector<u64> keys_h(5000);
+  std::vector<u32> values_h(5000);
+  for (std::size_t i = 0; i < keys_h.size(); ++i) {
+    keys_h[i] = rng.next_below(100);  // many duplicates stress stability
+    values_h[i] = static_cast<u32>(i);
+  }
+  auto keys = upload(keys_h);
+  auto values = upload(values_h);
+  radix_sort_by_key(keys, values);
+
+  std::vector<u64> order(keys_h.size());
+  std::iota(order.begin(), order.end(), u64{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](u64 a, u64 b) { return keys_h[a] < keys_h[b]; });
+  std::vector<u32> expected_values(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    expected_values[i] = values_h[order[i]];
+  }
+  EXPECT_EQ(download(values), expected_values);
+}
+
+TEST_F(RadixSortTest, ScratchReleasedAfterCall) {
+  auto dev = upload<u64>(std::vector<u64>(1000, 1));
+  const std::size_t used_before = ctx_.arena().used();
+  radix_sort(dev);
+  EXPECT_EQ(ctx_.arena().used(), used_before);
+}
+
+TEST_F(RadixSortTest, ScratchRespectsDeviceCapacity) {
+  DeviceContext tiny(DeviceSpec::small_test_device(1 << 10));
+  DeviceVector<u64> dev(tiny, 100);  // 800 of 1024 bytes
+  EXPECT_THROW(radix_sort(dev), DeviceError);  // scratch cannot fit
+}
+
+TEST_F(RadixSortTest, ChargesSortCost) {
+  auto dev = upload<u64>(std::vector<u64>(5000, 7));
+  ctx_.reset_timeline();
+  radix_sort(dev);
+  EXPECT_NEAR(ctx_.gpu_seconds(), ctx_.sort_cost(5000), 1e-12);
+}
+
+}  // namespace
+}  // namespace gpclust::device

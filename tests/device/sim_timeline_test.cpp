@@ -1,0 +1,77 @@
+#include "device/sim_timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpclust::device {
+namespace {
+
+TEST(SimTimeline, SingleStreamSerializesOps) {
+  SimTimeline t(1);
+  EXPECT_DOUBLE_EQ(t.enqueue(0, OpKind::CopyH2D, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.enqueue(0, OpKind::Kernel, 2.0), 3.0);
+  EXPECT_DOUBLE_EQ(t.enqueue(0, OpKind::CopyD2H, 0.5), 3.5);
+  EXPECT_DOUBLE_EQ(t.makespan(), 3.5);
+}
+
+TEST(SimTimeline, BusyTotalsPerKind) {
+  SimTimeline t(2);
+  t.enqueue(0, OpKind::Kernel, 2.0);
+  t.enqueue(1, OpKind::Kernel, 3.0);
+  t.enqueue(0, OpKind::CopyD2H, 1.0);
+  EXPECT_DOUBLE_EQ(t.busy(OpKind::Kernel), 5.0);
+  EXPECT_DOUBLE_EQ(t.busy(OpKind::CopyD2H), 1.0);
+  EXPECT_DOUBLE_EQ(t.busy(OpKind::CopyH2D), 0.0);
+  EXPECT_EQ(t.num_ops(), 3u);
+}
+
+TEST(SimTimeline, IndependentStreamsOverlap) {
+  SimTimeline t(2);
+  t.enqueue(0, OpKind::Kernel, 5.0);
+  t.enqueue(1, OpKind::CopyD2H, 3.0);
+  // Overlapping ops: makespan is the max, not the sum.
+  EXPECT_DOUBLE_EQ(t.makespan(), 5.0);
+}
+
+TEST(SimTimeline, CrossStreamDependencyDelaysStart) {
+  SimTimeline t(2);
+  const double kernel_done = t.enqueue(0, OpKind::Kernel, 4.0);
+  // Copy depends on the kernel's output: starts at 4.0, ends at 6.0.
+  const double copy_done = t.enqueue(1, OpKind::CopyD2H, 2.0, kernel_done);
+  EXPECT_DOUBLE_EQ(copy_done, 6.0);
+  EXPECT_DOUBLE_EQ(t.makespan(), 6.0);
+}
+
+TEST(SimTimeline, PipelineOverlapModel) {
+  // Two iterations: kernel_i on stream 0, copy of result_i on stream 1.
+  // Copy of iteration 0 overlaps kernel of iteration 1 — the async pattern
+  // the paper's future-work section describes.
+  SimTimeline t(2);
+  const double k0 = t.enqueue(0, OpKind::Kernel, 4.0);
+  const double k1 = t.enqueue(0, OpKind::Kernel, 4.0);
+  const double c0 = t.enqueue(1, OpKind::CopyD2H, 3.0, k0);
+  const double c1 = t.enqueue(1, OpKind::CopyD2H, 3.0, k1);
+  EXPECT_DOUBLE_EQ(k1, 8.0);
+  EXPECT_DOUBLE_EQ(c0, 7.0);
+  EXPECT_DOUBLE_EQ(c1, 11.0);          // max(8, 7) + 3
+  EXPECT_DOUBLE_EQ(t.makespan(), 11.0);  // sync would be 4+3+4+3 = 14
+}
+
+TEST(SimTimeline, ResetClearsState) {
+  SimTimeline t(2);
+  t.enqueue(0, OpKind::Kernel, 1.0);
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.makespan(), 0.0);
+  EXPECT_DOUBLE_EQ(t.busy(OpKind::Kernel), 0.0);
+  EXPECT_EQ(t.num_ops(), 0u);
+}
+
+TEST(SimTimeline, Validation) {
+  EXPECT_THROW(SimTimeline(0), InvalidArgument);
+  SimTimeline t(1);
+  EXPECT_THROW(t.enqueue(5, OpKind::Kernel, 1.0), InvalidArgument);
+  EXPECT_THROW(t.enqueue(0, OpKind::Kernel, -1.0), InvalidArgument);
+  EXPECT_THROW(t.stream_cursor(9), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpclust::device

@@ -1,0 +1,155 @@
+#include "device/simt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace gpclust::device {
+namespace {
+
+class SimtTest : public ::testing::Test {
+ protected:
+  DeviceContext ctx_{DeviceSpec::small_test_device(1 << 20)};
+};
+
+TEST_F(SimtTest, EveryThreadExecutesOnce) {
+  std::vector<int> hits(1000, 0);
+  LaunchConfig cfg;
+  cfg.num_threads = hits.size();
+  simt_launch(ctx_, cfg, [&](const ThreadIdx& idx, LaneCtx&) {
+    ++hits[idx.global];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST_F(SimtTest, ThreadCoordinatesAreConsistent) {
+  LaunchConfig cfg;
+  cfg.num_threads = 300;
+  cfg.block_dim = 128;
+  simt_launch(ctx_, cfg, [&](const ThreadIdx& idx, LaneCtx&) {
+    EXPECT_EQ(idx.global, idx.block * 128 + idx.thread);
+    EXPECT_EQ(idx.lane, idx.global % ctx_.spec().warp_size);
+    EXPECT_EQ(idx.warp, idx.global / ctx_.spec().warp_size);
+    EXPECT_LT(idx.thread, 128u);
+  });
+}
+
+TEST_F(SimtTest, UniformBranchesDoNotDiverge) {
+  LaunchConfig cfg;
+  cfg.num_threads = 256;
+  const auto stats = simt_launch(ctx_, cfg, [](const ThreadIdx&, LaneCtx& lane) {
+    lane.branch(true);   // every lane takes the same path
+    lane.branch(false);
+  });
+  EXPECT_EQ(stats.warps_executed, 8u);
+  EXPECT_EQ(stats.divergent_warps, 0u);
+  EXPECT_EQ(stats.branch_rounds, 0u);
+  EXPECT_DOUBLE_EQ(stats.divergence_rate(), 0.0);
+}
+
+TEST_F(SimtTest, AlternatingBranchDivergesEveryWarp) {
+  LaunchConfig cfg;
+  cfg.num_threads = 256;
+  const auto stats =
+      simt_launch(ctx_, cfg, [](const ThreadIdx& idx, LaneCtx& lane) {
+        lane.branch(idx.global % 2 == 0);
+      });
+  EXPECT_EQ(stats.warps_executed, 8u);
+  EXPECT_EQ(stats.divergent_warps, 8u);
+  EXPECT_EQ(stats.branch_rounds, 8u);
+  EXPECT_DOUBLE_EQ(stats.divergence_rate(), 1.0);
+}
+
+TEST_F(SimtTest, WarpAlignedBranchDoesNotDiverge) {
+  // Branch decided per warp: lanes of any one warp agree.
+  LaunchConfig cfg;
+  cfg.num_threads = 256;
+  const auto stats =
+      simt_launch(ctx_, cfg, [](const ThreadIdx& idx, LaneCtx& lane) {
+        lane.branch(idx.warp % 2 == 0);
+      });
+  EXPECT_EQ(stats.divergent_warps, 0u);
+}
+
+TEST_F(SimtTest, SingleDivergentWarpCounted) {
+  // Only the warp containing the 40-boundary splits (threads 32..63).
+  LaunchConfig cfg;
+  cfg.num_threads = 128;
+  const auto stats =
+      simt_launch(ctx_, cfg, [](const ThreadIdx& idx, LaneCtx& lane) {
+        lane.branch(idx.global < 40);
+      });
+  EXPECT_EQ(stats.warps_executed, 4u);
+  EXPECT_EQ(stats.divergent_warps, 1u);
+}
+
+TEST_F(SimtTest, MultipleBranchPointsAccumulateRounds) {
+  LaunchConfig cfg;
+  cfg.num_threads = 32;  // one warp
+  const auto stats =
+      simt_launch(ctx_, cfg, [](const ThreadIdx& idx, LaneCtx& lane) {
+        lane.branch(idx.lane < 16);  // diverges
+        lane.branch(idx.lane % 2 == 0);  // diverges
+        lane.branch(true);  // uniform
+      });
+  EXPECT_EQ(stats.divergent_warps, 1u);
+  EXPECT_EQ(stats.branch_rounds, 2u);
+}
+
+TEST_F(SimtTest, EarlyExitLanesDoNotForceDivergenceAlone) {
+  // Lanes that record fewer votes (early return) only diverge branches
+  // they actually reached.
+  LaunchConfig cfg;
+  cfg.num_threads = 32;
+  const auto stats =
+      simt_launch(ctx_, cfg, [](const ThreadIdx& idx, LaneCtx& lane) {
+        if (idx.lane >= 16) return;  // untracked structural exit
+        lane.branch(true);           // all reaching lanes agree
+      });
+  EXPECT_EQ(stats.divergent_warps, 0u);
+}
+
+TEST_F(SimtTest, PartialWarpPaddingCounted) {
+  LaunchConfig cfg;
+  cfg.num_threads = 40;  // one full warp + 8 of 32
+  const auto stats = simt_launch(ctx_, cfg, [](const ThreadIdx&, LaneCtx&) {});
+  EXPECT_EQ(stats.warps_executed, 2u);
+  EXPECT_EQ(stats.inactive_lanes, 24u);
+}
+
+TEST_F(SimtTest, DivergenceChargesExtraModeledTime) {
+  LaunchConfig cfg;
+  cfg.num_threads = 1024;
+
+  ctx_.reset_timeline();
+  simt_launch(ctx_, cfg, [](const ThreadIdx&, LaneCtx& lane) {
+    lane.branch(true);
+  });
+  const double uniform_time = ctx_.gpu_seconds();
+
+  ctx_.reset_timeline();
+  simt_launch(ctx_, cfg, [](const ThreadIdx& idx, LaneCtx& lane) {
+    lane.branch(idx.lane % 2 == 0);
+  });
+  EXPECT_GT(ctx_.gpu_seconds(), uniform_time);
+}
+
+TEST_F(SimtTest, Validation) {
+  LaunchConfig cfg;
+  cfg.num_threads = 8;
+  cfg.block_dim = 0;
+  EXPECT_THROW(simt_launch(ctx_, cfg, [](const ThreadIdx&, LaneCtx&) {}),
+               InvalidArgument);
+}
+
+TEST_F(SimtTest, EmptyLaunchIsNoop) {
+  LaunchConfig cfg;
+  cfg.num_threads = 0;
+  const auto stats =
+      simt_launch(ctx_, cfg, [](const ThreadIdx&, LaneCtx&) { FAIL(); });
+  EXPECT_EQ(stats.warps_executed, 0u);
+}
+
+}  // namespace
+}  // namespace gpclust::device

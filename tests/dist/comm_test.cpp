@@ -1,0 +1,143 @@
+#include "dist/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace gpclust::dist {
+namespace {
+
+TEST(Comm, SendRecvPointToPoint) {
+  run_ranks(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send<u32>(1, 7, {10, 20, 30});
+    } else {
+      EXPECT_EQ(comm.recv<u32>(0, 7), (std::vector<u32>{10, 20, 30}));
+    }
+  });
+}
+
+TEST(Comm, SelfSendWorks) {
+  run_ranks(1, [](Communicator& comm) {
+    comm.send<u64>(0, 1, {42});
+    EXPECT_EQ(comm.recv<u64>(0, 1), (std::vector<u64>{42}));
+  });
+}
+
+TEST(Comm, FifoOrderPerChannel) {
+  run_ranks(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (u32 i = 0; i < 50; ++i) comm.send<u32>(1, 3, {i});
+    } else {
+      for (u32 i = 0; i < 50; ++i) {
+        EXPECT_EQ(comm.recv<u32>(0, 3)[0], i);
+      }
+    }
+  });
+}
+
+TEST(Comm, TagsAreIndependentChannels) {
+  run_ranks(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send<u32>(1, 1, {111});
+      comm.send<u32>(1, 2, {222});
+    } else {
+      // Receive in reverse tag order: must not block or mix.
+      EXPECT_EQ(comm.recv<u32>(0, 2)[0], 222u);
+      EXPECT_EQ(comm.recv<u32>(0, 1)[0], 111u);
+    }
+  });
+}
+
+TEST(Comm, EmptyPayloadDelivered) {
+  run_ranks(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send<u32>(1, 5, {});
+    } else {
+      EXPECT_TRUE(comm.recv<u32>(0, 5).empty());
+    }
+  });
+}
+
+TEST(Comm, BarrierSynchronizes) {
+  std::atomic<int> before{0}, after{0};
+  run_ranks(4, [&](Communicator& comm) {
+    ++before;
+    comm.barrier();
+    EXPECT_EQ(before.load(), 4) << "barrier released too early";
+    ++after;
+    comm.barrier();
+    EXPECT_EQ(after.load(), 4);
+  });
+}
+
+TEST(Comm, AllToAllRoutesBuckets) {
+  run_ranks(3, [](Communicator& comm) {
+    // Rank r sends value 100*r + d to rank d.
+    std::vector<std::vector<u32>> out(3);
+    for (RankId d = 0; d < 3; ++d) {
+      out[d] = {static_cast<u32>(100 * comm.rank() + d)};
+    }
+    const auto in = comm.all_to_all(out);
+    for (RankId s = 0; s < 3; ++s) {
+      ASSERT_EQ(in[s].size(), 1u);
+      EXPECT_EQ(in[s][0], 100 * s + comm.rank());
+    }
+  });
+}
+
+TEST(Comm, GatherToRootConcatenatesInRankOrder) {
+  run_ranks(4, [](Communicator& comm) {
+    const std::vector<u32> mine = {static_cast<u32>(comm.rank()),
+                                   static_cast<u32>(comm.rank())};
+    const auto all = comm.gather_to_root(mine);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(all, (std::vector<u32>{0, 0, 1, 1, 2, 2, 3, 3}));
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(Comm, BroadcastReachesEveryRank) {
+  run_ranks(3, [](Communicator& comm) {
+    std::vector<u64> payload;
+    if (comm.rank() == 0) payload = {7, 8, 9};
+    EXPECT_EQ(comm.broadcast(payload), (std::vector<u64>{7, 8, 9}));
+  });
+}
+
+TEST(Comm, AllReduceSum) {
+  run_ranks(5, [](Communicator& comm) {
+    EXPECT_EQ(comm.all_reduce_sum(comm.rank() + 1), 15u);  // 1+2+3+4+5
+  });
+}
+
+TEST(Comm, ExclusivePrefixSum) {
+  run_ranks(4, [](Communicator& comm) {
+    // values 10, 20, 30, 40 -> prefixes 0, 10, 30, 60.
+    const u64 prefix = comm.exclusive_prefix_sum(10 * (comm.rank() + 1));
+    EXPECT_EQ(prefix, (std::vector<u64>{0, 10, 30, 60})[comm.rank()]);
+  });
+}
+
+TEST(Comm, ExceptionsPropagateAfterJoin) {
+  EXPECT_THROW(run_ranks(2,
+                         [](Communicator& comm) {
+                           if (comm.rank() == 1) {
+                             throw std::runtime_error("rank failure");
+                           }
+                         }),
+               std::runtime_error);
+}
+
+TEST(Comm, Validation) {
+  EXPECT_THROW(run_ranks(0, [](Communicator&) {}), InvalidArgument);
+  run_ranks(2, [](Communicator& comm) {
+    EXPECT_THROW(comm.send<u32>(5, 0, {1}), InvalidArgument);
+  });
+}
+
+}  // namespace
+}  // namespace gpclust::dist

@@ -1,0 +1,76 @@
+#include "dist/mapreduce_shingling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/serial_pclust.hpp"
+#include "graph/generators.hpp"
+
+namespace gpclust::dist {
+namespace {
+
+core::ShinglingParams test_params() {
+  core::ShinglingParams p;
+  p.c1 = 25;
+  p.c2 = 12;
+  p.seed = 808;
+  return p;
+}
+
+u64 serial_digest(const graph::CsrGraph& g, const core::ShinglingParams& p) {
+  auto c = core::SerialShingler(p).cluster(g);
+  c.normalize();
+  return c.digest();
+}
+
+class WorkerSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WorkerSweep, MatchesSerialOnRandomGraph) {
+  const auto g = graph::generate_erdos_renyi(300, 0.04, 71);
+  const auto p = test_params();
+  auto c = mapreduce_cluster(g, p, GetParam());
+  c.normalize();
+  EXPECT_EQ(c.digest(), serial_digest(g, p));
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, WorkerSweep,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(MapReduceShingling, MatchesSerialOnPlantedFamilies) {
+  graph::PlantedFamilyConfig cfg;
+  cfg.num_families = 10;
+  cfg.min_family_size = 8;
+  cfg.max_family_size = 25;
+  cfg.num_singletons = 15;
+  cfg.seed = 3;
+  const auto pg = graph::generate_planted_families(cfg);
+  const auto p = test_params();
+  auto c = mapreduce_cluster(pg.graph, p, 3);
+  c.normalize();
+  EXPECT_EQ(c.digest(), serial_digest(pg.graph, p));
+  EXPECT_TRUE(c.is_partition());
+}
+
+TEST(MapReduceShingling, AgreesWithMessagePassingImplementation) {
+  // Three parallel formulations of the same algorithm, one answer.
+  const auto g = graph::generate_erdos_renyi(200, 0.08, 17);
+  const auto p = test_params();
+  auto via_mr = mapreduce_cluster(g, p, 4);
+  via_mr.normalize();
+  EXPECT_EQ(via_mr.digest(), serial_digest(g, p));
+}
+
+TEST(MapReduceShingling, EmptyGraph) {
+  const graph::CsrGraph g;
+  EXPECT_EQ(mapreduce_cluster(g, test_params(), 2).num_clusters(), 0u);
+}
+
+TEST(MapReduceShingling, ValidatesParams) {
+  const auto g = graph::generate_erdos_renyi(10, 0.5, 1);
+  EXPECT_THROW(mapreduce_cluster(g, test_params(), 0), InvalidArgument);
+  auto p = test_params();
+  p.prime = 5;
+  EXPECT_THROW(mapreduce_cluster(g, p, 2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpclust::dist

@@ -1,0 +1,110 @@
+#include "dist/mapreduce.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+namespace gpclust::dist {
+namespace {
+
+TEST(MapReduce, WordCountStyleJob) {
+  const std::vector<std::string> docs = {"a b a", "b c", "a"};
+  std::map<char, int> counts;
+  run_mapreduce<std::string, char, int>(
+      docs,
+      [](std::size_t, const std::string& doc,
+         const std::function<void(char, int)>& emit) {
+        for (char c : doc) {
+          if (c != ' ') emit(c, 1);
+        }
+      },
+      [&](const char& key, const std::vector<int>& values) {
+        counts[key] = static_cast<int>(values.size());
+      });
+  EXPECT_EQ(counts['a'], 3);
+  EXPECT_EQ(counts['b'], 2);
+  EXPECT_EQ(counts['c'], 1);
+}
+
+TEST(MapReduce, ReducersSeeKeysInSortedOrder) {
+  const std::vector<int> inputs = {5, 3, 9, 1};
+  std::vector<int> seen;
+  run_mapreduce<int, int, int>(
+      inputs,
+      [](std::size_t, const int& x, const std::function<void(int, int)>& emit) {
+        emit(x, x);
+      },
+      [&](const int& key, const std::vector<int>&) { seen.push_back(key); });
+  EXPECT_EQ(seen, (std::vector<int>{1, 3, 5, 9}));
+}
+
+TEST(MapReduce, ValuesPreserveEmissionOrderWithinKey) {
+  const std::vector<int> inputs = {0, 1, 2, 3};
+  std::vector<int> values_for_key;
+  run_mapreduce<int, int, int>(
+      inputs,
+      [](std::size_t i, const int&, const std::function<void(int, int)>& emit) {
+        emit(7, static_cast<int>(i));  // all inputs emit to one key
+      },
+      [&](const int&, const std::vector<int>& values) {
+        values_for_key = values;
+      },
+      {.num_workers = 1});
+  EXPECT_EQ(values_for_key, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(MapReduce, WorkerCountDoesNotChangeResult) {
+  std::vector<int> inputs(200);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  auto run_with = [&](std::size_t workers) {
+    std::map<int, std::size_t> result;
+    run_mapreduce<int, int, int>(
+        inputs,
+        [](std::size_t, const int& x,
+           const std::function<void(int, int)>& emit) {
+          emit(x % 7, x);
+        },
+        [&](const int& key, const std::vector<int>& values) {
+          std::size_t sum = 0;
+          for (int v : values) sum += static_cast<std::size_t>(v);
+          result[key] = sum;
+        },
+        {.num_workers = workers});
+    return result;
+  };
+  const auto one = run_with(1);
+  EXPECT_EQ(one, run_with(2));
+  EXPECT_EQ(one, run_with(8));
+}
+
+TEST(MapReduce, EmptyInputsRunNoReducers) {
+  bool reduced = false;
+  run_mapreduce<int, int, int>(
+      {}, [](std::size_t, const int&, const std::function<void(int, int)>&) {},
+      [&](const int&, const std::vector<int>&) { reduced = true; });
+  EXPECT_FALSE(reduced);
+}
+
+TEST(MapReduce, MapperMayEmitNothing) {
+  const std::vector<int> inputs = {1, 2, 3};
+  std::size_t reduce_calls = 0;
+  run_mapreduce<int, int, int>(
+      inputs,
+      [](std::size_t, const int& x, const std::function<void(int, int)>& emit) {
+        if (x == 2) emit(0, x);  // only one input emits
+      },
+      [&](const int&, const std::vector<int>&) { ++reduce_calls; });
+  EXPECT_EQ(reduce_calls, 1u);
+}
+
+TEST(MapReduce, Validation) {
+  EXPECT_THROW(
+      run_mapreduce<int, int, int>(
+          {1}, [](std::size_t, const int&, const std::function<void(int, int)>&) {},
+          [](const int&, const std::vector<int>&) {}, {.num_workers = 0}),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpclust::dist

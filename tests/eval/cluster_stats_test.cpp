@@ -1,0 +1,55 @@
+#include "eval/cluster_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpclust::eval {
+namespace {
+
+core::Clustering sample() {
+  std::vector<std::vector<VertexId>> clusters;
+  // Sizes 25, 60, 150, 2500, 3 (below the Figure 5 bins).
+  VertexId next = 0;
+  for (std::size_t size : {25u, 60u, 150u, 2500u, 3u}) {
+    std::vector<VertexId> c(size);
+    for (auto& v : c) v = next++;
+    clusters.push_back(std::move(c));
+  }
+  return core::Clustering(std::move(clusters), next);
+}
+
+TEST(PartitionStats, MatchesHandCounts) {
+  const auto stats = partition_stats(sample());
+  EXPECT_EQ(stats.num_groups, 5u);
+  EXPECT_EQ(stats.num_sequences, 25u + 60 + 150 + 2500 + 3);
+  EXPECT_EQ(stats.largest, 2500u);
+  EXPECT_NEAR(stats.group_size.mean(), (25.0 + 60 + 150 + 2500 + 3) / 5, 1e-9);
+}
+
+TEST(GroupSizeHistogram, BinsGroupsLikeFigure5a) {
+  const auto hist = group_size_histogram(sample());
+  EXPECT_EQ(hist.count(0), 1u);  // 25 in [20,50)
+  EXPECT_EQ(hist.count(1), 1u);  // 60 in [50,100)
+  EXPECT_EQ(hist.count(2), 1u);  // 150 in [100,200)
+  EXPECT_EQ(hist.count(3), 0u);
+  EXPECT_EQ(hist.count(6), 1u);  // 2500 in >=2000
+  EXPECT_EQ(hist.underflow(), 1u);  // the size-3 cluster
+}
+
+TEST(SequenceDistributionHistogram, WeightsBySizeLikeFigure5b) {
+  const auto hist = sequence_distribution_histogram(sample());
+  EXPECT_EQ(hist.count(0), 25u);
+  EXPECT_EQ(hist.count(1), 60u);
+  EXPECT_EQ(hist.count(2), 150u);
+  EXPECT_EQ(hist.count(6), 2500u);
+  EXPECT_EQ(hist.underflow(), 3u);
+}
+
+TEST(PartitionStats, EmptyClustering) {
+  const auto stats = partition_stats(core::Clustering({}, 0));
+  EXPECT_EQ(stats.num_groups, 0u);
+  EXPECT_EQ(stats.num_sequences, 0u);
+  EXPECT_EQ(stats.largest, 0u);
+}
+
+}  // namespace
+}  // namespace gpclust::eval

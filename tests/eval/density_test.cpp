@@ -1,0 +1,83 @@
+#include "eval/density.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace gpclust::eval {
+namespace {
+
+TEST(Density, CliqueHasDensityOne) {
+  graph::EdgeList e;
+  for (VertexId i = 0; i < 6; ++i) {
+    for (VertexId j = i + 1; j < 6; ++j) e.add(i, j);
+  }
+  const auto g = graph::CsrGraph::from_edge_list(std::move(e));
+  core::Clustering c({{0, 1, 2, 3, 4, 5}}, 6);
+  const auto d = cluster_densities(g, c);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d[0], 1.0);
+}
+
+TEST(Density, PathHasKnownDensity) {
+  graph::EdgeList e;
+  for (VertexId i = 0; i < 4; ++i) e.add(i, i + 1);  // path of 5 vertices
+  const auto g = graph::CsrGraph::from_edge_list(std::move(e));
+  core::Clustering c({{0, 1, 2, 3, 4}}, 5);
+  // 4 edges out of C(5,2) = 10 possible.
+  EXPECT_DOUBLE_EQ(cluster_densities(g, c)[0], 0.4);
+}
+
+TEST(Density, SingletonConventionIsOne) {
+  // Paper: "if each vertex ... is reported as an individual cluster by
+  // itself, then the average density of the reported clusters is 1".
+  const auto g = graph::generate_erdos_renyi(10, 0.3, 1);
+  std::vector<std::vector<VertexId>> singles;
+  for (VertexId v = 0; v < 10; ++v) singles.push_back({v});
+  core::Clustering c(std::move(singles), 10);
+  const auto stats = density_stats(g, c);
+  EXPECT_DOUBLE_EQ(stats.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(Density, EdgesOutsideClusterDoNotCount) {
+  graph::EdgeList e;
+  e.add(0, 1);
+  e.add(1, 2);  // 2 is outside the cluster
+  const auto g = graph::CsrGraph::from_edge_list(std::move(e));
+  core::Clustering c({{0, 1}}, 3);
+  EXPECT_DOUBLE_EQ(cluster_densities(g, c)[0], 1.0);
+}
+
+TEST(Density, MultipleClustersReportedInOrder) {
+  graph::EdgeList e(7);
+  e.add(0, 1);                     // pair: density 1
+  e.add(2, 3);
+  e.add(3, 4);                     // path of 3: 2 of 3 edges
+  const auto g = graph::CsrGraph::from_edge_list(std::move(e));
+  core::Clustering c({{0, 1}, {2, 3, 4}, {5, 6}}, 7);
+  const auto d = cluster_densities(g, c);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 1.0);
+  EXPECT_NEAR(d[1], 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(d[2], 0.0);  // 5-6 not adjacent
+}
+
+TEST(Density, StatsAggregateCorrectly) {
+  graph::EdgeList e(4);
+  e.add(0, 1);
+  const auto g = graph::CsrGraph::from_edge_list(std::move(e));
+  core::Clustering c({{0, 1}, {2, 3}}, 4);
+  const auto stats = density_stats(g, c);
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.5);
+}
+
+TEST(Density, MemberOutsideGraphThrows) {
+  const auto g = graph::generate_erdos_renyi(3, 1.0, 1);
+  core::Clustering c({{0, 4}}, 5);  // vertex 4 not in g
+  EXPECT_THROW(cluster_densities(g, c), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpclust::eval

@@ -1,0 +1,76 @@
+#include "eval/partition_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace gpclust::eval {
+namespace {
+
+class PartitionIoTest : public ::testing::Test {
+ protected:
+  std::string temp_path(const std::string& name) {
+    const auto dir = std::filesystem::temp_directory_path() / "gpclust_pio";
+    std::filesystem::create_directories(dir);
+    paths_.push_back((dir / name).string());
+    return paths_.back();
+  }
+  void TearDown() override {
+    for (const auto& p : paths_) std::filesystem::remove(p);
+  }
+  std::vector<std::string> paths_;
+};
+
+TEST_F(PartitionIoTest, RoundTrip) {
+  core::Clustering original({{0, 1, 2}, {5}, {3, 4}}, 6);
+  const auto path = temp_path("clusters.txt");
+  write_clusters(original, path);
+  const auto loaded = read_clusters(path, 6);
+  ASSERT_EQ(loaded.num_clusters(), 3u);
+  EXPECT_EQ(loaded.clusters(), original.clusters());
+  EXPECT_EQ(loaded.num_vertices(), 6u);
+}
+
+TEST_F(PartitionIoTest, InfersUniverseSize) {
+  core::Clustering original({{0, 7}}, 8);
+  const auto path = temp_path("infer.txt");
+  write_clusters(original, path);
+  EXPECT_EQ(read_clusters(path).num_vertices(), 8u);
+}
+
+TEST_F(PartitionIoTest, SkipsCommentsAndBlankLines) {
+  const auto path = temp_path("comments.txt");
+  {
+    std::ofstream out(path);
+    out << "# hdr\n\n1 2\n# more\n3\n";
+  }
+  const auto c = read_clusters(path, 4);
+  ASSERT_EQ(c.num_clusters(), 2u);
+  EXPECT_EQ(c.cluster(0), (std::vector<VertexId>{1, 2}));
+}
+
+TEST_F(PartitionIoTest, RejectsMalformedLine) {
+  const auto path = temp_path("bad.txt");
+  {
+    std::ofstream out(path);
+    out << "1 2 x\n";
+  }
+  EXPECT_THROW(read_clusters(path, 4), ParseError);
+}
+
+TEST_F(PartitionIoTest, ExplicitUniverseValidatesMembers) {
+  const auto path = temp_path("oob.txt");
+  {
+    std::ofstream out(path);
+    out << "0 9\n";
+  }
+  EXPECT_THROW(read_clusters(path, 5), InvalidArgument);
+}
+
+TEST_F(PartitionIoTest, MissingFileThrows) {
+  EXPECT_THROW(read_clusters("/nonexistent/c.txt", 1), ParseError);
+}
+
+}  // namespace
+}  // namespace gpclust::eval

@@ -1,0 +1,115 @@
+#include "eval/partition_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace gpclust::eval {
+namespace {
+
+/// O(n^2) reference implementation classifying every pair explicitly.
+PairConfusion brute_force(const std::vector<u32>& test,
+                          const std::vector<u32>& bench) {
+  PairConfusion out;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    for (std::size_t j = i + 1; j < test.size(); ++j) {
+      const bool t = test[i] == test[j];
+      const bool b = bench[i] == bench[j];
+      if (t && b) ++out.tp;
+      else if (t && !b) ++out.fp;
+      else if (!t && b) ++out.fn;
+      else ++out.tn;
+    }
+  }
+  return out;
+}
+
+TEST(PairConfusion, IdenticalPartitionsArePerfect) {
+  const std::vector<u32> labels = {0, 0, 1, 1, 2};
+  const auto c = compare_partitions(labels, labels);
+  EXPECT_EQ(c.fp, 0u);
+  EXPECT_EQ(c.fn, 0u);
+  EXPECT_DOUBLE_EQ(c.ppv(), 1.0);
+  EXPECT_DOUBLE_EQ(c.npv(), 1.0);
+  EXPECT_DOUBLE_EQ(c.specificity(), 1.0);
+  EXPECT_DOUBLE_EQ(c.sensitivity(), 1.0);
+}
+
+TEST(PairConfusion, HandComputedExample) {
+  // test:  {0,1} {2,3}      bench: {0,1,2} {3}
+  const std::vector<u32> test = {5, 5, 7, 7};
+  const std::vector<u32> bench = {1, 1, 1, 2};
+  const auto c = compare_partitions(test, bench);
+  // Pairs: (0,1): TP. (0,2): FN. (0,3): TN. (1,2): FN. (1,3): TN. (2,3): FP.
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.fn, 2u);
+  EXPECT_EQ(c.tn, 2u);
+  EXPECT_DOUBLE_EQ(c.ppv(), 0.5);
+  EXPECT_DOUBLE_EQ(c.sensitivity(), 1.0 / 3.0);
+}
+
+TEST(PairConfusion, SubPartitionGivesPerfectPpvLowSensitivity) {
+  // The paper's core observation: clusters that are strict refinements of
+  // the benchmark families ("core sets") give PPV = 100% and SE < 100%.
+  const std::vector<u32> test = {0, 0, 1, 1, 2, 2};
+  const std::vector<u32> bench = {9, 9, 9, 9, 8, 8};  // test refines bench
+  const auto c = compare_partitions(test, bench);
+  EXPECT_EQ(c.fp, 0u);
+  EXPECT_DOUBLE_EQ(c.ppv(), 1.0);
+  EXPECT_LT(c.sensitivity(), 1.0);
+  EXPECT_GT(c.fn, 0u);
+}
+
+TEST(PairConfusion, MatchesBruteForceOnRandomPartitions) {
+  util::Xoshiro256 rng(55);
+  for (int iter = 0; iter < 20; ++iter) {
+    const std::size_t n = 50 + rng.next_below(100);
+    std::vector<u32> test(n), bench(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      test[i] = static_cast<u32>(rng.next_below(8));
+      bench[i] = static_cast<u32>(rng.next_below(5));
+    }
+    const auto fast = compare_partitions(test, bench);
+    const auto slow = brute_force(test, bench);
+    EXPECT_EQ(fast.tp, slow.tp);
+    EXPECT_EQ(fast.fp, slow.fp);
+    EXPECT_EQ(fast.fn, slow.fn);
+    EXPECT_EQ(fast.tn, slow.tn);
+  }
+}
+
+TEST(PairConfusion, ConfusionSumsToAllPairs) {
+  util::Xoshiro256 rng(66);
+  const std::size_t n = 200;
+  std::vector<u32> test(n), bench(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    test[i] = static_cast<u32>(rng.next_below(10));
+    bench[i] = static_cast<u32>(rng.next_below(10));
+  }
+  const auto c = compare_partitions(test, bench);
+  EXPECT_EQ(c.tp + c.fp + c.fn + c.tn, n * (n - 1) / 2);
+}
+
+TEST(PairConfusion, MismatchedSizesThrow) {
+  EXPECT_THROW(compare_partitions({0, 1}, {0}), InvalidArgument);
+}
+
+TEST(LabelsWithSingletons, FilteredClustersPlusSingletons) {
+  core::Clustering c({{0, 1, 2}, {4, 5}}, 7);  // 3 and 6 unclustered
+  const auto labels = labels_with_singletons(c);
+  ASSERT_EQ(labels.size(), 7u);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[4], labels[5]);
+  EXPECT_NE(labels[0], labels[4]);
+  EXPECT_NE(labels[3], labels[6]);
+  EXPECT_NE(labels[3], labels[0]);
+}
+
+TEST(LabelsWithSingletons, RejectsOverlap) {
+  core::Clustering c({{0, 1}, {1, 2}}, 3);
+  EXPECT_THROW(labels_with_singletons(c), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpclust::eval

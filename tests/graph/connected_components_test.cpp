@@ -1,0 +1,89 @@
+#include "graph/connected_components.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace gpclust::graph {
+namespace {
+
+TEST(ConnectedComponents, TwoTrianglesAndIsolated) {
+  EdgeList e(7);
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(0, 2);
+  e.add(3, 4);
+  e.add(4, 5);
+  e.add(3, 5);
+  const auto g = CsrGraph::from_edge_list(std::move(e));
+  const auto cc = connected_components(g);
+  EXPECT_EQ(cc.num_components, 3u);  // two triangles + isolated vertex 6
+  EXPECT_EQ(cc.labels[0], cc.labels[1]);
+  EXPECT_EQ(cc.labels[3], cc.labels[5]);
+  EXPECT_NE(cc.labels[0], cc.labels[3]);
+  EXPECT_NE(cc.labels[6], cc.labels[0]);
+  EXPECT_EQ(cc.largest(), 3u);
+}
+
+TEST(ConnectedComponents, SizesSumToVertexCount) {
+  const auto g = generate_erdos_renyi(500, 0.004, 11);
+  const auto cc = connected_components(g);
+  const auto sizes = cc.component_sizes();
+  u64 total = 0;
+  for (u64 s : sizes) total += s;
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+TEST(ConnectedComponents, GroupsPartitionVertices) {
+  const auto g = generate_erdos_renyi(200, 0.01, 5);
+  const auto cc = connected_components(g);
+  const auto groups = cc.groups();
+  std::vector<bool> seen(g.num_vertices(), false);
+  for (const auto& group : groups) {
+    for (VertexId v : group) {
+      EXPECT_FALSE(seen[v]) << "vertex in two groups";
+      seen[v] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(ConnectedComponents, BfsAndUnionFindVariantsAgree) {
+  const auto g = generate_erdos_renyi(300, 0.008, 23);
+  const auto bfs = connected_components(g);
+
+  EdgeList edges(g.num_vertices());
+  for (std::size_t u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(static_cast<VertexId>(u))) {
+      if (v > u) edges.add(static_cast<VertexId>(u), v);
+    }
+  }
+  const auto uf = connected_components(g.num_vertices(), edges.edges());
+
+  ASSERT_EQ(bfs.num_components, uf.num_components);
+  // Labels may differ; co-membership must agree.
+  for (std::size_t i = 0; i < 300; i += 7) {
+    for (std::size_t j = i + 1; j < 300; j += 13) {
+      EXPECT_EQ(bfs.labels[i] == bfs.labels[j], uf.labels[i] == uf.labels[j]);
+    }
+  }
+}
+
+TEST(ConnectedComponents, EmptyGraph) {
+  const CsrGraph g;
+  const auto cc = connected_components(g);
+  EXPECT_EQ(cc.num_components, 0u);
+  EXPECT_EQ(cc.largest(), 0u);
+}
+
+TEST(ConnectedComponents, PathGraphIsOneComponent) {
+  EdgeList e;
+  for (VertexId i = 0; i < 99; ++i) e.add(i, i + 1);
+  const auto g = CsrGraph::from_edge_list(std::move(e));
+  const auto cc = connected_components(g);
+  EXPECT_EQ(cc.num_components, 1u);
+  EXPECT_EQ(cc.largest(), 100u);
+}
+
+}  // namespace
+}  // namespace gpclust::graph

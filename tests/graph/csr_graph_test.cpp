@@ -1,0 +1,111 @@
+#include "graph/csr_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace gpclust::graph {
+namespace {
+
+CsrGraph triangle_plus_pendant() {
+  // 0-1, 1-2, 0-2 triangle; 3 attached to 2; 4 isolated.
+  EdgeList e(5);
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(0, 2);
+  e.add(2, 3);
+  return CsrGraph::from_edge_list(std::move(e));
+}
+
+TEST(CsrGraph, BasicCounts) {
+  const auto g = triangle_plus_pendant();
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.num_adjacency_entries(), 8u);
+  EXPECT_EQ(g.num_singletons(), 1u);
+}
+
+TEST(CsrGraph, DegreesAndNeighbors) {
+  const auto g = triangle_plus_pendant();
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(4), 0u);
+  const auto n2 = g.neighbors(2);
+  ASSERT_EQ(n2.size(), 3u);
+  EXPECT_EQ(n2[0], 0u);
+  EXPECT_EQ(n2[1], 1u);
+  EXPECT_EQ(n2[2], 3u);
+}
+
+TEST(CsrGraph, AdjacencyListsAreSorted) {
+  const auto g = generate_erdos_renyi(200, 0.05, 7);
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(static_cast<VertexId>(v));
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  }
+}
+
+TEST(CsrGraph, SymmetryHolds) {
+  const auto g = generate_erdos_renyi(100, 0.1, 3);
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId w : g.neighbors(static_cast<VertexId>(v))) {
+      EXPECT_TRUE(g.has_edge(w, static_cast<VertexId>(v)));
+    }
+  }
+}
+
+TEST(CsrGraph, HasEdge) {
+  const auto g = triangle_plus_pendant();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(4, 0));
+  EXPECT_FALSE(g.has_edge(0, 99));  // out of range is just "no edge"
+}
+
+TEST(CsrGraph, DuplicateEdgesCollapse) {
+  EdgeList e;
+  e.add(0, 1);
+  e.add(1, 0);
+  e.add(0, 1);
+  const auto g = CsrGraph::from_edge_list(std::move(e));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(CsrGraph, FromCsrRoundTrip) {
+  const auto g = triangle_plus_pendant();
+  auto g2 = CsrGraph::from_csr(g.offsets(), g.adjacency());
+  EXPECT_EQ(g2.num_vertices(), g.num_vertices());
+  EXPECT_EQ(g2.num_adjacency_entries(), g.num_adjacency_entries());
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    const auto a = g.neighbors(static_cast<VertexId>(v));
+    const auto b = g2.neighbors(static_cast<VertexId>(v));
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+TEST(CsrGraph, FromCsrValidatesShape) {
+  EXPECT_THROW(CsrGraph::from_csr({}, {}), InvalidArgument);
+  EXPECT_THROW(CsrGraph::from_csr({0, 5}, {1}), InvalidArgument);
+  EXPECT_THROW(CsrGraph::from_csr({0, 2, 1}, {1}), InvalidArgument);
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  const CsrGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(CsrGraph, MemoryBytesIsPlausible) {
+  const auto g = triangle_plus_pendant();
+  EXPECT_EQ(g.memory_bytes(),
+            g.offsets().size() * sizeof(u64) +
+                g.adjacency().size() * sizeof(VertexId));
+}
+
+}  // namespace
+}  // namespace gpclust::graph

@@ -1,0 +1,60 @@
+#include "graph/edge_list.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpclust::graph {
+namespace {
+
+TEST(EdgeList, AddCanonicalizesEndpointOrder) {
+  EdgeList e;
+  e.add(5, 2);
+  ASSERT_EQ(e.raw_size(), 1u);
+  EXPECT_EQ(e.edges()[0], (Edge{2, 5}));
+}
+
+TEST(EdgeList, SelfLoopsAreDropped) {
+  EdgeList e;
+  e.add(3, 3);
+  EXPECT_EQ(e.raw_size(), 0u);
+}
+
+TEST(EdgeList, NumVerticesTracksMaxEndpoint) {
+  EdgeList e;
+  EXPECT_EQ(e.num_vertices(), 0u);
+  e.add(0, 9);
+  EXPECT_EQ(e.num_vertices(), 10u);
+  e.add(1, 2);
+  EXPECT_EQ(e.num_vertices(), 10u);
+}
+
+TEST(EdgeList, ConstructorHintIsFloor) {
+  EdgeList e(100);
+  e.add(0, 1);
+  EXPECT_EQ(e.num_vertices(), 100u);
+  e.add(0, 200);
+  EXPECT_EQ(e.num_vertices(), 201u);
+}
+
+TEST(EdgeList, CanonicalizeRemovesDuplicates) {
+  EdgeList e;
+  e.add(1, 2);
+  e.add(2, 1);
+  e.add(1, 2);
+  e.add(0, 3);
+  e.canonicalize();
+  ASSERT_EQ(e.edges().size(), 2u);
+  EXPECT_EQ(e.edges()[0], (Edge{0, 3}));
+  EXPECT_EQ(e.edges()[1], (Edge{1, 2}));
+}
+
+TEST(EdgeList, MergeCombinesEdgesAndVertexCounts) {
+  EdgeList a(10), b;
+  a.add(0, 1);
+  b.add(20, 21);
+  a.merge(b);
+  EXPECT_EQ(a.raw_size(), 2u);
+  EXPECT_EQ(a.num_vertices(), 22u);
+}
+
+}  // namespace
+}  // namespace gpclust::graph

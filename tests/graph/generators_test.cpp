@@ -1,0 +1,163 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/connected_components.hpp"
+#include "graph/graph_stats.hpp"
+
+namespace gpclust::graph {
+namespace {
+
+PlantedFamilyConfig small_config() {
+  PlantedFamilyConfig cfg;
+  cfg.num_families = 20;
+  cfg.min_family_size = 5;
+  cfg.max_family_size = 50;
+  cfg.intra_family_edge_prob = 0.8;
+  cfg.intra_superfamily_edge_prob = 0.02;
+  cfg.noise_edges_per_vertex = 0.05;
+  cfg.num_singletons = 30;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(PlantedFamilies, DeterministicForSameSeed) {
+  const auto a = generate_planted_families(small_config());
+  const auto b = generate_planted_families(small_config());
+  EXPECT_EQ(a.graph.num_vertices(), b.graph.num_vertices());
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  EXPECT_EQ(a.family, b.family);
+  EXPECT_EQ(a.superfamily, b.superfamily);
+}
+
+TEST(PlantedFamilies, DifferentSeedsDiffer) {
+  auto cfg = small_config();
+  const auto a = generate_planted_families(cfg);
+  cfg.seed = 8;
+  const auto b = generate_planted_families(cfg);
+  EXPECT_NE(a.graph.num_edges(), b.graph.num_edges());
+}
+
+TEST(PlantedFamilies, LabelsCoverEveryVertex) {
+  const auto pg = generate_planted_families(small_config());
+  ASSERT_EQ(pg.family.size(), pg.graph.num_vertices());
+  ASSERT_EQ(pg.superfamily.size(), pg.graph.num_vertices());
+}
+
+TEST(PlantedFamilies, SingletonsAreIsolatedWithUniqueLabels) {
+  const auto cfg = small_config();
+  const auto pg = generate_planted_families(cfg);
+  std::map<u32, int> family_count;
+  std::size_t isolated = 0;
+  for (std::size_t v = 0; v < pg.graph.num_vertices(); ++v) {
+    if (pg.graph.degree(static_cast<VertexId>(v)) == 0) {
+      ++isolated;
+      EXPECT_GE(pg.family[v], cfg.num_families) << "singleton label reused";
+      ++family_count[pg.family[v]];
+    }
+  }
+  EXPECT_GE(isolated, cfg.num_singletons);
+  for (const auto& [label, count] : family_count) EXPECT_EQ(count, 1);
+}
+
+TEST(PlantedFamilies, FamiliesRefineSuperfamilies) {
+  const auto pg = generate_planted_families(small_config());
+  std::map<u32, u32> family_to_super;
+  for (std::size_t v = 0; v < pg.family.size(); ++v) {
+    auto [it, inserted] =
+        family_to_super.emplace(pg.family[v], pg.superfamily[v]);
+    EXPECT_EQ(it->second, pg.superfamily[v])
+        << "family split across superfamilies";
+  }
+}
+
+TEST(PlantedFamilies, IntraFamilyDensityNearConfig) {
+  auto cfg = small_config();
+  cfg.num_families = 5;
+  cfg.min_family_size = 40;
+  cfg.max_family_size = 40;
+  cfg.intra_superfamily_edge_prob = 0.0;
+  cfg.noise_edges_per_vertex = 0.0;
+  cfg.num_singletons = 0;
+  const auto pg = generate_planted_families(cfg);
+  // Count intra-family edges per family.
+  std::map<u32, u64> edges_in;
+  for (std::size_t u = 0; u < pg.graph.num_vertices(); ++u) {
+    for (VertexId v : pg.graph.neighbors(static_cast<VertexId>(u))) {
+      if (v > u && pg.family[u] == pg.family[v]) ++edges_in[pg.family[u]];
+    }
+  }
+  for (const auto& [fam, count] : edges_in) {
+    const double density = static_cast<double>(count) / (40.0 * 39.0 / 2.0);
+    EXPECT_NEAR(density, cfg.intra_family_edge_prob, 0.12);
+  }
+}
+
+TEST(PlantedFamilies, ZeroCrossEdgesKeepsFamiliesSeparate) {
+  auto cfg = small_config();
+  cfg.intra_superfamily_edge_prob = 0.0;
+  cfg.noise_edges_per_vertex = 0.0;
+  const auto pg = generate_planted_families(cfg);
+  for (std::size_t u = 0; u < pg.graph.num_vertices(); ++u) {
+    for (VertexId v : pg.graph.neighbors(static_cast<VertexId>(u))) {
+      EXPECT_EQ(pg.family[u], pg.family[v]);
+    }
+  }
+}
+
+TEST(PlantedFamilies, ValidatesConfig) {
+  PlantedFamilyConfig cfg;
+  cfg.num_families = 0;
+  EXPECT_THROW(generate_planted_families(cfg), InvalidArgument);
+  cfg = PlantedFamilyConfig{};
+  cfg.min_family_size = 1;
+  EXPECT_THROW(generate_planted_families(cfg), InvalidArgument);
+  cfg = PlantedFamilyConfig{};
+  cfg.min_family_size = 100;
+  cfg.max_family_size = 10;
+  EXPECT_THROW(generate_planted_families(cfg), InvalidArgument);
+}
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+  const std::size_t n = 500;
+  const double p = 0.02;
+  const auto g = generate_erdos_renyi(n, p, 13);
+  const double expected = p * static_cast<double>(n) * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 0.15 * expected);
+}
+
+TEST(ErdosRenyi, ProbabilityZeroAndOne) {
+  const auto empty = generate_erdos_renyi(50, 0.0, 1);
+  EXPECT_EQ(empty.num_edges(), 0u);
+  const auto complete = generate_erdos_renyi(20, 1.0, 1);
+  EXPECT_EQ(complete.num_edges(), 190u);
+}
+
+TEST(ErdosRenyi, RejectsBadProbability) {
+  EXPECT_THROW(generate_erdos_renyi(10, -0.1, 1), InvalidArgument);
+  EXPECT_THROW(generate_erdos_renyi(10, 1.5, 1), InvalidArgument);
+}
+
+TEST(PowerLaw, AverageDegreeApproximatelyRequested) {
+  const auto g = generate_power_law(5000, 10.0, 2.0, 99);
+  // Dedup and self-loop removal lose some edges; allow slack.
+  const double avg = 2.0 * static_cast<double>(g.num_edges()) / 5000.0;
+  EXPECT_GT(avg, 6.0);
+  EXPECT_LT(avg, 11.0);
+}
+
+TEST(PowerLaw, DegreeDistributionIsSkewed) {
+  const auto g = generate_power_law(5000, 8.0, 1.8, 5);
+  std::size_t max_degree = 0;
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    max_degree = std::max(max_degree, g.degree(static_cast<VertexId>(v)));
+  }
+  const auto stats = compute_graph_stats(g);
+  // Heavy tail: the max degree should far exceed the mean.
+  EXPECT_GT(static_cast<double>(max_degree), 5.0 * stats.degree.mean());
+}
+
+}  // namespace
+}  // namespace gpclust::graph

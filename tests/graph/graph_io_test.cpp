@@ -1,0 +1,104 @@
+#include "graph/graph_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/generators.hpp"
+
+namespace gpclust::graph {
+namespace {
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  std::string temp_path(const std::string& name) {
+    const auto dir = std::filesystem::temp_directory_path() / "gpclust_io_test";
+    std::filesystem::create_directories(dir);
+    paths_.push_back((dir / name).string());
+    return paths_.back();
+  }
+
+  void TearDown() override {
+    for (const auto& p : paths_) std::filesystem::remove(p);
+  }
+
+  std::vector<std::string> paths_;
+};
+
+void expect_same_graph(const CsrGraph& a, const CsrGraph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (std::size_t v = 0; v < a.num_vertices(); ++v) {
+    const auto na = a.neighbors(static_cast<VertexId>(v));
+    const auto nb = b.neighbors(static_cast<VertexId>(v));
+    ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()))
+        << "adjacency mismatch at vertex " << v;
+  }
+}
+
+TEST_F(GraphIoTest, TextRoundTrip) {
+  const auto g = generate_erdos_renyi(150, 0.05, 9);
+  const auto path = temp_path("roundtrip.txt");
+  write_edge_list_text(g, path);
+  const auto g2 = read_edge_list_text(path);
+  // Text format drops trailing isolated vertices; compare on shared prefix.
+  ASSERT_LE(g2.num_vertices(), g.num_vertices());
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+}
+
+TEST_F(GraphIoTest, BinaryRoundTripIsExact) {
+  const auto g = generate_erdos_renyi(200, 0.03, 4);
+  const auto path = temp_path("roundtrip.bin");
+  write_csr_binary(g, path);
+  const auto g2 = read_csr_binary(path);
+  expect_same_graph(g, g2);
+}
+
+TEST_F(GraphIoTest, TextReaderSkipsCommentsAndBlanks) {
+  const auto path = temp_path("comments.txt");
+  {
+    std::ofstream out(path);
+    out << "# header\n\n0 1\n# mid comment\n1 2\n";
+  }
+  const auto g = read_edge_list_text(path);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST_F(GraphIoTest, TextReaderRejectsMalformedLine) {
+  const auto path = temp_path("bad.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\nnot-a-number 3\n";
+  }
+  EXPECT_THROW(read_edge_list_text(path), ParseError);
+}
+
+TEST_F(GraphIoTest, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_text("/nonexistent/gp.txt"), ParseError);
+  EXPECT_THROW(read_csr_binary("/nonexistent/gp.bin"), ParseError);
+}
+
+TEST_F(GraphIoTest, BinaryRejectsCorruptMagic) {
+  const auto path = temp_path("corrupt.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const char junk[64] = {1, 2, 3};
+    out.write(junk, sizeof(junk));
+  }
+  EXPECT_THROW(read_csr_binary(path), ParseError);
+}
+
+TEST_F(GraphIoTest, BinaryRejectsTruncatedFile) {
+  const auto g = generate_erdos_renyi(100, 0.05, 2);
+  const auto path = temp_path("trunc.bin");
+  write_csr_binary(g, path);
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) / 2);
+  EXPECT_THROW(read_csr_binary(path), ParseError);
+}
+
+}  // namespace
+}  // namespace gpclust::graph

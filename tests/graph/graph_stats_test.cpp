@@ -1,0 +1,45 @@
+#include "graph/graph_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace gpclust::graph {
+namespace {
+
+TEST(GraphStats, CountsMatchHandComputation) {
+  // Triangle 0-1-2 plus isolated 3, 4.
+  EdgeList e(5);
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(0, 2);
+  const auto g = CsrGraph::from_edge_list(std::move(e));
+  const auto stats = compute_graph_stats(g);
+  EXPECT_EQ(stats.num_vertices, 5u);
+  EXPECT_EQ(stats.num_non_singletons, 3u);
+  EXPECT_EQ(stats.num_edges, 3u);
+  EXPECT_DOUBLE_EQ(stats.degree.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.degree.stddev(), 0.0);
+  EXPECT_EQ(stats.largest_cc, 3u);
+  EXPECT_EQ(stats.num_components, 1u);
+}
+
+TEST(GraphStats, AverageDegreeEqualsHandshakeLemma) {
+  const auto g = generate_erdos_renyi(400, 0.02, 21);
+  const auto stats = compute_graph_stats(g);
+  const double expected =
+      2.0 * static_cast<double>(g.num_edges()) /
+      static_cast<double>(stats.num_non_singletons);
+  EXPECT_NEAR(stats.degree.mean(), expected, 1e-9);
+}
+
+TEST(GraphStats, SummaryMentionsKeyNumbers) {
+  const auto g = generate_erdos_renyi(50, 0.1, 2);
+  const auto stats = compute_graph_stats(g);
+  const auto s = stats.summary();
+  EXPECT_NE(s.find("V=50"), std::string::npos);
+  EXPECT_NE(s.find("largestCC="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpclust::graph

@@ -1,0 +1,94 @@
+#include "graph/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace gpclust::graph {
+namespace {
+
+TEST(UnionFind, StartsFullyDisjoint) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.find(i), i);
+    EXPECT_EQ(uf.set_size(i), 1u);
+  }
+}
+
+TEST(UnionFind, UniteMergesSets) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.connected(0, 1));
+  EXPECT_FALSE(uf.connected(0, 2));
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_EQ(uf.set_size(1), 2u);
+}
+
+TEST(UnionFind, UniteSameSetReturnsFalse) {
+  UnionFind uf(3);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_FALSE(uf.unite(0, 0));
+  EXPECT_EQ(uf.num_sets(), 2u);
+}
+
+TEST(UnionFind, TransitivityViaChain) {
+  UnionFind uf(100);
+  for (std::size_t i = 0; i + 1 < 100; ++i) uf.unite(i, i + 1);
+  EXPECT_EQ(uf.num_sets(), 1u);
+  EXPECT_TRUE(uf.connected(0, 99));
+  EXPECT_EQ(uf.set_size(50), 100u);
+}
+
+TEST(UnionFind, ComponentLabelsAreDenseAndConsistent) {
+  UnionFind uf(6);
+  uf.unite(0, 2);
+  uf.unite(2, 4);
+  uf.unite(1, 5);
+  auto labels = uf.component_labels();
+  ASSERT_EQ(labels.size(), 6u);
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_EQ(labels[2], labels[4]);
+  EXPECT_EQ(labels[1], labels[5]);
+  EXPECT_NE(labels[0], labels[1]);
+  EXPECT_NE(labels[0], labels[3]);
+  std::set<u32> distinct(labels.begin(), labels.end());
+  EXPECT_EQ(distinct.size(), uf.num_sets());
+  for (u32 l : distinct) EXPECT_LT(l, uf.num_sets());
+}
+
+TEST(UnionFind, OutOfRangeThrows) {
+  UnionFind uf(3);
+  EXPECT_THROW(uf.find(3), InvalidArgument);
+}
+
+TEST(UnionFind, RandomizedEquivalenceInvariant) {
+  // Property: connected(a, b) must agree with a brute-force reference that
+  // tracks set membership explicitly.
+  util::Xoshiro256 rng(17);
+  constexpr std::size_t n = 64;
+  UnionFind uf(n);
+  std::vector<std::size_t> ref(n);
+  for (std::size_t i = 0; i < n; ++i) ref[i] = i;
+
+  for (int step = 0; step < 200; ++step) {
+    const std::size_t a = rng.next_below(n);
+    const std::size_t b = rng.next_below(n);
+    uf.unite(a, b);
+    const std::size_t ra = ref[a], rb = ref[b];
+    if (ra != rb) {
+      for (auto& r : ref) {
+        if (r == rb) r = ra;
+      }
+    }
+    const std::size_t x = rng.next_below(n);
+    const std::size_t y = rng.next_below(n);
+    EXPECT_EQ(uf.connected(x, y), ref[x] == ref[y]);
+  }
+}
+
+}  // namespace
+}  // namespace gpclust::graph

@@ -1,0 +1,114 @@
+// Integration of the full DNA front end (paper §I): community genomes ->
+// shotgun reads -> six-frame ORFs -> suffix-array seeded homology graph ->
+// clustering, checked for family purity; plus cross-implementation
+// agreement (gpClust vs distributed) on the resulting real-ish graph.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "align/homology_graph.hpp"
+#include "core/gpclust.hpp"
+#include "dist/dist_shingling.hpp"
+#include "seq/community_model.hpp"
+#include "seq/orf_finder.hpp"
+
+namespace gpclust {
+namespace {
+
+class DnaPipelineFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    seq::CommunityConfig cfg;
+    cfg.families.num_families = 8;
+    cfg.families.min_members = 4;
+    cfg.families.max_members = 8;
+    cfg.families.substitution_rate = 0.05;
+    cfg.families.fragment_min_fraction = 1.0;
+    cfg.families.min_ancestor_length = 80;
+    cfg.families.max_ancestor_length = 140;
+    cfg.families.seed = 4;
+    cfg.num_genomes = 5;
+    cfg.coverage = 2.5;
+    cfg.read_length = 400;
+    cfg.seed = 99;
+    community_ = seq::generate_community(cfg);
+
+    seq::OrfFinderConfig orf_cfg;
+    orf_cfg.min_length = 40;
+    orfs_ = seq::find_orfs(community_.reads, orf_cfg);
+
+    align::HomologyGraphConfig hcfg;
+    hcfg.seed_mode = align::SeedMode::MaximalMatch;
+    hcfg.maximal_matches.min_match_length = 12;
+    hcfg.num_threads = 1;
+    graph_ = align::build_homology_graph(orfs_, hcfg);
+  }
+
+  /// Family of an ORF via a central 12-mer found in a source protein;
+  /// -1 if untraceable (intergenic or error-laden).
+  int orf_family(std::size_t orf_index) const {
+    const auto& residues = orfs_[orf_index].residues;
+    if (residues.size() < 12) return -1;
+    const auto probe = residues.substr(residues.size() / 2, 12);
+    for (std::size_t p = 0; p < community_.proteins.size(); ++p) {
+      if (community_.proteins[p].residues.find(probe) != std::string::npos) {
+        return static_cast<int>(community_.family[p]);
+      }
+    }
+    return -1;
+  }
+
+  seq::SyntheticCommunity community_;
+  seq::SequenceSet orfs_;
+  graph::CsrGraph graph_;
+};
+
+TEST_F(DnaPipelineFixture, PipelineProducesNonTrivialGraph) {
+  EXPECT_GT(orfs_.size(), community_.proteins.size());
+  EXPECT_GT(graph_.num_edges(), 50u);
+}
+
+TEST_F(DnaPipelineFixture, ClustersArePureAtFamilyLevel) {
+  device::DeviceContext ctx(device::DeviceSpec::small_test_device(16 << 20));
+  core::ShinglingParams params;
+  params.c1 = 60;
+  params.c2 = 30;
+  const auto clustering =
+      core::GpClust(ctx, params).cluster(graph_).filtered(3);
+  ASSERT_GT(clustering.num_clusters(), 0u);
+
+  u64 same = 0, cross = 0;
+  for (const auto& cluster : clustering.clusters()) {
+    std::vector<int> families;
+    for (VertexId v : cluster) {
+      const int f = orf_family(v);
+      if (f >= 0) families.push_back(f);
+    }
+    for (std::size_t i = 0; i < families.size(); ++i) {
+      for (std::size_t j = i + 1; j < families.size(); ++j) {
+        (families[i] == families[j] ? same : cross) += 1;
+      }
+    }
+  }
+  ASSERT_GT(same + cross, 0u);
+  EXPECT_GT(static_cast<double>(same) / static_cast<double>(same + cross),
+            0.95);
+}
+
+TEST_F(DnaPipelineFixture, DistributedMatchesDeviceOnRealisticGraph) {
+  core::ShinglingParams params;
+  params.c1 = 40;
+  params.c2 = 20;
+  params.seed = 13;
+
+  device::DeviceContext ctx(device::DeviceSpec::small_test_device(16 << 20));
+  auto via_device = core::GpClust(ctx, params).cluster(graph_);
+  auto via_dist = dist::distributed_cluster(graph_, params, 3);
+  via_device.normalize();
+  via_dist.normalize();
+  EXPECT_EQ(via_device.digest(), via_dist.digest());
+}
+
+}  // namespace
+}  // namespace gpclust

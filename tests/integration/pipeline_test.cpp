@@ -1,0 +1,89 @@
+// End-to-end integration: synthetic metagenome -> homology graph (pGraph
+// analog) -> gpClust / GOS baseline -> quality metrics. Verifies the
+// qualitative relationships of the paper's §IV-D at small scale.
+
+#include <gtest/gtest.h>
+
+#include "align/homology_graph.hpp"
+#include "baseline/gos_kneighbor.hpp"
+#include "core/gpclust.hpp"
+#include "eval/cluster_stats.hpp"
+#include "eval/density.hpp"
+#include "eval/partition_metrics.hpp"
+#include "seq/family_model.hpp"
+
+namespace gpclust {
+namespace {
+
+struct PipelineFixture : public ::testing::Test {
+  void SetUp() override {
+    seq::FamilyModelConfig cfg;
+    cfg.num_families = 12;
+    cfg.min_members = 6;
+    cfg.max_members = 25;
+    cfg.substitution_rate = 0.08;
+    cfg.fragment_min_fraction = 0.8;
+    cfg.num_background_orfs = 20;
+    cfg.seed = 17;
+    mg_ = seq::generate_metagenome(cfg);
+
+    align::HomologyGraphConfig hcfg;
+    hcfg.num_threads = 1;
+    graph_ = align::build_homology_graph(mg_.sequences, hcfg);
+  }
+
+  seq::SyntheticMetagenome mg_;
+  graph::CsrGraph graph_;
+};
+
+TEST_F(PipelineFixture, EndToEndFamilyRecovery) {
+  device::DeviceContext ctx(device::DeviceSpec::small_test_device(16 << 20));
+  core::ShinglingParams params;
+  params.c1 = 60;
+  params.c2 = 30;
+  core::GpClust gp(ctx, params);
+  const auto clustering = gp.cluster(graph_);
+  ASSERT_TRUE(clustering.is_partition());
+
+  // Compare against the planted families over the full universe.
+  const auto test_labels =
+      eval::labels_with_singletons(clustering.filtered(2));
+  const auto confusion = eval::compare_partitions(test_labels, mg_.family);
+
+  // The clustering recovers family cores: near-perfect PPV, decent SE.
+  EXPECT_GT(confusion.ppv(), 0.95);
+  EXPECT_GT(confusion.sensitivity(), 0.4);
+  EXPECT_GT(confusion.specificity(), 0.99);
+}
+
+TEST_F(PipelineFixture, GpClustAtLeastAsSensitiveAsGos) {
+  device::DeviceContext ctx(device::DeviceSpec::small_test_device(16 << 20));
+  core::ShinglingParams params;
+  params.c1 = 60;
+  params.c2 = 30;
+  const auto ours = core::GpClust(ctx, params).cluster(graph_);
+  const auto gos = baseline::gos_kneighbor_cluster(graph_);
+
+  const auto ours_conf = eval::compare_partitions(
+      eval::labels_with_singletons(ours.filtered(2)), mg_.family);
+  const auto gos_conf = eval::compare_partitions(
+      eval::labels_with_singletons(gos.filtered(2)), mg_.family);
+
+  EXPECT_GE(ours_conf.sensitivity() + 1e-9, gos_conf.sensitivity());
+  EXPECT_GT(ours_conf.ppv(), 0.9);
+}
+
+TEST_F(PipelineFixture, ReportedClustersAreDense) {
+  device::DeviceContext ctx(device::DeviceSpec::small_test_device(16 << 20));
+  core::ShinglingParams params;
+  params.c1 = 60;
+  params.c2 = 30;
+  const auto clustering =
+      core::GpClust(ctx, params).cluster(graph_).filtered(4);
+  const auto density = eval::density_stats(graph_, clustering);
+  ASSERT_GT(density.count(), 0u);
+  EXPECT_GT(density.mean(), 0.5);
+}
+
+}  // namespace
+}  // namespace gpclust

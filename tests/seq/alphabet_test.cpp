@@ -1,0 +1,48 @@
+#include "seq/alphabet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpclust::seq {
+namespace {
+
+TEST(Alphabet, RoundTripAllResidues) {
+  for (std::size_t i = 0; i < kNumResidues; ++i) {
+    const char c = residue_char(static_cast<u8>(i));
+    EXPECT_EQ(residue_index(c), i);
+  }
+}
+
+TEST(Alphabet, LowercaseAccepted) {
+  EXPECT_EQ(residue_index('a'), residue_index('A'));
+  EXPECT_EQ(residue_index('w'), residue_index('W'));
+}
+
+TEST(Alphabet, InvalidCharacterThrows) {
+  EXPECT_THROW(residue_index('J'), InvalidArgument);
+  EXPECT_THROW(residue_index('1'), InvalidArgument);
+  EXPECT_THROW(residue_index(' '), InvalidArgument);
+}
+
+TEST(Alphabet, StandardResidueClassification) {
+  EXPECT_TRUE(is_standard_residue('A'));
+  EXPECT_TRUE(is_standard_residue('V'));
+  EXPECT_FALSE(is_standard_residue('X'));
+  EXPECT_FALSE(is_standard_residue('B'));
+  EXPECT_FALSE(is_standard_residue('*'));
+  EXPECT_FALSE(is_standard_residue('J'));
+}
+
+TEST(Alphabet, ProteinValidation) {
+  EXPECT_TRUE(is_valid_protein("ACDEFGHIKLMNPQRSTVWY"));
+  EXPECT_TRUE(is_valid_protein("mkv*"));
+  EXPECT_FALSE(is_valid_protein("ACDEF GHI"));
+  EXPECT_FALSE(is_valid_protein("ACDEF1"));
+  EXPECT_TRUE(is_valid_protein(""));
+}
+
+TEST(Alphabet, ResidueCharOutOfRangeThrows) {
+  EXPECT_THROW(residue_char(24), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpclust::seq

@@ -1,0 +1,103 @@
+#include "seq/codon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "seq/alphabet.hpp"
+
+namespace gpclust::seq {
+namespace {
+
+TEST(Codon, KnownTranslations) {
+  EXPECT_EQ(translate_codon("ATG"), 'M');  // start
+  EXPECT_EQ(translate_codon("TGG"), 'W');
+  EXPECT_EQ(translate_codon("TAA"), '*');
+  EXPECT_EQ(translate_codon("TAG"), '*');
+  EXPECT_EQ(translate_codon("TGA"), '*');
+  EXPECT_EQ(translate_codon("GGG"), 'G');
+  EXPECT_EQ(translate_codon("TTT"), 'F');
+  EXPECT_EQ(translate_codon("aaa"), 'K');
+}
+
+TEST(Codon, AmbiguousCodonIsX) {
+  EXPECT_EQ(translate_codon("ANG"), 'X');
+  EXPECT_EQ(translate_codon("NNN"), 'X');
+}
+
+TEST(Codon, WrongLengthThrows) {
+  EXPECT_THROW(translate_codon("AT"), InvalidArgument);
+  EXPECT_THROW(translate_codon("ATGC"), InvalidArgument);
+}
+
+TEST(Codon, FullCodeCoversTwentyAminoAcidsAndStops) {
+  std::map<char, int> counts;
+  constexpr char kBases[4] = {'T', 'C', 'A', 'G'};
+  for (char a : kBases) {
+    for (char b : kBases) {
+      for (char c : kBases) {
+        ++counts[translate_codon(std::string{a, b, c})];
+      }
+    }
+  }
+  EXPECT_EQ(counts.size(), 21u);  // 20 amino acids + '*'
+  EXPECT_EQ(counts['*'], 3);
+  EXPECT_EQ(counts['M'], 1);
+  EXPECT_EQ(counts['W'], 1);
+  EXPECT_EQ(counts['L'], 6);
+  EXPECT_EQ(counts['R'], 6);
+  EXPECT_EQ(counts['S'], 6);
+}
+
+TEST(Codon, TranslateFrameShifts) {
+  //               frame0: ATG AAA TGA -> M K *
+  const std::string dna = "ATGAAATGA";
+  EXPECT_EQ(translate_frame(dna, 0), "MK*");
+  EXPECT_EQ(translate_frame(dna, 1), "*N");  // TGA AAT [GA dropped]
+  EXPECT_EQ(translate_frame(dna, 2), "EM");  // GAA ATG [A dropped]
+}
+
+TEST(Codon, TranslateFrameEdgeCases) {
+  EXPECT_EQ(translate_frame("AT", 0), "");
+  EXPECT_EQ(translate_frame("ATG", 1), "");
+  EXPECT_THROW(translate_frame("ATG", 3), InvalidArgument);
+}
+
+TEST(Codon, CodonsForRoundTrip) {
+  // Every codon listed for an amino acid must translate back to it.
+  for (std::size_t i = 0; i < kNumStandardResidues; ++i) {
+    const char aa = kResidues[i];
+    for (const auto& codon : codons_for(aa)) {
+      EXPECT_EQ(translate_codon(codon), aa) << codon;
+    }
+  }
+  for (const auto& codon : codons_for('*')) {
+    EXPECT_EQ(translate_codon(codon), '*');
+  }
+}
+
+TEST(Codon, CodonsForUnencodableThrows) {
+  EXPECT_THROW(codons_for('B'), InvalidArgument);
+  EXPECT_THROW(codons_for('X'), InvalidArgument);
+}
+
+TEST(Codon, BackTranslateRoundTrip) {
+  util::Xoshiro256 rng(5);
+  const std::string protein = "MKVLAAGGHTREQWCDNSPFIY";
+  const std::string dna = back_translate(protein, rng);
+  ASSERT_EQ(dna.size(), protein.size() * 3);
+  EXPECT_EQ(translate_frame(dna, 0), protein);
+}
+
+TEST(Codon, BackTranslateUsesSynonymousVariety) {
+  util::Xoshiro256 rng(6);
+  std::set<std::string> variants;
+  for (int i = 0; i < 50; ++i) {
+    variants.insert(back_translate("LLLLLL", rng));  // L has 6 codons
+  }
+  EXPECT_GT(variants.size(), 10u);
+}
+
+}  // namespace
+}  // namespace gpclust::seq

@@ -1,0 +1,105 @@
+#include "seq/community_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "seq/dna.hpp"
+#include "seq/orf_finder.hpp"
+
+namespace gpclust::seq {
+namespace {
+
+CommunityConfig small_config() {
+  CommunityConfig cfg;
+  cfg.families.num_families = 6;
+  cfg.families.min_members = 3;
+  cfg.families.max_members = 6;
+  cfg.families.min_ancestor_length = 60;
+  cfg.families.max_ancestor_length = 100;
+  cfg.families.seed = 11;
+  cfg.num_genomes = 4;
+  cfg.read_length = 300;
+  cfg.coverage = 2.0;
+  cfg.seed = 21;
+  return cfg;
+}
+
+TEST(CommunityModel, ProducesValidDna) {
+  const auto community = generate_community(small_config());
+  ASSERT_EQ(community.genomes.size(), 4u);
+  for (const auto& g : community.genomes) {
+    EXPECT_TRUE(is_valid_dna(g.residues)) << g.id;
+    EXPECT_GT(g.residues.size(), 100u);
+  }
+  EXPECT_FALSE(community.reads.empty());
+  for (const auto& r : community.reads) {
+    EXPECT_EQ(r.residues.size(), 300u);
+    EXPECT_TRUE(is_valid_dna(r.residues));
+  }
+}
+
+TEST(CommunityModel, Deterministic) {
+  const auto a = generate_community(small_config());
+  const auto b = generate_community(small_config());
+  ASSERT_EQ(a.reads.size(), b.reads.size());
+  for (std::size_t i = 0; i < a.reads.size(); ++i) {
+    EXPECT_EQ(a.reads[i].residues, b.reads[i].residues);
+  }
+}
+
+TEST(CommunityModel, ReadCountMatchesCoverage) {
+  const auto cfg = small_config();
+  const auto community = generate_community(cfg);
+  std::size_t total = 0;
+  for (const auto& g : community.genomes) total += g.residues.size();
+  const double expected =
+      cfg.coverage * static_cast<double>(total) /
+      static_cast<double>(cfg.read_length);
+  EXPECT_NEAR(static_cast<double>(community.reads.size()), expected,
+              expected * 0.05 + 2);
+}
+
+TEST(CommunityModel, GenomesEncodeTheProteins) {
+  // Every embedded protein must be recoverable from its genome by
+  // six-frame translation (no read errors involved at the genome level).
+  auto cfg = small_config();
+  cfg.families.num_families = 3;
+  cfg.families.max_members = 3;
+  const auto community = generate_community(cfg);
+
+  OrfFinderConfig orf_cfg;
+  orf_cfg.min_length = 30;
+  const auto orfs = find_orfs(community.genomes, orf_cfg);
+  std::size_t recovered = 0;
+  for (const auto& protein : community.proteins) {
+    for (const auto& orf : orfs) {
+      // The gene is embedded as ATG + protein + stop, so the ORF contains
+      // M + protein as a substring of one frame's stretch.
+      if (orf.residues.find(protein.residues) != std::string::npos) {
+        ++recovered;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(recovered, community.proteins.size());
+}
+
+TEST(CommunityModel, TruthCarriedThrough) {
+  const auto community = generate_community(small_config());
+  EXPECT_EQ(community.proteins.size(), community.family.size());
+  EXPECT_EQ(community.num_families, 6u);
+}
+
+TEST(CommunityModel, Validation) {
+  auto cfg = small_config();
+  cfg.num_genomes = 0;
+  EXPECT_THROW(generate_community(cfg), InvalidArgument);
+  cfg = small_config();
+  cfg.read_length = 10;
+  EXPECT_THROW(generate_community(cfg), InvalidArgument);
+  cfg = small_config();
+  cfg.coverage = 0.0;
+  EXPECT_THROW(generate_community(cfg), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpclust::seq

@@ -1,0 +1,46 @@
+#include "seq/dna.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpclust::seq {
+namespace {
+
+TEST(Dna, Validation) {
+  EXPECT_TRUE(is_valid_dna("ACGT"));
+  EXPECT_TRUE(is_valid_dna("acgtn"));
+  EXPECT_TRUE(is_valid_dna(""));
+  EXPECT_FALSE(is_valid_dna("ACGU"));
+  EXPECT_FALSE(is_valid_dna("AC GT"));
+}
+
+TEST(Dna, Complement) {
+  EXPECT_EQ(complement('A'), 'T');
+  EXPECT_EQ(complement('T'), 'A');
+  EXPECT_EQ(complement('G'), 'C');
+  EXPECT_EQ(complement('C'), 'G');
+  EXPECT_EQ(complement('N'), 'N');
+  EXPECT_EQ(complement('a'), 'T');
+  EXPECT_THROW(complement('U'), InvalidArgument);
+}
+
+TEST(Dna, ReverseComplement) {
+  EXPECT_EQ(reverse_complement("ATGC"), "GCAT");
+  EXPECT_EQ(reverse_complement(""), "");
+  EXPECT_EQ(reverse_complement("AAAA"), "TTTT");
+}
+
+TEST(Dna, ReverseComplementIsInvolution) {
+  const std::string s = "ATGCCGTAGGCTAN";
+  EXPECT_EQ(reverse_complement(reverse_complement(s)), s);
+}
+
+TEST(Dna, GcContent) {
+  EXPECT_DOUBLE_EQ(gc_content("GGCC"), 1.0);
+  EXPECT_DOUBLE_EQ(gc_content("AATT"), 0.0);
+  EXPECT_DOUBLE_EQ(gc_content("ACGT"), 0.5);
+  EXPECT_DOUBLE_EQ(gc_content("GNNA"), 0.5);  // N excluded
+  EXPECT_DOUBLE_EQ(gc_content(""), 0.0);
+}
+
+}  // namespace
+}  // namespace gpclust::seq

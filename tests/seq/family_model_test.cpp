@@ -1,0 +1,138 @@
+#include "seq/family_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "seq/alphabet.hpp"
+
+namespace gpclust::seq {
+namespace {
+
+FamilyModelConfig small_config() {
+  FamilyModelConfig cfg;
+  cfg.num_families = 10;
+  cfg.min_members = 3;
+  cfg.max_members = 12;
+  cfg.min_ancestor_length = 60;
+  cfg.max_ancestor_length = 120;
+  cfg.num_background_orfs = 5;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(FamilyModel, Deterministic) {
+  const auto a = generate_metagenome(small_config());
+  const auto b = generate_metagenome(small_config());
+  ASSERT_EQ(a.sequences.size(), b.sequences.size());
+  for (std::size_t i = 0; i < a.sequences.size(); ++i) {
+    EXPECT_EQ(a.sequences[i].residues, b.sequences[i].residues);
+  }
+  EXPECT_EQ(a.family, b.family);
+}
+
+TEST(FamilyModel, EveryFamilyRepresented) {
+  const auto mg = generate_metagenome(small_config());
+  std::map<u32, std::size_t> counts;
+  for (u32 f : mg.family) ++counts[f];
+  for (u32 f = 0; f < 10; ++f) EXPECT_GE(counts[f], 3u) << "family " << f;
+}
+
+TEST(FamilyModel, SequencesAreValidProteins) {
+  const auto mg = generate_metagenome(small_config());
+  for (const auto& s : mg.sequences) {
+    EXPECT_TRUE(is_valid_protein(s.residues)) << s.id;
+    EXPECT_GE(s.length(), 1u);
+  }
+}
+
+TEST(FamilyModel, IdsAreUnique) {
+  const auto mg = generate_metagenome(small_config());
+  std::set<std::string> ids;
+  for (const auto& s : mg.sequences) ids.insert(s.id);
+  EXPECT_EQ(ids.size(), mg.sequences.size());
+}
+
+TEST(FamilyModel, BackgroundOrfsGetUniqueLabels) {
+  const auto cfg = small_config();
+  const auto mg = generate_metagenome(cfg);
+  std::map<u32, std::size_t> counts;
+  for (u32 f : mg.family) ++counts[f];
+  std::size_t background = 0;
+  for (const auto& [label, count] : counts) {
+    if (label >= cfg.num_families) {
+      EXPECT_EQ(count, 1u);
+      ++background;
+    }
+  }
+  EXPECT_EQ(background, cfg.num_background_orfs);
+}
+
+TEST(FamilyModel, FamilyMembersAreSimilarToEachOther) {
+  // With a modest mutation rate, two members of one family should share
+  // many more k-mers than two members of different families.
+  auto cfg = small_config();
+  cfg.substitution_rate = 0.05;
+  cfg.fragment_min_fraction = 1.0;  // no truncation for this check
+  cfg.indel_rate = 0.0;
+  const auto mg = generate_metagenome(cfg);
+
+  auto kmers = [](const std::string& s) {
+    std::set<std::string> out;
+    for (std::size_t i = 0; i + 4 <= s.size(); ++i) out.insert(s.substr(i, 4));
+    return out;
+  };
+  auto overlap = [&](const std::string& a, const std::string& b) {
+    const auto ka = kmers(a), kb = kmers(b);
+    std::size_t shared = 0;
+    for (const auto& k : ka) shared += kb.count(k);
+    return static_cast<double>(shared) / static_cast<double>(ka.size());
+  };
+
+  // First two members of family 0 (same ancestor).
+  std::vector<std::size_t> fam0, fam1;
+  for (std::size_t i = 0; i < mg.family.size(); ++i) {
+    if (mg.family[i] == 0) fam0.push_back(i);
+    if (mg.family[i] == 1) fam1.push_back(i);
+  }
+  ASSERT_GE(fam0.size(), 2u);
+  ASSERT_GE(fam1.size(), 1u);
+  const double intra = overlap(mg.sequences[fam0[0]].residues,
+                               mg.sequences[fam0[1]].residues);
+  const double inter = overlap(mg.sequences[fam0[0]].residues,
+                               mg.sequences[fam1[0]].residues);
+  EXPECT_GT(intra, 0.4);
+  EXPECT_LT(inter, 0.1);
+}
+
+TEST(FamilyModel, FragmentationShortensSequences) {
+  auto cfg = small_config();
+  cfg.fragment_min_fraction = 0.5;
+  cfg.indel_rate = 0.0;
+  const auto mg = generate_metagenome(cfg);
+  for (std::size_t i = 0; i < mg.sequences.size(); ++i) {
+    if (mg.family[i] >= cfg.num_families) continue;  // background
+    EXPECT_LE(mg.sequences[i].length(), cfg.max_ancestor_length);
+    EXPECT_GE(mg.sequences[i].length(),
+              static_cast<std::size_t>(0.5 * 0.9 *
+                                       static_cast<double>(
+                                           cfg.min_ancestor_length)));
+  }
+}
+
+TEST(FamilyModel, Validation) {
+  FamilyModelConfig cfg;
+  cfg.num_families = 0;
+  EXPECT_THROW(generate_metagenome(cfg), InvalidArgument);
+  cfg = FamilyModelConfig{};
+  cfg.min_members = 5;
+  cfg.max_members = 2;
+  EXPECT_THROW(generate_metagenome(cfg), InvalidArgument);
+  cfg = FamilyModelConfig{};
+  cfg.fragment_min_fraction = 0.0;
+  EXPECT_THROW(generate_metagenome(cfg), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpclust::seq

@@ -1,0 +1,98 @@
+#include "seq/fasta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace gpclust::seq {
+namespace {
+
+class FastaTest : public ::testing::Test {
+ protected:
+  std::string temp_path(const std::string& name) {
+    const auto dir = std::filesystem::temp_directory_path() / "gpclust_fasta";
+    std::filesystem::create_directories(dir);
+    paths_.push_back((dir / name).string());
+    return paths_.back();
+  }
+  void TearDown() override {
+    for (const auto& p : paths_) std::filesystem::remove(p);
+  }
+  std::vector<std::string> paths_;
+};
+
+TEST_F(FastaTest, RoundTrip) {
+  SequenceSet set = {{"orf1", "MKVLAAGGHTREQW"},
+                     {"orf2", "ACDEFGHIKLMNPQRSTVWY"}};
+  const auto path = temp_path("roundtrip.fa");
+  write_fasta(set, path, 7);  // small width forces wrapping
+  const auto loaded = read_fasta(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].id, "orf1");
+  EXPECT_EQ(loaded[0].residues, set[0].residues);
+  EXPECT_EQ(loaded[1].residues, set[1].residues);
+}
+
+TEST_F(FastaTest, HeaderStopsAtWhitespace) {
+  const auto path = temp_path("hdr.fa");
+  {
+    std::ofstream out(path);
+    out << ">seq42 some description here\nMKV\n";
+  }
+  const auto loaded = read_fasta(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].id, "seq42");
+}
+
+TEST_F(FastaTest, MultiLineSequencesConcatenate) {
+  const auto path = temp_path("multi.fa");
+  {
+    std::ofstream out(path);
+    out << ">s\nMKV\nLAA\nGG\n";
+  }
+  EXPECT_EQ(read_fasta(path)[0].residues, "MKVLAAGG");
+}
+
+TEST_F(FastaTest, CarriageReturnsStripped) {
+  const auto path = temp_path("crlf.fa");
+  {
+    std::ofstream out(path);
+    out << ">s\r\nMKV\r\n";
+  }
+  EXPECT_EQ(read_fasta(path)[0].residues, "MKV");
+}
+
+TEST_F(FastaTest, RejectsDataBeforeHeader) {
+  const auto path = temp_path("nohdr.fa");
+  {
+    std::ofstream out(path);
+    out << "MKV\n";
+  }
+  EXPECT_THROW(read_fasta(path), ParseError);
+}
+
+TEST_F(FastaTest, RejectsInvalidResidue) {
+  const auto path = temp_path("bad.fa");
+  {
+    std::ofstream out(path);
+    out << ">s\nMK9V\n";
+  }
+  EXPECT_THROW(read_fasta(path), ParseError);
+}
+
+TEST_F(FastaTest, RejectsEmptyHeader) {
+  const auto path = temp_path("empty_hdr.fa");
+  {
+    std::ofstream out(path);
+    out << ">\nMKV\n";
+  }
+  EXPECT_THROW(read_fasta(path), ParseError);
+}
+
+TEST_F(FastaTest, MissingFileThrows) {
+  EXPECT_THROW(read_fasta("/nonexistent/x.fa"), ParseError);
+}
+
+}  // namespace
+}  // namespace gpclust::seq

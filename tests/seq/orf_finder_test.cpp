@@ -1,0 +1,98 @@
+#include "seq/orf_finder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "seq/codon.hpp"
+#include "seq/dna.hpp"
+#include "util/rng.hpp"
+
+namespace gpclust::seq {
+namespace {
+
+OrfFinderConfig short_config(std::size_t min_length = 5,
+                             bool both_strands = true) {
+  OrfFinderConfig cfg;
+  cfg.min_length = min_length;
+  cfg.both_strands = both_strands;
+  return cfg;
+}
+
+TEST(OrfFinder, FindsEmbeddedOrfInFrameZero) {
+  util::Xoshiro256 rng(1);
+  const std::string protein = "MKVLAAGGHT";
+  // Stop codons on both sides confine the ORF.
+  const std::string dna = "TAA" + back_translate(protein, rng) + "TGA";
+  const auto orfs = find_orfs(dna, "r", short_config(5, false));
+  ASSERT_FALSE(orfs.empty());
+  bool found = false;
+  for (const auto& orf : orfs) {
+    if (orf.residues == protein) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(OrfFinder, FindsOrfOnReverseStrand) {
+  util::Xoshiro256 rng(2);
+  const std::string protein = "MKVLAAGGHTWWYY";
+  const std::string forward = "TAA" + back_translate(protein, rng) + "TGA";
+  const std::string dna = reverse_complement(forward);
+  const auto without_rc = find_orfs(dna, "r", short_config(10, false));
+  const auto with_rc = find_orfs(dna, "r", short_config(10, true));
+  bool found = false;
+  for (const auto& orf : with_rc) {
+    if (orf.residues == protein) found = true;
+  }
+  EXPECT_TRUE(found);
+  for (const auto& orf : without_rc) {
+    EXPECT_NE(orf.residues, protein) << "should need the reverse strand";
+  }
+}
+
+TEST(OrfFinder, MinLengthFilters) {
+  util::Xoshiro256 rng(3);
+  const std::string dna =
+      "TAA" + back_translate("MKVLA", rng) + "TGA";  // 5-residue ORF
+  EXPECT_FALSE(find_orfs(dna, "r", short_config(5, false)).empty());
+  // Only stretches >= 6 wanted: the 5-residue ORF disappears (other frames
+  // may still produce stretches, so check no 5-residue survivor).
+  for (const auto& orf : find_orfs(dna, "r", short_config(6, false))) {
+    EXPECT_GE(orf.residues.size(), 6u);
+  }
+}
+
+TEST(OrfFinder, StopFreeSequenceIsOneOrfPerFrame) {
+  util::Xoshiro256 rng(4);
+  const std::string dna = back_translate("MKVLAAGGHTMKVLAAGGHT", rng);
+  const auto orfs = find_orfs(dna, "r", short_config(20, false));
+  ASSERT_EQ(orfs.size(), 1u);  // frames 1/2 are shorter than 20
+  EXPECT_EQ(orfs[0].residues.size(), 20u);
+}
+
+TEST(OrfFinder, IdsEncodeFrameAndIndex) {
+  util::Xoshiro256 rng(5);
+  const std::string dna = "TAA" + back_translate("MKVLAAGG", rng) + "TAG" +
+                          back_translate("HTREQWCD", rng) + "TGA";
+  const auto orfs = find_orfs(dna, "read9", short_config(8, false));
+  ASSERT_GE(orfs.size(), 2u);
+  EXPECT_EQ(orfs[0].id, "read9_f0_0");
+  EXPECT_EQ(orfs[1].id, "read9_f0_1");
+}
+
+TEST(OrfFinder, SetOverloadConcatenates) {
+  util::Xoshiro256 rng(6);
+  SequenceSet reads;
+  reads.push_back({"a", back_translate("MKVLAAGGHT", rng)});
+  reads.push_back({"b", back_translate("WWYYHHTTRR", rng)});
+  const auto orfs = find_orfs(reads, short_config(10, false));
+  EXPECT_GE(orfs.size(), 2u);
+}
+
+TEST(OrfFinder, RejectsInvalidInput) {
+  EXPECT_THROW(find_orfs("NOTDNA!", "r", short_config()), InvalidArgument);
+  OrfFinderConfig cfg;
+  cfg.min_length = 0;
+  EXPECT_THROW(find_orfs("ACGT", "r", cfg), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpclust::seq

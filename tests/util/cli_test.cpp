@@ -1,0 +1,61 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpclust::util {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliArgs, ParsesEqualsForm) {
+  auto args = parse({"--name=value", "--n=42"});
+  EXPECT_EQ(args.get_string("name", ""), "value");
+  EXPECT_EQ(args.get_int("n", 0), 42);
+}
+
+TEST(CliArgs, ParsesSpaceForm) {
+  auto args = parse({"--name", "value", "--n", "7"});
+  EXPECT_EQ(args.get_string("name", ""), "value");
+  EXPECT_EQ(args.get_int("n", 0), 7);
+}
+
+TEST(CliArgs, BareFlagIsTrue) {
+  auto args = parse({"--verbose"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_TRUE(args.has("verbose"));
+}
+
+TEST(CliArgs, FallbacksApplyWhenMissing) {
+  auto args = parse({});
+  EXPECT_EQ(args.get_string("x", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("x", -3), -3);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 2.5), 2.5);
+  EXPECT_FALSE(args.get_bool("x", false));
+}
+
+TEST(CliArgs, PositionalArgumentsPreserved) {
+  auto args = parse({"input.txt", "--k=3", "output.txt"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+  EXPECT_EQ(args.positional()[1], "output.txt");
+}
+
+TEST(CliArgs, DoubleAndBoolParsing) {
+  auto args = parse({"--p=0.25", "--on=yes", "--off=0"});
+  EXPECT_DOUBLE_EQ(args.get_double("p", 0.0), 0.25);
+  EXPECT_TRUE(args.get_bool("on", false));
+  EXPECT_FALSE(args.get_bool("off", true));
+}
+
+TEST(CliArgs, ConsecutiveFlagsDoNotConsumeEachOther) {
+  auto args = parse({"--a", "--b=2"});
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_EQ(args.get_int("b", 0), 2);
+}
+
+}  // namespace
+}  // namespace gpclust::util

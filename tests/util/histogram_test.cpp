@@ -1,0 +1,69 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpclust::util {
+namespace {
+
+TEST(BinnedHistogram, Figure5BinsMatchPaper) {
+  auto h = BinnedHistogram::figure5_bins();
+  ASSERT_EQ(h.num_bins(), 7u);
+  EXPECT_EQ(h.label(0), "20-49");
+  EXPECT_EQ(h.label(1), "50-99");
+  EXPECT_EQ(h.label(2), "100-199");
+  EXPECT_EQ(h.label(3), "200-499");
+  EXPECT_EQ(h.label(4), "500-999");
+  EXPECT_EQ(h.label(5), "1000-1999");
+  EXPECT_EQ(h.label(6), ">=2000");
+}
+
+TEST(BinnedHistogram, ValuesLandInCorrectBins) {
+  auto h = BinnedHistogram::figure5_bins();
+  h.add(20);    // bin 0 lower edge
+  h.add(49);    // bin 0 upper edge
+  h.add(50);    // bin 1 lower edge
+  h.add(199);   // bin 2 upper edge
+  h.add(2000);  // open bin
+  h.add(50000); // open bin
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(6), 2u);
+}
+
+TEST(BinnedHistogram, UnderflowIsTracked) {
+  auto h = BinnedHistogram::figure5_bins();
+  h.add(3);
+  h.add(19);
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(BinnedHistogram, WeightsAccumulate) {
+  BinnedHistogram h({0, 10});
+  h.add(5, 100);
+  h.add(15, 7);
+  EXPECT_EQ(h.count(0), 100u);
+  EXPECT_EQ(h.count(1), 7u);
+  EXPECT_EQ(h.total(), 107u);
+}
+
+TEST(BinnedHistogram, RejectsBadEdges) {
+  EXPECT_THROW(BinnedHistogram({}), InvalidArgument);
+  EXPECT_THROW(BinnedHistogram({5, 5}), InvalidArgument);
+  EXPECT_THROW(BinnedHistogram({5, 3}), InvalidArgument);
+}
+
+TEST(BinnedHistogram, RenderContainsLabelsAndCounts) {
+  BinnedHistogram h({1, 10});
+  h.add(2);
+  h.add(3);
+  h.add(12);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("1-9"), std::string::npos);
+  EXPECT_NE(out.find(">=10"), std::string::npos);
+  EXPECT_NE(out.find('2'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpclust::util

@@ -1,0 +1,42 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpclust::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+}
+
+TEST_F(LoggingTest, StreamsDoNotCrashAtAnyLevel) {
+  for (LogLevel level : {LogLevel::Debug, LogLevel::Info, LogLevel::Warning,
+                         LogLevel::Error}) {
+    set_log_level(level);
+    log_debug() << "debug " << 1;
+    log_info() << "info " << 2.5;
+    log_warn() << "warn " << "text";
+    log_error() << "error";
+  }
+}
+
+TEST_F(LoggingTest, LevelOrderingIsMonotone) {
+  EXPECT_LT(static_cast<int>(LogLevel::Debug), static_cast<int>(LogLevel::Info));
+  EXPECT_LT(static_cast<int>(LogLevel::Info),
+            static_cast<int>(LogLevel::Warning));
+  EXPECT_LT(static_cast<int>(LogLevel::Warning),
+            static_cast<int>(LogLevel::Error));
+}
+
+}  // namespace
+}  // namespace gpclust::util

@@ -1,0 +1,65 @@
+#include "util/parallel_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace gpclust::util {
+namespace {
+
+TEST(ParallelSort, MatchesStdSortOnRandomData) {
+  Xoshiro256 rng(8);
+  ThreadPool pool(4);
+  for (std::size_t n : {0u, 1u, 2u, 100u, 65537u, 200000u}) {
+    std::vector<u64> data(n);
+    for (auto& x : data) x = rng.next();
+    auto expected = data;
+    std::sort(expected.begin(), expected.end());
+    parallel_sort(data, pool, /*min_parallel_size=*/64);
+    EXPECT_EQ(data, expected) << "n=" << n;
+  }
+}
+
+TEST(ParallelSort, HandlesDuplicatesAndPresorted) {
+  ThreadPool pool(3);
+  std::vector<u32> dups(10000, 7);
+  parallel_sort(dups, pool, 64);
+  EXPECT_TRUE(std::is_sorted(dups.begin(), dups.end()));
+
+  std::vector<u32> sorted(10000);
+  std::iota(sorted.begin(), sorted.end(), 0u);
+  auto expected = sorted;
+  parallel_sort(sorted, pool, 64);
+  EXPECT_EQ(sorted, expected);
+
+  std::vector<u32> reversed(10001);
+  std::iota(reversed.rbegin(), reversed.rend(), 0u);
+  parallel_sort(reversed, pool, 64);
+  EXPECT_TRUE(std::is_sorted(reversed.begin(), reversed.end()));
+}
+
+TEST(ParallelSort, SingleWorkerFallsBackToStdSort) {
+  ThreadPool pool(1);
+  Xoshiro256 rng(2);
+  std::vector<u64> data(100000);
+  for (auto& x : data) x = rng.next();
+  parallel_sort(data, pool, 64);
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+}
+
+TEST(ParallelSort, OddChunkCounts) {
+  // Pool of 5 workers gives an odd number of chunks; the merge rounds must
+  // carry the trailing chunk correctly.
+  ThreadPool pool(5);
+  Xoshiro256 rng(3);
+  std::vector<u64> data(12345);
+  for (auto& x : data) x = rng.next_below(100);
+  parallel_sort(data, pool, 64);
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+  EXPECT_EQ(data.size(), 12345u);
+}
+
+}  // namespace
+}  // namespace gpclust::util

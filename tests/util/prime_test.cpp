@@ -1,0 +1,67 @@
+#include "util/prime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpclust::util {
+namespace {
+
+TEST(Prime, SmallValues) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(5));
+  EXPECT_FALSE(is_prime(9));
+  EXPECT_TRUE(is_prime(97));
+  EXPECT_FALSE(is_prime(100));
+}
+
+TEST(Prime, Mersenne61IsPrime) {
+  EXPECT_TRUE(is_prime(kMersenne61));
+  EXPECT_EQ(kMersenne61, 2305843009213693951ULL);
+}
+
+TEST(Prime, KnownLargePrimes) {
+  EXPECT_TRUE(is_prime(1000000007ULL));
+  EXPECT_TRUE(is_prime(1000000000039ULL));
+  EXPECT_FALSE(is_prime(1000000007ULL * 3));
+}
+
+TEST(Prime, CarmichaelNumbersAreComposite) {
+  // Classic Fermat pseudoprimes must be rejected.
+  EXPECT_FALSE(is_prime(561));
+  EXPECT_FALSE(is_prime(1105));
+  EXPECT_FALSE(is_prime(41041));
+  EXPECT_FALSE(is_prime(825265));
+}
+
+TEST(Prime, NextPrimeFindsSmallest) {
+  EXPECT_EQ(next_prime(0), 2u);
+  EXPECT_EQ(next_prime(2), 2u);
+  EXPECT_EQ(next_prime(3), 3u);
+  EXPECT_EQ(next_prime(4), 5u);
+  EXPECT_EQ(next_prime(90), 97u);
+  EXPECT_EQ(next_prime(1000000), 1000003u);
+}
+
+TEST(Prime, NextPrimeOfPrimeIsItself) {
+  for (u64 p : {5ULL, 7ULL, 1000000007ULL}) EXPECT_EQ(next_prime(p), p);
+}
+
+TEST(Prime, MulmodMatchesWideArithmetic) {
+  const u64 m = kMersenne61;
+  EXPECT_EQ(mulmod(2, 3, 7), 6u);
+  EXPECT_EQ(mulmod(m - 1, m - 1, m), 1u);  // (-1)^2 = 1 mod m
+  EXPECT_EQ(mulmod(m - 1, 2, m), m - 2);
+}
+
+TEST(Prime, PowmodKnownValues) {
+  EXPECT_EQ(powmod(2, 10, 1000000007ULL), 1024u);
+  EXPECT_EQ(powmod(5, 0, 13), 1u);
+  // Fermat's little theorem: a^(p-1) = 1 mod p.
+  EXPECT_EQ(powmod(123456789ULL, kMersenne61 - 1, kMersenne61), 1u);
+}
+
+}  // namespace
+}  // namespace gpclust::util

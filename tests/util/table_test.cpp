@@ -1,0 +1,46 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/common.hpp"
+
+namespace gpclust::util {
+namespace {
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(AsciiTable, ColumnsAreAligned) {
+  AsciiTable t({"a", "b"});
+  t.add_row({"xxxx", "1"});
+  const std::string out = t.render();
+  // Header line must pad "a" to the width of "xxxx".
+  const auto first_newline = out.find('\n');
+  EXPECT_GE(first_newline, std::string{"xxxx  b"}.size());
+}
+
+TEST(AsciiTable, RejectsWrongWidthRow) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(AsciiTable, FmtFormatsPrecision) {
+  EXPECT_EQ(AsciiTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::fmt(2.0, 0), "2");
+}
+
+TEST(AsciiTable, PctFormatsPercentages) {
+  EXPECT_EQ(AsciiTable::pct(0.9243, 2), "92.43%");
+  EXPECT_EQ(AsciiTable::pct(1.0, 2), "100.00%");
+}
+
+}  // namespace
+}  // namespace gpclust::util

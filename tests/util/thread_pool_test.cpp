@@ -1,0 +1,76 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace gpclust::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForHandlesRangeSmallerThanPool) {
+  ThreadPool pool(8);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 3, [&](std::size_t lo, std::size_t hi) {
+    total += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPool, ParallelForPropagatesChunkException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 10,
+                        [](std::size_t lo, std::size_t) {
+                          if (lo == 0) throw std::runtime_error("chunk");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, SizeMatchesConstruction) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+}
+
+TEST(ThreadPool, DefaultPoolIsUsable) {
+  std::atomic<int> x{0};
+  default_thread_pool().submit([&x] { x = 7; }).get();
+  EXPECT_EQ(x.load(), 7);
+}
+
+}  // namespace
+}  // namespace gpclust::util

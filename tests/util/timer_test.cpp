@@ -1,0 +1,54 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace gpclust::util {
+namespace {
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(t.seconds(), 0.009);
+  EXPECT_LT(t.seconds(), 5.0);
+}
+
+TEST(WallTimer, ResetRestartsClock) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.009);
+}
+
+TEST(MetricsRegistry, AccumulatesNamedDurations) {
+  MetricsRegistry reg;
+  reg.add("gpu", 1.5);
+  reg.add("gpu", 0.5);
+  reg.add("cpu", 3.0);
+  EXPECT_DOUBLE_EQ(reg.get("gpu"), 2.0);
+  EXPECT_DOUBLE_EQ(reg.get("cpu"), 3.0);
+  EXPECT_DOUBLE_EQ(reg.get("missing"), 0.0);
+  EXPECT_TRUE(reg.has("gpu"));
+  EXPECT_FALSE(reg.has("missing"));
+}
+
+TEST(MetricsRegistry, ClearEmpties) {
+  MetricsRegistry reg;
+  reg.add("x", 1.0);
+  reg.clear();
+  EXPECT_FALSE(reg.has("x"));
+  EXPECT_TRUE(reg.all().empty());
+}
+
+TEST(ScopedTimer, AddsToRegistryOnDestruction) {
+  MetricsRegistry reg;
+  {
+    ScopedTimer timer(reg, "scope");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(reg.get("scope"), 0.004);
+}
+
+}  // namespace
+}  // namespace gpclust::util
