@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_batch.cpp" "bench/CMakeFiles/bench_ablation_batch.dir/bench_ablation_batch.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_batch.dir/bench_ablation_batch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gpclust_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gpclust_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/gpclust_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpclust_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/gpclust_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/gpclust_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/gpclust_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/gpclust_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/gpclust_dist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

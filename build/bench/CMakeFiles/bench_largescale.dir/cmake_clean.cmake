@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_largescale.dir/bench_largescale.cpp.o"
+  "CMakeFiles/bench_largescale.dir/bench_largescale.cpp.o.d"
+  "bench_largescale"
+  "bench_largescale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_largescale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shingling.dir/bench_shingling.cpp.o"
+  "CMakeFiles/bench_shingling.dir/bench_shingling.cpp.o.d"
+  "bench_shingling"
+  "bench_shingling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shingling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

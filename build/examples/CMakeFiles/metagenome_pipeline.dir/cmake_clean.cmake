@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metagenome_pipeline.dir/metagenome_pipeline.cpp.o"
+  "CMakeFiles/metagenome_pipeline.dir/metagenome_pipeline.cpp.o.d"
+  "metagenome_pipeline"
+  "metagenome_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metagenome_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

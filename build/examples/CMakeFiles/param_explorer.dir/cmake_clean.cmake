@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_explorer.dir/param_explorer.cpp.o"
+  "CMakeFiles/param_explorer.dir/param_explorer.cpp.o.d"
+  "param_explorer"
+  "param_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

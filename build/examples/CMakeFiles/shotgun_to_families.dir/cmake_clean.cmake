@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shotgun_to_families.dir/shotgun_to_families.cpp.o"
+  "CMakeFiles/shotgun_to_families.dir/shotgun_to_families.cpp.o.d"
+  "shotgun_to_families"
+  "shotgun_to_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shotgun_to_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

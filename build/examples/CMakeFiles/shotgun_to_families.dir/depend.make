@@ -1,0 +1,2 @@
+# Empty dependencies file for shotgun_to_families.
+# This may be replaced when dependencies are built.

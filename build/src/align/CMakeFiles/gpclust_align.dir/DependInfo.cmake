@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/blosum.cpp" "src/align/CMakeFiles/gpclust_align.dir/blosum.cpp.o" "gcc" "src/align/CMakeFiles/gpclust_align.dir/blosum.cpp.o.d"
+  "/root/repo/src/align/homology_graph.cpp" "src/align/CMakeFiles/gpclust_align.dir/homology_graph.cpp.o" "gcc" "src/align/CMakeFiles/gpclust_align.dir/homology_graph.cpp.o.d"
+  "/root/repo/src/align/kmer_index.cpp" "src/align/CMakeFiles/gpclust_align.dir/kmer_index.cpp.o" "gcc" "src/align/CMakeFiles/gpclust_align.dir/kmer_index.cpp.o.d"
+  "/root/repo/src/align/smith_waterman.cpp" "src/align/CMakeFiles/gpclust_align.dir/smith_waterman.cpp.o" "gcc" "src/align/CMakeFiles/gpclust_align.dir/smith_waterman.cpp.o.d"
+  "/root/repo/src/align/suffix_array.cpp" "src/align/CMakeFiles/gpclust_align.dir/suffix_array.cpp.o" "gcc" "src/align/CMakeFiles/gpclust_align.dir/suffix_array.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gpclust_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/gpclust_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gpclust_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

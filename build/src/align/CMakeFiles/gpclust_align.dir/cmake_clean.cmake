@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpclust_align.dir/blosum.cpp.o"
+  "CMakeFiles/gpclust_align.dir/blosum.cpp.o.d"
+  "CMakeFiles/gpclust_align.dir/homology_graph.cpp.o"
+  "CMakeFiles/gpclust_align.dir/homology_graph.cpp.o.d"
+  "CMakeFiles/gpclust_align.dir/kmer_index.cpp.o"
+  "CMakeFiles/gpclust_align.dir/kmer_index.cpp.o.d"
+  "CMakeFiles/gpclust_align.dir/smith_waterman.cpp.o"
+  "CMakeFiles/gpclust_align.dir/smith_waterman.cpp.o.d"
+  "CMakeFiles/gpclust_align.dir/suffix_array.cpp.o"
+  "CMakeFiles/gpclust_align.dir/suffix_array.cpp.o.d"
+  "libgpclust_align.a"
+  "libgpclust_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpclust_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/gos_kneighbor.cpp" "src/baseline/CMakeFiles/gpclust_baseline.dir/gos_kneighbor.cpp.o" "gcc" "src/baseline/CMakeFiles/gpclust_baseline.dir/gos_kneighbor.cpp.o.d"
+  "/root/repo/src/baseline/mcl.cpp" "src/baseline/CMakeFiles/gpclust_baseline.dir/mcl.cpp.o" "gcc" "src/baseline/CMakeFiles/gpclust_baseline.dir/mcl.cpp.o.d"
+  "/root/repo/src/baseline/single_linkage.cpp" "src/baseline/CMakeFiles/gpclust_baseline.dir/single_linkage.cpp.o" "gcc" "src/baseline/CMakeFiles/gpclust_baseline.dir/single_linkage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gpclust_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gpclust_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/gpclust_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/gpclust_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpclust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpclust_baseline.dir/gos_kneighbor.cpp.o"
+  "CMakeFiles/gpclust_baseline.dir/gos_kneighbor.cpp.o.d"
+  "CMakeFiles/gpclust_baseline.dir/mcl.cpp.o"
+  "CMakeFiles/gpclust_baseline.dir/mcl.cpp.o.d"
+  "CMakeFiles/gpclust_baseline.dir/single_linkage.cpp.o"
+  "CMakeFiles/gpclust_baseline.dir/single_linkage.cpp.o.d"
+  "libgpclust_baseline.a"
+  "libgpclust_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpclust_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpclust_baseline.a"
+)

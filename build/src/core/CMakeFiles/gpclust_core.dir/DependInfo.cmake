@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batching.cpp" "src/core/CMakeFiles/gpclust_core.dir/batching.cpp.o" "gcc" "src/core/CMakeFiles/gpclust_core.dir/batching.cpp.o.d"
+  "/root/repo/src/core/cluster_report.cpp" "src/core/CMakeFiles/gpclust_core.dir/cluster_report.cpp.o" "gcc" "src/core/CMakeFiles/gpclust_core.dir/cluster_report.cpp.o.d"
+  "/root/repo/src/core/clustering.cpp" "src/core/CMakeFiles/gpclust_core.dir/clustering.cpp.o" "gcc" "src/core/CMakeFiles/gpclust_core.dir/clustering.cpp.o.d"
+  "/root/repo/src/core/component_decomposition.cpp" "src/core/CMakeFiles/gpclust_core.dir/component_decomposition.cpp.o" "gcc" "src/core/CMakeFiles/gpclust_core.dir/component_decomposition.cpp.o.d"
+  "/root/repo/src/core/device_shingling.cpp" "src/core/CMakeFiles/gpclust_core.dir/device_shingling.cpp.o" "gcc" "src/core/CMakeFiles/gpclust_core.dir/device_shingling.cpp.o.d"
+  "/root/repo/src/core/gpclust.cpp" "src/core/CMakeFiles/gpclust_core.dir/gpclust.cpp.o" "gcc" "src/core/CMakeFiles/gpclust_core.dir/gpclust.cpp.o.d"
+  "/root/repo/src/core/minhash.cpp" "src/core/CMakeFiles/gpclust_core.dir/minhash.cpp.o" "gcc" "src/core/CMakeFiles/gpclust_core.dir/minhash.cpp.o.d"
+  "/root/repo/src/core/serial_pclust.cpp" "src/core/CMakeFiles/gpclust_core.dir/serial_pclust.cpp.o" "gcc" "src/core/CMakeFiles/gpclust_core.dir/serial_pclust.cpp.o.d"
+  "/root/repo/src/core/shingle.cpp" "src/core/CMakeFiles/gpclust_core.dir/shingle.cpp.o" "gcc" "src/core/CMakeFiles/gpclust_core.dir/shingle.cpp.o.d"
+  "/root/repo/src/core/shingle_graph.cpp" "src/core/CMakeFiles/gpclust_core.dir/shingle_graph.cpp.o" "gcc" "src/core/CMakeFiles/gpclust_core.dir/shingle_graph.cpp.o.d"
+  "/root/repo/src/core/shingle_graph_device.cpp" "src/core/CMakeFiles/gpclust_core.dir/shingle_graph_device.cpp.o" "gcc" "src/core/CMakeFiles/gpclust_core.dir/shingle_graph_device.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gpclust_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gpclust_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/gpclust_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpclust_core.dir/batching.cpp.o"
+  "CMakeFiles/gpclust_core.dir/batching.cpp.o.d"
+  "CMakeFiles/gpclust_core.dir/cluster_report.cpp.o"
+  "CMakeFiles/gpclust_core.dir/cluster_report.cpp.o.d"
+  "CMakeFiles/gpclust_core.dir/clustering.cpp.o"
+  "CMakeFiles/gpclust_core.dir/clustering.cpp.o.d"
+  "CMakeFiles/gpclust_core.dir/component_decomposition.cpp.o"
+  "CMakeFiles/gpclust_core.dir/component_decomposition.cpp.o.d"
+  "CMakeFiles/gpclust_core.dir/device_shingling.cpp.o"
+  "CMakeFiles/gpclust_core.dir/device_shingling.cpp.o.d"
+  "CMakeFiles/gpclust_core.dir/gpclust.cpp.o"
+  "CMakeFiles/gpclust_core.dir/gpclust.cpp.o.d"
+  "CMakeFiles/gpclust_core.dir/minhash.cpp.o"
+  "CMakeFiles/gpclust_core.dir/minhash.cpp.o.d"
+  "CMakeFiles/gpclust_core.dir/serial_pclust.cpp.o"
+  "CMakeFiles/gpclust_core.dir/serial_pclust.cpp.o.d"
+  "CMakeFiles/gpclust_core.dir/shingle.cpp.o"
+  "CMakeFiles/gpclust_core.dir/shingle.cpp.o.d"
+  "CMakeFiles/gpclust_core.dir/shingle_graph.cpp.o"
+  "CMakeFiles/gpclust_core.dir/shingle_graph.cpp.o.d"
+  "CMakeFiles/gpclust_core.dir/shingle_graph_device.cpp.o"
+  "CMakeFiles/gpclust_core.dir/shingle_graph_device.cpp.o.d"
+  "libgpclust_core.a"
+  "libgpclust_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpclust_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

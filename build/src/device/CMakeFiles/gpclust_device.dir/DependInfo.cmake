@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/device_context.cpp" "src/device/CMakeFiles/gpclust_device.dir/device_context.cpp.o" "gcc" "src/device/CMakeFiles/gpclust_device.dir/device_context.cpp.o.d"
+  "/root/repo/src/device/device_spec.cpp" "src/device/CMakeFiles/gpclust_device.dir/device_spec.cpp.o" "gcc" "src/device/CMakeFiles/gpclust_device.dir/device_spec.cpp.o.d"
+  "/root/repo/src/device/memory_arena.cpp" "src/device/CMakeFiles/gpclust_device.dir/memory_arena.cpp.o" "gcc" "src/device/CMakeFiles/gpclust_device.dir/memory_arena.cpp.o.d"
+  "/root/repo/src/device/sim_timeline.cpp" "src/device/CMakeFiles/gpclust_device.dir/sim_timeline.cpp.o" "gcc" "src/device/CMakeFiles/gpclust_device.dir/sim_timeline.cpp.o.d"
+  "/root/repo/src/device/simt.cpp" "src/device/CMakeFiles/gpclust_device.dir/simt.cpp.o" "gcc" "src/device/CMakeFiles/gpclust_device.dir/simt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gpclust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

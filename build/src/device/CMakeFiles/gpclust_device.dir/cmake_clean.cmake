@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpclust_device.dir/device_context.cpp.o"
+  "CMakeFiles/gpclust_device.dir/device_context.cpp.o.d"
+  "CMakeFiles/gpclust_device.dir/device_spec.cpp.o"
+  "CMakeFiles/gpclust_device.dir/device_spec.cpp.o.d"
+  "CMakeFiles/gpclust_device.dir/memory_arena.cpp.o"
+  "CMakeFiles/gpclust_device.dir/memory_arena.cpp.o.d"
+  "CMakeFiles/gpclust_device.dir/sim_timeline.cpp.o"
+  "CMakeFiles/gpclust_device.dir/sim_timeline.cpp.o.d"
+  "CMakeFiles/gpclust_device.dir/simt.cpp.o"
+  "CMakeFiles/gpclust_device.dir/simt.cpp.o.d"
+  "libgpclust_device.a"
+  "libgpclust_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpclust_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/comm.cpp" "src/dist/CMakeFiles/gpclust_dist.dir/comm.cpp.o" "gcc" "src/dist/CMakeFiles/gpclust_dist.dir/comm.cpp.o.d"
+  "/root/repo/src/dist/dist_shingling.cpp" "src/dist/CMakeFiles/gpclust_dist.dir/dist_shingling.cpp.o" "gcc" "src/dist/CMakeFiles/gpclust_dist.dir/dist_shingling.cpp.o.d"
+  "/root/repo/src/dist/mapreduce_shingling.cpp" "src/dist/CMakeFiles/gpclust_dist.dir/mapreduce_shingling.cpp.o" "gcc" "src/dist/CMakeFiles/gpclust_dist.dir/mapreduce_shingling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gpclust_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpclust_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gpclust_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/gpclust_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

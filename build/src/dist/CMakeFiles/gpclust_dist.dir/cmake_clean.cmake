@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpclust_dist.dir/comm.cpp.o"
+  "CMakeFiles/gpclust_dist.dir/comm.cpp.o.d"
+  "CMakeFiles/gpclust_dist.dir/dist_shingling.cpp.o"
+  "CMakeFiles/gpclust_dist.dir/dist_shingling.cpp.o.d"
+  "CMakeFiles/gpclust_dist.dir/mapreduce_shingling.cpp.o"
+  "CMakeFiles/gpclust_dist.dir/mapreduce_shingling.cpp.o.d"
+  "libgpclust_dist.a"
+  "libgpclust_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpclust_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/cluster_stats.cpp" "src/eval/CMakeFiles/gpclust_eval.dir/cluster_stats.cpp.o" "gcc" "src/eval/CMakeFiles/gpclust_eval.dir/cluster_stats.cpp.o.d"
+  "/root/repo/src/eval/density.cpp" "src/eval/CMakeFiles/gpclust_eval.dir/density.cpp.o" "gcc" "src/eval/CMakeFiles/gpclust_eval.dir/density.cpp.o.d"
+  "/root/repo/src/eval/partition_io.cpp" "src/eval/CMakeFiles/gpclust_eval.dir/partition_io.cpp.o" "gcc" "src/eval/CMakeFiles/gpclust_eval.dir/partition_io.cpp.o.d"
+  "/root/repo/src/eval/partition_metrics.cpp" "src/eval/CMakeFiles/gpclust_eval.dir/partition_metrics.cpp.o" "gcc" "src/eval/CMakeFiles/gpclust_eval.dir/partition_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gpclust_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gpclust_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/gpclust_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpclust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

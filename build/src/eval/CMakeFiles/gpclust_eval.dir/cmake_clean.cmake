@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpclust_eval.dir/cluster_stats.cpp.o"
+  "CMakeFiles/gpclust_eval.dir/cluster_stats.cpp.o.d"
+  "CMakeFiles/gpclust_eval.dir/density.cpp.o"
+  "CMakeFiles/gpclust_eval.dir/density.cpp.o.d"
+  "CMakeFiles/gpclust_eval.dir/partition_io.cpp.o"
+  "CMakeFiles/gpclust_eval.dir/partition_io.cpp.o.d"
+  "CMakeFiles/gpclust_eval.dir/partition_metrics.cpp.o"
+  "CMakeFiles/gpclust_eval.dir/partition_metrics.cpp.o.d"
+  "libgpclust_eval.a"
+  "libgpclust_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpclust_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

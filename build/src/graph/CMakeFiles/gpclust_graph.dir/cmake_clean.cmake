@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpclust_graph.dir/connected_components.cpp.o"
+  "CMakeFiles/gpclust_graph.dir/connected_components.cpp.o.d"
+  "CMakeFiles/gpclust_graph.dir/csr_graph.cpp.o"
+  "CMakeFiles/gpclust_graph.dir/csr_graph.cpp.o.d"
+  "CMakeFiles/gpclust_graph.dir/edge_list.cpp.o"
+  "CMakeFiles/gpclust_graph.dir/edge_list.cpp.o.d"
+  "CMakeFiles/gpclust_graph.dir/generators.cpp.o"
+  "CMakeFiles/gpclust_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/gpclust_graph.dir/graph_io.cpp.o"
+  "CMakeFiles/gpclust_graph.dir/graph_io.cpp.o.d"
+  "CMakeFiles/gpclust_graph.dir/graph_stats.cpp.o"
+  "CMakeFiles/gpclust_graph.dir/graph_stats.cpp.o.d"
+  "CMakeFiles/gpclust_graph.dir/union_find.cpp.o"
+  "CMakeFiles/gpclust_graph.dir/union_find.cpp.o.d"
+  "libgpclust_graph.a"
+  "libgpclust_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpclust_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seq/alphabet.cpp" "src/seq/CMakeFiles/gpclust_seq.dir/alphabet.cpp.o" "gcc" "src/seq/CMakeFiles/gpclust_seq.dir/alphabet.cpp.o.d"
+  "/root/repo/src/seq/codon.cpp" "src/seq/CMakeFiles/gpclust_seq.dir/codon.cpp.o" "gcc" "src/seq/CMakeFiles/gpclust_seq.dir/codon.cpp.o.d"
+  "/root/repo/src/seq/community_model.cpp" "src/seq/CMakeFiles/gpclust_seq.dir/community_model.cpp.o" "gcc" "src/seq/CMakeFiles/gpclust_seq.dir/community_model.cpp.o.d"
+  "/root/repo/src/seq/dna.cpp" "src/seq/CMakeFiles/gpclust_seq.dir/dna.cpp.o" "gcc" "src/seq/CMakeFiles/gpclust_seq.dir/dna.cpp.o.d"
+  "/root/repo/src/seq/family_model.cpp" "src/seq/CMakeFiles/gpclust_seq.dir/family_model.cpp.o" "gcc" "src/seq/CMakeFiles/gpclust_seq.dir/family_model.cpp.o.d"
+  "/root/repo/src/seq/fasta.cpp" "src/seq/CMakeFiles/gpclust_seq.dir/fasta.cpp.o" "gcc" "src/seq/CMakeFiles/gpclust_seq.dir/fasta.cpp.o.d"
+  "/root/repo/src/seq/orf_finder.cpp" "src/seq/CMakeFiles/gpclust_seq.dir/orf_finder.cpp.o" "gcc" "src/seq/CMakeFiles/gpclust_seq.dir/orf_finder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gpclust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpclust_seq.dir/alphabet.cpp.o"
+  "CMakeFiles/gpclust_seq.dir/alphabet.cpp.o.d"
+  "CMakeFiles/gpclust_seq.dir/codon.cpp.o"
+  "CMakeFiles/gpclust_seq.dir/codon.cpp.o.d"
+  "CMakeFiles/gpclust_seq.dir/community_model.cpp.o"
+  "CMakeFiles/gpclust_seq.dir/community_model.cpp.o.d"
+  "CMakeFiles/gpclust_seq.dir/dna.cpp.o"
+  "CMakeFiles/gpclust_seq.dir/dna.cpp.o.d"
+  "CMakeFiles/gpclust_seq.dir/family_model.cpp.o"
+  "CMakeFiles/gpclust_seq.dir/family_model.cpp.o.d"
+  "CMakeFiles/gpclust_seq.dir/fasta.cpp.o"
+  "CMakeFiles/gpclust_seq.dir/fasta.cpp.o.d"
+  "CMakeFiles/gpclust_seq.dir/orf_finder.cpp.o"
+  "CMakeFiles/gpclust_seq.dir/orf_finder.cpp.o.d"
+  "libgpclust_seq.a"
+  "libgpclust_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpclust_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpclust_util.dir/cli.cpp.o"
+  "CMakeFiles/gpclust_util.dir/cli.cpp.o.d"
+  "CMakeFiles/gpclust_util.dir/common.cpp.o"
+  "CMakeFiles/gpclust_util.dir/common.cpp.o.d"
+  "CMakeFiles/gpclust_util.dir/histogram.cpp.o"
+  "CMakeFiles/gpclust_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/gpclust_util.dir/logging.cpp.o"
+  "CMakeFiles/gpclust_util.dir/logging.cpp.o.d"
+  "CMakeFiles/gpclust_util.dir/prime.cpp.o"
+  "CMakeFiles/gpclust_util.dir/prime.cpp.o.d"
+  "CMakeFiles/gpclust_util.dir/rng.cpp.o"
+  "CMakeFiles/gpclust_util.dir/rng.cpp.o.d"
+  "CMakeFiles/gpclust_util.dir/stats.cpp.o"
+  "CMakeFiles/gpclust_util.dir/stats.cpp.o.d"
+  "CMakeFiles/gpclust_util.dir/table.cpp.o"
+  "CMakeFiles/gpclust_util.dir/table.cpp.o.d"
+  "CMakeFiles/gpclust_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/gpclust_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/gpclust_util.dir/timer.cpp.o"
+  "CMakeFiles/gpclust_util.dir/timer.cpp.o.d"
+  "libgpclust_util.a"
+  "libgpclust_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpclust_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,90 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/align/blosum_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/align/blosum_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/align/blosum_test.cpp.o.d"
+  "/root/repo/tests/align/homology_graph_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/align/homology_graph_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/align/homology_graph_test.cpp.o.d"
+  "/root/repo/tests/align/kmer_index_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/align/kmer_index_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/align/kmer_index_test.cpp.o.d"
+  "/root/repo/tests/align/smith_waterman_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/align/smith_waterman_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/align/smith_waterman_test.cpp.o.d"
+  "/root/repo/tests/align/suffix_array_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/align/suffix_array_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/align/suffix_array_test.cpp.o.d"
+  "/root/repo/tests/baseline/gos_kneighbor_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/baseline/gos_kneighbor_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/baseline/gos_kneighbor_test.cpp.o.d"
+  "/root/repo/tests/baseline/mcl_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/baseline/mcl_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/baseline/mcl_test.cpp.o.d"
+  "/root/repo/tests/baseline/single_linkage_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/baseline/single_linkage_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/baseline/single_linkage_test.cpp.o.d"
+  "/root/repo/tests/core/batching_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/core/batching_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/core/batching_test.cpp.o.d"
+  "/root/repo/tests/core/cluster_report_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/core/cluster_report_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/core/cluster_report_test.cpp.o.d"
+  "/root/repo/tests/core/clustering_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/core/clustering_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/core/clustering_test.cpp.o.d"
+  "/root/repo/tests/core/component_decomposition_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/core/component_decomposition_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/core/component_decomposition_test.cpp.o.d"
+  "/root/repo/tests/core/device_aggregation_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/core/device_aggregation_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/core/device_aggregation_test.cpp.o.d"
+  "/root/repo/tests/core/device_shingling_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/core/device_shingling_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/core/device_shingling_test.cpp.o.d"
+  "/root/repo/tests/core/equivalence_sweep_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/core/equivalence_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/core/equivalence_sweep_test.cpp.o.d"
+  "/root/repo/tests/core/gpclust_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/core/gpclust_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/core/gpclust_test.cpp.o.d"
+  "/root/repo/tests/core/minhash_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/core/minhash_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/core/minhash_test.cpp.o.d"
+  "/root/repo/tests/core/minwise_property_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/core/minwise_property_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/core/minwise_property_test.cpp.o.d"
+  "/root/repo/tests/core/serial_pclust_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/core/serial_pclust_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/core/serial_pclust_test.cpp.o.d"
+  "/root/repo/tests/core/shingle_graph_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/core/shingle_graph_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/core/shingle_graph_test.cpp.o.d"
+  "/root/repo/tests/core/shingle_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/core/shingle_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/core/shingle_test.cpp.o.d"
+  "/root/repo/tests/device/device_context_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/device/device_context_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/device/device_context_test.cpp.o.d"
+  "/root/repo/tests/device/device_vector_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/device/device_vector_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/device/device_vector_test.cpp.o.d"
+  "/root/repo/tests/device/memory_arena_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/device/memory_arena_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/device/memory_arena_test.cpp.o.d"
+  "/root/repo/tests/device/primitives_extra_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/device/primitives_extra_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/device/primitives_extra_test.cpp.o.d"
+  "/root/repo/tests/device/primitives_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/device/primitives_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/device/primitives_test.cpp.o.d"
+  "/root/repo/tests/device/radix_sort_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/device/radix_sort_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/device/radix_sort_test.cpp.o.d"
+  "/root/repo/tests/device/sim_timeline_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/device/sim_timeline_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/device/sim_timeline_test.cpp.o.d"
+  "/root/repo/tests/device/simt_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/device/simt_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/device/simt_test.cpp.o.d"
+  "/root/repo/tests/dist/comm_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/dist/comm_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/dist/comm_test.cpp.o.d"
+  "/root/repo/tests/dist/dist_shingling_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/dist/dist_shingling_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/dist/dist_shingling_test.cpp.o.d"
+  "/root/repo/tests/dist/mapreduce_shingling_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/dist/mapreduce_shingling_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/dist/mapreduce_shingling_test.cpp.o.d"
+  "/root/repo/tests/dist/mapreduce_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/dist/mapreduce_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/dist/mapreduce_test.cpp.o.d"
+  "/root/repo/tests/eval/cluster_stats_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/eval/cluster_stats_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/eval/cluster_stats_test.cpp.o.d"
+  "/root/repo/tests/eval/density_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/eval/density_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/eval/density_test.cpp.o.d"
+  "/root/repo/tests/eval/partition_io_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/eval/partition_io_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/eval/partition_io_test.cpp.o.d"
+  "/root/repo/tests/eval/partition_metrics_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/eval/partition_metrics_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/eval/partition_metrics_test.cpp.o.d"
+  "/root/repo/tests/graph/connected_components_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/graph/connected_components_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/graph/connected_components_test.cpp.o.d"
+  "/root/repo/tests/graph/csr_graph_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/graph/csr_graph_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/graph/csr_graph_test.cpp.o.d"
+  "/root/repo/tests/graph/edge_list_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/graph/edge_list_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/graph/edge_list_test.cpp.o.d"
+  "/root/repo/tests/graph/generators_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/graph/generators_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/graph/generators_test.cpp.o.d"
+  "/root/repo/tests/graph/graph_io_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/graph/graph_io_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/graph/graph_io_test.cpp.o.d"
+  "/root/repo/tests/graph/graph_stats_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/graph/graph_stats_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/graph/graph_stats_test.cpp.o.d"
+  "/root/repo/tests/graph/union_find_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/graph/union_find_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/graph/union_find_test.cpp.o.d"
+  "/root/repo/tests/integration/dna_pipeline_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/integration/dna_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/integration/dna_pipeline_test.cpp.o.d"
+  "/root/repo/tests/integration/pipeline_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/integration/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/integration/pipeline_test.cpp.o.d"
+  "/root/repo/tests/seq/alphabet_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/seq/alphabet_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/seq/alphabet_test.cpp.o.d"
+  "/root/repo/tests/seq/codon_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/seq/codon_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/seq/codon_test.cpp.o.d"
+  "/root/repo/tests/seq/community_model_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/seq/community_model_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/seq/community_model_test.cpp.o.d"
+  "/root/repo/tests/seq/dna_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/seq/dna_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/seq/dna_test.cpp.o.d"
+  "/root/repo/tests/seq/family_model_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/seq/family_model_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/seq/family_model_test.cpp.o.d"
+  "/root/repo/tests/seq/fasta_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/seq/fasta_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/seq/fasta_test.cpp.o.d"
+  "/root/repo/tests/seq/orf_finder_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/seq/orf_finder_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/seq/orf_finder_test.cpp.o.d"
+  "/root/repo/tests/util/cli_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/util/cli_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/util/cli_test.cpp.o.d"
+  "/root/repo/tests/util/histogram_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/util/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/util/histogram_test.cpp.o.d"
+  "/root/repo/tests/util/logging_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/util/logging_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/util/logging_test.cpp.o.d"
+  "/root/repo/tests/util/parallel_sort_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/util/parallel_sort_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/util/parallel_sort_test.cpp.o.d"
+  "/root/repo/tests/util/prime_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/util/prime_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/util/prime_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/util/table_test.cpp.o.d"
+  "/root/repo/tests/util/thread_pool_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/util/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/util/thread_pool_test.cpp.o.d"
+  "/root/repo/tests/util/timer_test.cpp" "tests/CMakeFiles/gpclust_tests.dir/util/timer_test.cpp.o" "gcc" "tests/CMakeFiles/gpclust_tests.dir/util/timer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gpclust_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gpclust_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/gpclust_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gpclust_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/gpclust_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/gpclust_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/gpclust_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/gpclust_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/gpclust_dist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

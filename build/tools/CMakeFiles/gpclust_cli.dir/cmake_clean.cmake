@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpclust_cli.dir/gpclust_cli.cpp.o"
+  "CMakeFiles/gpclust_cli.dir/gpclust_cli.cpp.o.d"
+  "gpclust"
+  "gpclust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpclust_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
