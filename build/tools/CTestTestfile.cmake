@@ -5,8 +5,10 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 add_test(cli_demo_gpu "/root/repo/build/tools/gpclust" "--demo=800" "--min-cluster-size=5" "--report")
-set_tests_properties(cli_demo_gpu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_demo_gpu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_demo_serial_components "/root/repo/build/tools/gpclust" "--demo=500" "--engine=serial" "--components" "--c1=40" "--c2=20")
-set_tests_properties(cli_demo_serial_components PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_demo_serial_components PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_demo_trace "/root/repo/build/tools/gpclust" "--demo=600" "--trace-out=cli_demo_trace.json" "--report")
+set_tests_properties(cli_demo_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_usage_error "/root/repo/build/tools/gpclust")
-set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")

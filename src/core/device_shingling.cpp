@@ -4,6 +4,7 @@
 
 #include "core/shingle.hpp"
 #include "device/primitives.hpp"
+#include "obs/trace.hpp"
 
 namespace gpclust::core {
 
@@ -38,11 +39,14 @@ ShingleTuples extract_shingles_device(device::DeviceContext& ctx,
                                       const DevicePassOptions& options,
                                       util::MetricsRegistry* metrics,
                                       const std::string& cpu_metric,
-                                      DevicePassStats* stats) {
+                                      DevicePassStats* stats,
+                                      const std::string& trace_phase) {
   GPCLUST_CHECK(!offsets.empty() && offsets.back() == members.size(),
                 "offsets must cover the member array");
   util::MetricsRegistry local;
   util::MetricsRegistry& reg = metrics ? *metrics : local;
+  obs::Tracer* tracer = ctx.tracer();
+  obs::DevicePhaseScope phase_scope(tracer, trace_phase);
 
   const std::size_t max_batch =
       options.max_batch_elements > 0 ? options.max_batch_elements
@@ -51,6 +55,7 @@ ShingleTuples extract_shingles_device(device::DeviceContext& ctx,
   BatchPlan plan;
   {
     util::ScopedTimer t(reg, cpu_metric);
+    obs::HostSpan span(tracer, trace_phase + ".plan");
     plan = plan_batches(offsets, s, max_batch);
   }
 
@@ -66,6 +71,7 @@ ShingleTuples extract_shingles_device(device::DeviceContext& ctx,
 
     {  // CPU aggregates the batch for the device (Figure 3, step 1).
       util::ScopedTimer t(reg, cpu_metric);
+      obs::HostSpan span(tracer, trace_phase + ".stage");
       batch.stage(members, staging);
     }
 
@@ -114,6 +120,7 @@ ShingleTuples extract_shingles_device(device::DeviceContext& ctx,
       // CPU consumes the trial's minima: merge split pieces, hash complete
       // lists into tuples (Figure 3, step 2 + the split-list merge).
       util::ScopedTimer t(reg, cpu_metric);
+      obs::HostSpan span(tracer, trace_phase + ".consume");
       for (std::size_t seg = 0; seg < nsegs; ++seg) {
         const u32 list_id = batch.seg_list_ids[seg];
         const bool starts = batch.seg_starts_list[seg] != 0;
@@ -143,6 +150,9 @@ ShingleTuples extract_shingles_device(device::DeviceContext& ctx,
     }
   }
   GPCLUST_CHECK(pending.empty(), "unfinished split lists after final batch");
+
+  obs::add_counter(tracer, "batches", plan.batches.size());
+  obs::add_counter(tracer, "tuples", tuples.size());
 
   if (stats != nullptr) {
     stats->num_batches = plan.batches.size();

@@ -42,7 +42,10 @@ std::size_t default_batch_elements(const device::DeviceContext& ctx, u32 s);
 /// (left node i owns members[offsets[i]..offsets[i+1])). Produces exactly
 /// the tuples extract_shingles_serial would produce, in a different order.
 /// CPU-side staging/merging wall time is recorded under `cpu_metric` when
-/// `metrics` is non-null.
+/// `metrics` is non-null. When a tracer is attached to `ctx`, the same
+/// CPU sections become host-measured spans under `trace_phase` (".plan",
+/// ".stage", ".consume"), modeled device ops are attributed to the phase,
+/// and the "batches"/"tuples" counters advance.
 ShingleTuples extract_shingles_device(device::DeviceContext& ctx,
                                       std::span<const u64> offsets,
                                       std::span<const u32> members,
@@ -50,6 +53,7 @@ ShingleTuples extract_shingles_device(device::DeviceContext& ctx,
                                       const DevicePassOptions& options,
                                       util::MetricsRegistry* metrics = nullptr,
                                       const std::string& cpu_metric = "gpclust.cpu",
-                                      DevicePassStats* stats = nullptr);
+                                      DevicePassStats* stats = nullptr,
+                                      const std::string& trace_phase = "pass");
 
 }  // namespace gpclust::core

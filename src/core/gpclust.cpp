@@ -1,9 +1,33 @@
 #include "core/gpclust.hpp"
 
 #include "graph/graph_io.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace gpclust::core {
+
+namespace {
+
+/// Binds the run's tracer to the device context for the duration of the
+/// run (and unbinds on any exit path, including exceptions), so modeled
+/// ops, transfer bytes and the arena high-water mark land in the tracer.
+class ScopedDeviceTracer {
+ public:
+  ScopedDeviceTracer(device::DeviceContext& ctx, obs::Tracer* tracer)
+      : ctx_(ctx), previous_(ctx.tracer()) {
+    ctx_.set_tracer(tracer);
+  }
+  ~ScopedDeviceTracer() { ctx_.set_tracer(previous_); }
+
+  ScopedDeviceTracer(const ScopedDeviceTracer&) = delete;
+  ScopedDeviceTracer& operator=(const ScopedDeviceTracer&) = delete;
+
+ private:
+  device::DeviceContext& ctx_;
+  obs::Tracer* previous_;
+};
+
+}  // namespace
 
 GpClust::GpClust(device::DeviceContext& ctx, ShinglingParams params,
                  GpClustOptions options)
@@ -16,14 +40,24 @@ Clustering GpClust::cluster(const graph::CsrGraph& g, GpClustReport* report) {
 Clustering GpClust::cluster_file(const std::string& path,
                                  GpClustReport* report) {
   util::WallTimer disk;
-  const graph::CsrGraph g = graph::read_csr_binary(path);
-  return run(g, report, disk.seconds());
+  double disk_seconds = 0.0;
+  graph::CsrGraph g;
+  {
+    obs::HostSpan span(options_.tracer, "load");
+    g = graph::read_csr_binary(path);
+    disk_seconds = disk.seconds();
+  }
+  return run(g, report, disk_seconds);
 }
 
 Clustering GpClust::run(const graph::CsrGraph& g, GpClustReport* report,
                         double disk_seconds) {
   params_.validate(g.num_vertices());
   ctx_.reset_timeline();
+
+  obs::Tracer* tracer = options_.tracer;
+  ScopedDeviceTracer bind(ctx_, tracer);
+  obs::add_counter(tracer, "sequences", g.num_vertices());
 
   util::MetricsRegistry reg;
   DevicePassOptions pass_options;
@@ -38,7 +72,8 @@ Clustering GpClust::run(const graph::CsrGraph& g, GpClustReport* report,
   // First level shingling on the device (Algorithm 2 lines 10-14).
   ShingleTuples tuples1 =
       extract_shingles_device(ctx_, g.offsets(), g.adjacency(), family1,
-                              params_.s1, pass_options, &reg, "cpu", &stats1);
+                              params_.s1, pass_options, &reg, "cpu", &stats1,
+                              "pass1");
 
   // Aggregate the shingle graph (Algorithm 2 line 16) — on the CPU as the
   // paper does, or on the device when the extension flag is set.
@@ -46,28 +81,36 @@ Clustering GpClust::run(const graph::CsrGraph& g, GpClustReport* report,
   if (options_.device_aggregation) {
     // Host merge/group time accrues to "cpu" inside; the radix sort is
     // device work on the modeled timeline.
-    gi = aggregate_tuples_device(ctx_, std::move(tuples1), 0, &reg, "cpu");
+    gi = aggregate_tuples_device(ctx_, std::move(tuples1), 0, &reg, "cpu",
+                                 "aggregate1");
   } else {
     util::ScopedTimer t(reg, "cpu");
+    obs::HostSpan span(tracer, "aggregate1");
     gi = aggregate_tuples(std::move(tuples1));
   }
+  obs::add_counter(tracer, "shingles", gi.num_left());
 
   // Second level shingling on the device (lines 17-21).
   ShingleTuples tuples2 =
       extract_shingles_device(ctx_, gi.offsets, gi.members, family2,
-                              params_.s2, pass_options, &reg, "cpu", &stats2);
+                              params_.s2, pass_options, &reg, "cpu", &stats2,
+                              "pass2");
 
   // Final aggregation + dense subgraph reporting (lines 22-23).
   Clustering result;
   {
     BipartiteShingleGraph gii;
     if (options_.device_aggregation) {
-      gii = aggregate_tuples_device(ctx_, std::move(tuples2), 0, &reg, "cpu");
+      gii = aggregate_tuples_device(ctx_, std::move(tuples2), 0, &reg, "cpu",
+                                    "aggregate2");
     } else {
       util::ScopedTimer t(reg, "cpu");
+      obs::HostSpan span(tracer, "aggregate2");
       gii = aggregate_tuples(std::move(tuples2));
     }
+    obs::add_counter(tracer, "shingles", gii.num_left());
     util::ScopedTimer t(reg, "cpu");
+    obs::HostSpan span(tracer, "report");
     result = report_dense_subgraphs(gi, gii, g.num_vertices(), params_.mode);
   }
 

@@ -16,6 +16,10 @@
 #include "device/device_context.hpp"
 #include "graph/csr_graph.hpp"
 
+namespace gpclust::obs {
+class Tracer;
+}
+
 namespace gpclust::core {
 
 struct GpClustOptions {
@@ -33,6 +37,14 @@ struct GpClustOptions {
   /// Results are identical; the CPU column shrinks and the GPU/transfer
   /// columns grow.
   bool device_aggregation = false;
+
+  /// Observability: when non-null, the run records host-measured and
+  /// device-modeled phase spans (load, pass1, aggregate1, pass2,
+  /// aggregate2, report) and the pipeline counters (sequences, tuples,
+  /// shingles, batches, h2d/d2h bytes, arena high-water mark) into this
+  /// tracer. The tracer is bound to the device context for the duration of
+  /// the run only. Tracing never affects the clustering result.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Per-component runtime breakdown in the shape of the paper's Table I.

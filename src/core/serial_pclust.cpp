@@ -3,6 +3,7 @@
 #include <array>
 
 #include "core/shingle.hpp"
+#include "obs/trace.hpp"
 
 namespace gpclust::core {
 
@@ -36,10 +37,12 @@ ShingleTuples extract_shingles_serial(std::span<const u64> offsets,
 }
 
 Clustering SerialShingler::cluster(const graph::CsrGraph& g,
-                                   util::MetricsRegistry* metrics) const {
+                                   util::MetricsRegistry* metrics,
+                                   obs::Tracer* tracer) const {
   params_.validate(g.num_vertices());
   util::MetricsRegistry local;
   util::MetricsRegistry& reg = metrics ? *metrics : local;
+  obs::add_counter(tracer, "sequences", g.num_vertices());
 
   const HashFamily family1(params_.c1, params_.prime, params_.seed, 1);
   const HashFamily family2(params_.c2, params_.prime, params_.seed, 2);
@@ -47,28 +50,37 @@ Clustering SerialShingler::cluster(const graph::CsrGraph& g,
   ShingleTuples tuples1;
   {
     util::ScopedTimer t(reg, "serial.shingling1");
+    obs::HostSpan span(tracer, "shingling1");
     tuples1 = extract_shingles_serial(g.offsets(), g.adjacency(), family1,
                                       params_.s1);
   }
+  obs::add_counter(tracer, "tuples", tuples1.size());
   BipartiteShingleGraph gi;
   {
     util::ScopedTimer t(reg, "serial.aggregate1");
+    obs::HostSpan span(tracer, "aggregate1");
     gi = aggregate_tuples(std::move(tuples1));
   }
+  obs::add_counter(tracer, "shingles", gi.num_left());
 
   ShingleTuples tuples2;
   {
     util::ScopedTimer t(reg, "serial.shingling2");
+    obs::HostSpan span(tracer, "shingling2");
     tuples2 =
         extract_shingles_serial(gi.offsets, gi.members, family2, params_.s2);
   }
+  obs::add_counter(tracer, "tuples", tuples2.size());
   BipartiteShingleGraph gii;
   {
     util::ScopedTimer t(reg, "serial.aggregate2");
+    obs::HostSpan span(tracer, "aggregate2");
     gii = aggregate_tuples(std::move(tuples2));
   }
+  obs::add_counter(tracer, "shingles", gii.num_left());
 
   util::ScopedTimer t(reg, "serial.report");
+  obs::HostSpan span(tracer, "report");
   return report_dense_subgraphs(gi, gii, g.num_vertices(), params_.mode);
 }
 

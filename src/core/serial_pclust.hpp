@@ -12,6 +12,10 @@
 #include "graph/csr_graph.hpp"
 #include "util/timer.hpp"
 
+namespace gpclust::obs {
+class Tracer;
+}
+
 namespace gpclust::core {
 
 /// Serial shingle extraction over generic CSR-style lists: left node i owns
@@ -32,8 +36,13 @@ class SerialShingler {
   /// is recorded under "serial.shingling1", "serial.aggregate1",
   /// "serial.shingling2", "serial.aggregate2", "serial.report" — the
   /// profile the paper uses to show ~80% of serial time is in shingling.
+  /// When `tracer` is provided, the same phases are recorded as
+  /// host-measured spans ("shingling1", "aggregate1", ...) plus the
+  /// "sequences"/"tuples"/"shingles" counters; every span of a serial run
+  /// is host-measured (there is no device).
   Clustering cluster(const graph::CsrGraph& g,
-                     util::MetricsRegistry* metrics = nullptr) const;
+                     util::MetricsRegistry* metrics = nullptr,
+                     obs::Tracer* tracer = nullptr) const;
 
  private:
   ShinglingParams params_;

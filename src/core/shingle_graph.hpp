@@ -70,10 +70,14 @@ namespace gpclust::core {
 /// merging, grouping) accrue wall time under `cpu_metric`; the sort itself
 /// is device work and is accounted on the context's modeled timeline, like
 /// every other kernel.
+/// When a tracer is attached to `ctx`, host-side packing/merging becomes
+/// host-measured spans under `trace_phase` and modeled sort/copy ops are
+/// attributed to the phase.
 BipartiteShingleGraph aggregate_tuples_device(
     device::DeviceContext& ctx, ShingleTuples&& tuples,
     std::size_t max_batch_elements = 0,
     util::MetricsRegistry* metrics = nullptr,
-    const std::string& cpu_metric = "cpu");
+    const std::string& cpu_metric = "cpu",
+    const std::string& trace_phase = "aggregate");
 
 }  // namespace gpclust::core

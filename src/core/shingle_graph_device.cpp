@@ -3,6 +3,7 @@
 #include "core/shingle_graph.hpp"
 #include "core/shingle_graph_detail.hpp"
 #include "device/radix_sort.hpp"
+#include "obs/trace.hpp"
 
 namespace gpclust::core {
 
@@ -10,9 +11,12 @@ BipartiteShingleGraph aggregate_tuples_device(device::DeviceContext& ctx,
                                               ShingleTuples&& tuples,
                                               std::size_t max_batch_elements,
                                               util::MetricsRegistry* metrics,
-                                              const std::string& cpu_metric) {
+                                              const std::string& cpu_metric,
+                                              const std::string& trace_phase) {
   util::MetricsRegistry local;
   util::MetricsRegistry& reg = metrics ? *metrics : local;
+  obs::Tracer* tracer = ctx.tracer();
+  obs::DevicePhaseScope phase_scope(tracer, trace_phase);
   const std::size_t n = tuples.size();
   GPCLUST_CHECK(tuples.owner.size() == n, "tuple arrays out of sync");
 
@@ -52,6 +56,7 @@ BipartiteShingleGraph aggregate_tuples_device(device::DeviceContext& ctx,
     device::copy_to_host<u32>(owners_h, d_owners);
 
     util::ScopedTimer t(reg, cpu_metric);
+    obs::HostSpan span(tracer, trace_phase + ".pack");
     for (std::size_t i = 0; i < count; ++i) {
       merged.push_back(detail::pack_tuple(shingles_h[i], owners_h[i]));
     }
@@ -64,6 +69,7 @@ BipartiteShingleGraph aggregate_tuples_device(device::DeviceContext& ctx,
 
   // Pairwise-merge the sorted runs.
   util::ScopedTimer t(reg, cpu_metric);
+  obs::HostSpan span(tracer, trace_phase + ".merge");
   while (run_bounds.size() > 2) {
     std::vector<std::size_t> next = {0};
     for (std::size_t i = 2; i < run_bounds.size(); i += 2) {

@@ -46,11 +46,23 @@ class DeviceContext {
   /// Clears timing (not memory) state between runs.
   void reset_timeline() { timeline_.reset(); }
 
+  // --- observability ------------------------------------------------------
+  /// Attaches an obs tracer to the whole device: the timeline records each
+  /// modeled op as a device-modeled span, the arena mirrors its high-water
+  /// mark, and the transfer helpers count H2D/D2H bytes. Null detaches.
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_ = tracer;
+    timeline_.set_tracer(tracer);
+    arena_.set_tracer(tracer);
+  }
+  obs::Tracer* tracer() const { return tracer_; }
+
  private:
   DeviceSpec spec_;
   MemoryArena arena_;
   SimTimeline timeline_;
   util::ThreadPool* pool_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace gpclust::device

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "device/device_context.hpp"
+#include "obs/trace.hpp"
 #include "util/common.hpp"
 
 namespace gpclust::device {
@@ -86,6 +87,7 @@ double copy_to_device(DeviceVector<T>& dst, std::span<const T> src,
   GPCLUST_CHECK(src.size() <= dst.size(), "device buffer too small");
   std::copy(src.begin(), src.end(), dst.device_span().begin());
   DeviceContext& ctx = *dst.context();
+  obs::add_counter(ctx.tracer(), "h2d_bytes", src.size() * sizeof(T));
   return ctx.timeline().enqueue(stream, OpKind::CopyH2D,
                                 ctx.h2d_cost(src.size() * sizeof(T)),
                                 ready_after);
@@ -103,6 +105,7 @@ double copy_to_host(std::span<T> dst, const DeviceVector<T>& src,
   std::copy(sp.begin(), sp.begin() + static_cast<std::ptrdiff_t>(dst.size()),
             dst.begin());
   DeviceContext& ctx = *src.context();
+  obs::add_counter(ctx.tracer(), "d2h_bytes", dst.size() * sizeof(T));
   return ctx.timeline().enqueue(stream, OpKind::CopyD2H,
                                 ctx.d2h_cost(dst.size() * sizeof(T)),
                                 ready_after);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/trace.hpp"
+
 namespace gpclust::device {
 
 void MemoryArena::allocate(std::size_t bytes) {
@@ -15,6 +17,9 @@ void MemoryArena::allocate(std::size_t bytes) {
   used_ += bytes;
   peak_ = std::max(peak_, used_);
   ++live_allocations_;
+  if (tracer_ != nullptr) {
+    tracer_->raise_counter("arena_peak_bytes", peak_);
+  }
 }
 
 void MemoryArena::release(std::size_t bytes) {

@@ -8,6 +8,10 @@
 
 #include "util/common.hpp"
 
+namespace gpclust::obs {
+class Tracer;
+}
+
 namespace gpclust::device {
 
 class MemoryArena {
@@ -27,11 +31,16 @@ class MemoryArena {
   /// Release `bytes` previously allocated.
   void release(std::size_t bytes);
 
+  /// Mirrors the high-water mark into the tracer's "arena_peak_bytes"
+  /// counter on every allocation. Null detaches.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   std::size_t capacity_;
   std::size_t used_ = 0;
   std::size_t peak_ = 0;
   std::size_t live_allocations_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace gpclust::device

@@ -2,7 +2,14 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace gpclust::device {
+
+namespace {
+constexpr std::string_view kOpCategory[kNumOpKinds] = {"kernel", "copy_h2d",
+                                                       "copy_d2h"};
+}  // namespace
 
 SimTimeline::SimTimeline(std::size_t num_streams) : cursors_(num_streams, 0.0) {
   GPCLUST_CHECK(num_streams >= 1, "need at least one stream");
@@ -16,6 +23,10 @@ double SimTimeline::enqueue(StreamId stream, OpKind kind, double duration,
   cursors_[stream] = start + duration;
   busy_[static_cast<std::size_t>(kind)] += duration;
   ++num_ops_;
+  if (tracer_ != nullptr) {
+    tracer_->record_modeled_op(kOpCategory[static_cast<std::size_t>(kind)],
+                               start, duration, stream);
+  }
   return cursors_[stream];
 }
 

@@ -16,6 +16,10 @@
 
 #include "util/common.hpp"
 
+namespace gpclust::obs {
+class Tracer;
+}
+
 namespace gpclust::device {
 
 enum class OpKind : int { Kernel = 0, CopyH2D = 1, CopyD2H = 2 };
@@ -53,10 +57,17 @@ class SimTimeline {
 
   void reset();
 
+  /// Every subsequently enqueued op is also recorded as a device-modeled
+  /// span on `tracer` (category "kernel"/"copy_h2d"/"copy_d2h", one track
+  /// per stream). Null detaches; reset() keeps the attachment.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
  private:
   std::vector<double> cursors_;
   std::array<double, kNumOpKinds> busy_{};
   std::size_t num_ops_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace gpclust::device

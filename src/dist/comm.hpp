@@ -79,7 +79,11 @@ class Communicator {
     static_assert(std::is_trivially_copyable_v<T>);
     GPCLUST_CHECK(dst < size(), "destination rank out of range");
     std::vector<u8> bytes(payload.size() * sizeof(T));
-    std::memcpy(bytes.data(), payload.data(), bytes.size());
+    // Empty payloads are legal messages; memcpy requires non-null pointers
+    // even for zero bytes.
+    if (!bytes.empty()) {
+      std::memcpy(bytes.data(), payload.data(), bytes.size());
+    }
     auto& box = world_.mailboxes_[dst];
     {
       std::lock_guard lock(box.mutex);
@@ -102,7 +106,9 @@ class Communicator {
     lock.unlock();
     GPCLUST_CHECK(bytes.size() % sizeof(T) == 0, "payload size mismatch");
     std::vector<T> payload(bytes.size() / sizeof(T));
-    std::memcpy(payload.data(), bytes.data(), bytes.size());
+    if (!bytes.empty()) {
+      std::memcpy(payload.data(), bytes.data(), bytes.size());
+    }
     return payload;
   }
 

@@ -7,6 +7,7 @@
 #include "core/serial_pclust.hpp"
 #include "core/shingle.hpp"
 #include "core/shingle_graph.hpp"
+#include "obs/trace.hpp"
 
 namespace gpclust::dist {
 
@@ -101,13 +102,16 @@ std::pair<std::size_t, std::size_t> block_of(std::size_t n, RankId r,
 
 core::Clustering distributed_cluster(const graph::CsrGraph& g,
                                      const core::ShinglingParams& params,
-                                     std::size_t num_ranks, DistStats* stats) {
+                                     std::size_t num_ranks, DistStats* stats,
+                                     obs::Tracer* tracer) {
   params.validate(g.num_vertices());
   GPCLUST_CHECK(num_ranks >= 1, "need at least one rank");
+  obs::add_counter(tracer, "sequences", g.num_vertices());
 
   core::Clustering result;
   u64 exchanged1 = 0, exchanged2 = 0;
 
+  obs::HostSpan ensemble_span(tracer, "dist.cluster");
   run_ranks(num_ranks, [&](Communicator& comm) {
     const HashFamily family1(params.c1, params.prime, params.seed, 1);
     const HashFamily family2(params.c2, params.prime, params.seed, 2);
@@ -141,6 +145,8 @@ core::Clustering distributed_cluster(const graph::CsrGraph& g,
       exchanged2 = pass2_count;
     }
   });
+
+  obs::add_counter(tracer, "tuples", exchanged1 + exchanged2);
 
   if (stats != nullptr) {
     stats->num_ranks = num_ranks;

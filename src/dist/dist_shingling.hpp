@@ -18,6 +18,10 @@
 #include "dist/comm.hpp"
 #include "graph/csr_graph.hpp"
 
+namespace gpclust::obs {
+class Tracer;
+}
+
 namespace gpclust::dist {
 
 struct DistStats {
@@ -29,9 +33,15 @@ struct DistStats {
 /// Clusters `g` with `num_ranks` communicating ranks. The graph is shared
 /// read-only across ranks (shared-memory style); only shingle tuples and
 /// the gathered shingle graphs travel as messages.
+///
+/// When `tracer` is provided, the run records one host-measured
+/// "dist.cluster" span (wall time of the whole rank ensemble — all rank
+/// work is real host time) plus the "sequences"/"tuples" counters (tuples
+/// = total exchanged over both passes).
 core::Clustering distributed_cluster(const graph::CsrGraph& g,
                                      const core::ShinglingParams& params,
                                      std::size_t num_ranks,
-                                     DistStats* stats = nullptr);
+                                     DistStats* stats = nullptr,
+                                     obs::Tracer* tracer = nullptr);
 
 }  // namespace gpclust::dist

@@ -1,0 +1,239 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace gpclust::obs::json {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t pos, const std::string& what) {
+  throw ParseError("json: " + what + " at offset " + std::to_string(pos));
+}
+
+// GCC 12 at -O2 flags the moved-from variant temporaries of this mutually
+// recursive parser as maybe-uninitialized (a known std::variant false
+// positive); the suppression is scoped to the parser only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail(pos_, "trailing garbage");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(pos_, std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(Value::Storage(parse_string()));
+      case 't':
+        if (!consume_literal("true")) fail(pos_, "bad literal");
+        return Value(Value::Storage(true));
+      case 'f':
+        if (!consume_literal("false")) fail(pos_, "bad literal");
+        return Value(Value::Storage(false));
+      case 'n':
+        if (!consume_literal("null")) fail(pos_, "bad literal");
+        return Value(Value::Storage(nullptr));
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(Value::Storage(std::move(obj)));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.insert_or_assign(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Value(Value::Storage(std::move(obj)));
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(Value::Storage(std::move(arr)));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Value(Value::Storage(std::move(arr)));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail(pos_, "unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail(pos_, "unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail(pos_, "bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail(pos_, "bad \\u escape digit");
+          }
+          // UTF-8 encode the BMP code point (no surrogate-pair handling;
+          // the traces we emit never need it).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail(pos_ - 1, "unknown escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail(pos_, "expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail(start, "bad number");
+    return Value(Value::Storage(v));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+#pragma GCC diagnostic pop
+
+[[noreturn]] void wrong_kind(const char* want) {
+  throw ParseError(std::string("json: value is not ") + want);
+}
+
+}  // namespace
+
+bool Value::boolean() const {
+  if (!is_bool()) wrong_kind("a bool");
+  return std::get<bool>(storage_);
+}
+
+double Value::number() const {
+  if (!is_number()) wrong_kind("a number");
+  return std::get<double>(storage_);
+}
+
+const std::string& Value::string() const {
+  if (!is_string()) wrong_kind("a string");
+  return std::get<std::string>(storage_);
+}
+
+const Array& Value::array() const {
+  if (!is_array()) wrong_kind("an array");
+  return std::get<Array>(storage_);
+}
+
+const Object& Value::object() const {
+  if (!is_object()) wrong_kind("an object");
+  return std::get<Object>(storage_);
+}
+
+const Value& Value::at(std::string_view key) const {
+  const Object& obj = object();
+  auto it = obj.find(std::string(key));
+  if (it == obj.end()) {
+    throw ParseError("json: missing member '" + std::string(key) + "'");
+  }
+  return it->second;
+}
+
+bool Value::contains(std::string_view key) const {
+  return is_object() && object().count(std::string(key)) > 0;
+}
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace gpclust::obs::json

@@ -1,0 +1,55 @@
+#pragma once
+// Minimal recursive-descent JSON parser — just enough to validate the
+// chrome://tracing files the obs layer emits (schema tests, tooling).
+// Full JSON value model; no streaming, no comments, UTF-8 passthrough.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gpclust::obs::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  using Storage =
+      std::variant<std::nullptr_t, bool, double, std::string, Array, Object>;
+
+  Value() : storage_(nullptr) {}
+  explicit Value(Storage s) : storage_(std::move(s)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(storage_); }
+  bool is_bool() const { return std::holds_alternative<bool>(storage_); }
+  bool is_number() const { return std::holds_alternative<double>(storage_); }
+  bool is_string() const { return std::holds_alternative<std::string>(storage_); }
+  bool is_array() const { return std::holds_alternative<Array>(storage_); }
+  bool is_object() const { return std::holds_alternative<Object>(storage_); }
+
+  /// Typed accessors; throw ParseError when the value has another kind.
+  bool boolean() const;
+  double number() const;
+  const std::string& string() const;
+  const Array& array() const;
+  const Object& object() const;
+
+  /// Object member access; throws ParseError when absent or not an object.
+  const Value& at(std::string_view key) const;
+  bool contains(std::string_view key) const;
+
+ private:
+  Storage storage_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+/// Throws ParseError with a byte offset on malformed input.
+Value parse(std::string_view text);
+
+}  // namespace gpclust::obs::json

@@ -1,0 +1,316 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace gpclust::obs {
+
+namespace {
+
+/// Phase key of a span name: everything before the first '.'.
+std::string_view phase_of(std::string_view name) {
+  const auto dot = name.find('.');
+  return dot == std::string_view::npos ? name : name.substr(0, dot);
+}
+
+bool in_phase(std::string_view name, std::string_view phase) {
+  if (!name.starts_with(phase)) return false;
+  return name.size() == phase.size() || name[phase.size()] == '.';
+}
+
+std::string escape_json(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string_view domain_label(Domain d) {
+  return d == Domain::HostMeasured ? "host_measured" : "device_modeled";
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+void Tracer::add_counter(std::string_view name, u64 delta) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void Tracer::raise_counter(std::string_view name, u64 value) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), value);
+  } else {
+    it->second = std::max(it->second, value);
+  }
+}
+
+u64 Tracer::counter(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::map<std::string, u64> Tracer::counters() const {
+  std::lock_guard lock(mu_);
+  return {counters_.begin(), counters_.end()};
+}
+
+double Tracer::host_now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void Tracer::record_host_span(std::string name, double start_seconds,
+                              double duration_seconds, int depth) {
+  std::lock_guard lock(mu_);
+  events_.push_back(TraceEvent{std::move(name), "cpu", Domain::HostMeasured,
+                               start_seconds, duration_seconds, /*track=*/0,
+                               depth});
+}
+
+void Tracer::record_modeled_op(std::string_view category, double start_seconds,
+                               double duration_seconds, std::size_t stream) {
+  std::lock_guard lock(mu_);
+  std::string name = device_phase_.empty()
+                         ? std::string(category)
+                         : device_phase_ + "." + std::string(category);
+  events_.push_back(TraceEvent{std::move(name), std::string(category),
+                               Domain::DeviceModeled, start_seconds,
+                               duration_seconds, stream, /*depth=*/0});
+}
+
+void Tracer::set_device_phase(std::string phase) {
+  std::lock_guard lock(mu_);
+  device_phase_ = std::move(phase);
+}
+
+std::string Tracer::device_phase() const {
+  std::lock_guard lock(mu_);
+  return device_phase_;
+}
+
+HostSeconds Tracer::host_busy() const {
+  std::lock_guard lock(mu_);
+  HostSeconds total;
+  for (const TraceEvent& e : events_) {
+    if (e.domain == Domain::HostMeasured && e.depth == 0) {
+      total += HostSeconds{e.duration_seconds};
+    }
+  }
+  return total;
+}
+
+HostSeconds Tracer::host_total(std::string_view phase) const {
+  std::lock_guard lock(mu_);
+  HostSeconds total;
+  for (const TraceEvent& e : events_) {
+    if (e.domain == Domain::HostMeasured && in_phase(e.name, phase)) {
+      total += HostSeconds{e.duration_seconds};
+    }
+  }
+  return total;
+}
+
+ModeledSeconds Tracer::modeled_busy() const {
+  std::lock_guard lock(mu_);
+  ModeledSeconds total;
+  for (const TraceEvent& e : events_) {
+    if (e.domain == Domain::DeviceModeled) {
+      total += ModeledSeconds{e.duration_seconds};
+    }
+  }
+  return total;
+}
+
+ModeledSeconds Tracer::modeled_total(std::string_view phase) const {
+  std::lock_guard lock(mu_);
+  ModeledSeconds total;
+  for (const TraceEvent& e : events_) {
+    if (e.domain == Domain::DeviceModeled && in_phase(e.name, phase)) {
+      total += ModeledSeconds{e.duration_seconds};
+    }
+  }
+  return total;
+}
+
+ModeledSeconds Tracer::modeled_category_total(std::string_view category) const {
+  std::lock_guard lock(mu_);
+  ModeledSeconds total;
+  for (const TraceEvent& e : events_) {
+    if (e.domain == Domain::DeviceModeled && e.category == category) {
+      total += ModeledSeconds{e.duration_seconds};
+    }
+  }
+  return total;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard lock(mu_);
+  return events_;
+}
+
+std::size_t Tracer::num_events() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+int Tracer::open_host_span() {
+  std::lock_guard lock(mu_);
+  return open_host_spans_++;
+}
+
+void Tracer::close_host_span() {
+  std::lock_guard lock(mu_);
+  --open_host_spans_;
+}
+
+std::string Tracer::summary() const {
+  const auto evs = events();
+
+  std::set<std::string> phases;
+  for (const TraceEvent& e : evs) phases.emplace(phase_of(e.name));
+
+  util::AsciiTable table(
+      {"phase", "host measured (s)", "device modeled (s)"});
+  for (const std::string& phase : phases) {
+    // Host column: depth-0 spans of the phase (nested spans are detail).
+    HostSeconds host;
+    ModeledSeconds modeled;
+    for (const TraceEvent& e : evs) {
+      if (!in_phase(e.name, phase)) continue;
+      if (e.domain == Domain::HostMeasured) {
+        if (e.depth == 0) host += HostSeconds{e.duration_seconds};
+      } else {
+        modeled += ModeledSeconds{e.duration_seconds};
+      }
+    }
+    table.add_row({phase, fmt_double(host.value), fmt_double(modeled.value)});
+  }
+
+  std::string out = table.render();
+  const auto ctrs = counters();
+  if (!ctrs.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, value] : ctrs) {
+      out += "  " + name + " = " + std::to_string(value) + "\n";
+    }
+  }
+  return out;
+}
+
+HostSpan::HostSpan(Tracer* tracer, std::string_view name)
+    : tracer_(tracer), name_(name) {
+  if (tracer_ != nullptr) {
+    depth_ = tracer_->open_host_span();
+    begin_ = std::chrono::steady_clock::now();
+    start_ = tracer_->host_now();
+  }
+}
+
+HostSpan::~HostSpan() {
+  if (tracer_ != nullptr) {
+    const double dur =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      begin_)
+            .count();
+    tracer_->record_host_span(std::move(name_), start_, dur, depth_);
+    tracer_->close_host_span();
+  }
+}
+
+DevicePhaseScope::DevicePhaseScope(Tracer* tracer, std::string_view phase)
+    : tracer_(tracer) {
+  if (tracer_ != nullptr) {
+    previous_ = tracer_->device_phase();
+    tracer_->set_device_phase(std::string(phase));
+  }
+}
+
+DevicePhaseScope::~DevicePhaseScope() {
+  if (tracer_ != nullptr) tracer_->set_device_phase(std::move(previous_));
+}
+
+std::string chrome_trace_json(const Tracer& tracer) {
+  const auto evs = tracer.events();
+  const auto ctrs = tracer.counters();
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  out +=
+      "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"host (measured)\"}},";
+  out +=
+      "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"device (modeled)\"}}";
+
+  double max_end = 0.0;
+  for (const TraceEvent& e : evs) {
+    max_end = std::max(max_end, e.start_seconds + e.duration_seconds);
+    const bool host = e.domain == Domain::HostMeasured;
+    out += ",{\"ph\":\"X\",\"name\":\"" + escape_json(e.name) +
+           "\",\"cat\":\"" + escape_json(e.category) +
+           "\",\"pid\":" + (host ? "0" : "1") +
+           ",\"tid\":" + std::to_string(e.track) +
+           ",\"ts\":" + fmt_double(e.start_seconds * 1e6) +
+           ",\"dur\":" + fmt_double(e.duration_seconds * 1e6) +
+           ",\"args\":{\"domain\":\"" + std::string(domain_label(e.domain)) +
+           "\",\"depth\":" + std::to_string(e.depth) + "}}";
+  }
+  for (const auto& [name, value] : ctrs) {
+    out += ",{\"ph\":\"C\",\"name\":\"" + escape_json(name) +
+           "\",\"pid\":0,\"tid\":0,\"ts\":" + fmt_double(max_end * 1e6) +
+           ",\"args\":{\"value\":" + std::to_string(value) + "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+void write_chrome_trace(const Tracer& tracer, const std::string& path) {
+  const std::string json = chrome_trace_json(tracer);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open trace output file: " + path);
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    throw std::runtime_error("short write to trace output file: " + path);
+  }
+}
+
+}  // namespace gpclust::obs

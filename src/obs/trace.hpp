@@ -1,0 +1,217 @@
+#pragma once
+// obs — the pipeline observability layer: phase spans, monotonic counters,
+// a chrome://tracing exporter and a per-phase summary table.
+//
+// The repo-wide rule "device time is modeled, host time is measured; never
+// mix the two in one number without labeling" (CLAUDE.md) is enforced by
+// the type system here: every span carries a Domain, per-domain totals are
+// returned as Seconds<Domain> strong types, and Seconds of different
+// domains cannot be added, assigned or compared to each other — summing a
+// modeled span into a measured total is a compile error, and sum_of<D>()
+// throws if a span of the other domain sneaks into a dynamic event set.
+//
+// A Tracer is optional everywhere it is plumbed (GpClust, SerialShingler,
+// dist::distributed_cluster, the device layer): the handle is a plain
+// pointer defaulting to nullptr and every recording helper is a no-op on
+// null, so untraced runs pay nothing.
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gpclust::obs {
+
+/// Which clock a span's duration comes from. HostMeasured spans are real
+/// wall time on this machine; DeviceModeled spans are seconds on the
+/// simulated device's SimTimeline (the K20-calibrated cost model).
+enum class Domain { HostMeasured, DeviceModeled };
+
+/// The label the trace JSON carries per span: "host_measured" or
+/// "device_modeled".
+std::string_view domain_label(Domain d);
+
+/// Strong seconds type tagged by domain. Arithmetic and comparison are
+/// only defined between the same domain; there is no implicit conversion
+/// to or from double or the other domain.
+template <Domain D>
+struct Seconds {
+  double value = 0.0;
+
+  constexpr Seconds& operator+=(Seconds other) {
+    value += other.value;
+    return *this;
+  }
+  friend constexpr Seconds operator+(Seconds a, Seconds b) {
+    return Seconds{a.value + b.value};
+  }
+  friend constexpr Seconds operator-(Seconds a, Seconds b) {
+    return Seconds{a.value - b.value};
+  }
+  friend constexpr auto operator<=>(Seconds a, Seconds b) = default;
+};
+
+using HostSeconds = Seconds<Domain::HostMeasured>;
+using ModeledSeconds = Seconds<Domain::DeviceModeled>;
+
+/// One completed span. `name` is phase-qualified ("pass1.consume",
+/// "pass1.kernel", "aggregate2", ...); `category` is the kind of work:
+/// "cpu" for host spans, "kernel"/"copy_h2d"/"copy_d2h" for modeled ops.
+/// Host spans position `start_seconds` on the tracer's wall clock (zero at
+/// Tracer construction); modeled spans position it on the device timeline.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  Domain domain;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  std::size_t track = 0;  ///< host: 0; modeled: device stream id
+  int depth = 0;          ///< host span nesting depth; modeled: 0
+};
+
+/// Sums durations over `events`, requiring every event to belong to domain
+/// D — the runtime guard behind the static one. Throws InvalidArgument on
+/// the first event of the other domain.
+template <Domain D>
+Seconds<D> sum_of(std::span<const TraceEvent> events) {
+  Seconds<D> total;
+  for (const TraceEvent& e : events) {
+    if (e.domain != D) {
+      throw InvalidArgument("sum_of: event '" + e.name + "' is " +
+                            std::string(domain_label(e.domain)) +
+                            " but the total is " +
+                            std::string(domain_label(D)));
+    }
+    total += Seconds<D>{e.duration_seconds};
+  }
+  return total;
+}
+
+/// Collects spans and counters for one pipeline run. Thread-safe (the
+/// distributed backend and the device thread pool may record
+/// concurrently); aggregates and exports may be read at any time.
+class Tracer {
+ public:
+  Tracer();
+
+  // --- monotonic counters ------------------------------------------------
+  /// counters[name] += delta. Counters only ever grow (deltas are
+  /// unsigned); decrementing has no API.
+  void add_counter(std::string_view name, u64 delta);
+  /// counters[name] = max(counters[name], value) — for high-water marks
+  /// (e.g. "arena_peak_bytes"); still monotonic.
+  void raise_counter(std::string_view name, u64 value);
+  u64 counter(std::string_view name) const;
+  std::map<std::string, u64> counters() const;
+
+  // --- spans ---------------------------------------------------------------
+  /// Seconds since this tracer was constructed (host wall clock).
+  double host_now() const;
+  void record_host_span(std::string name, double start_seconds,
+                        double duration_seconds, int depth);
+  /// Records one modeled device op. The span name becomes
+  /// "<device_phase>.<category>" (or just the category when no phase is
+  /// set), so kernels and copies are attributed to the pipeline phase that
+  /// issued them.
+  void record_modeled_op(std::string_view category, double start_seconds,
+                         double duration_seconds, std::size_t stream);
+
+  /// Sets the phase label modeled ops are attributed to (see
+  /// DevicePhaseScope for the RAII form).
+  void set_device_phase(std::string phase);
+  std::string device_phase() const;
+
+  // --- domain-typed aggregates --------------------------------------------
+  /// Total measured host seconds (depth-0 spans only, so nested spans are
+  /// not double counted).
+  HostSeconds host_busy() const;
+  /// Measured host seconds of one phase: spans named `phase` or
+  /// "`phase`.*".
+  HostSeconds host_total(std::string_view phase) const;
+  /// Total modeled device seconds across all ops.
+  ModeledSeconds modeled_busy() const;
+  /// Modeled seconds attributed to one phase.
+  ModeledSeconds modeled_total(std::string_view phase) const;
+  /// Modeled seconds of one op category over all phases: "kernel",
+  /// "copy_h2d" or "copy_d2h" — the Table I GPU / Data_c->g / Data_g->c
+  /// columns.
+  ModeledSeconds modeled_category_total(std::string_view category) const;
+
+  std::vector<TraceEvent> events() const;
+  std::size_t num_events() const;
+
+  /// Plain-text per-phase table: host-measured and device-modeled seconds
+  /// in separate, labeled columns, plus the counters.
+  std::string summary() const;
+
+  // HostSpan bookkeeping (public for the RAII helper only).
+  int open_host_span();
+  void close_host_span();
+
+ private:
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<TraceEvent> events_;
+  std::map<std::string, u64, std::less<>> counters_;
+  std::string device_phase_;
+  int open_host_spans_ = 0;
+};
+
+/// RAII host-measured span; records its wall time on destruction. No-op
+/// when `tracer` is null.
+class HostSpan {
+ public:
+  HostSpan(Tracer* tracer, std::string_view name);
+  ~HostSpan();
+
+  HostSpan(const HostSpan&) = delete;
+  HostSpan& operator=(const HostSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  std::string name_;
+  double start_ = 0.0;
+  int depth_ = 0;
+  std::chrono::steady_clock::time_point begin_{};
+};
+
+/// RAII device-phase label: modeled ops enqueued inside the scope are
+/// attributed to `phase`. No-op when `tracer` is null.
+class DevicePhaseScope {
+ public:
+  DevicePhaseScope(Tracer* tracer, std::string_view phase);
+  ~DevicePhaseScope();
+
+  DevicePhaseScope(const DevicePhaseScope&) = delete;
+  DevicePhaseScope& operator=(const DevicePhaseScope&) = delete;
+
+ private:
+  Tracer* tracer_;
+  std::string previous_;
+};
+
+/// Convenience no-op-safe counter helpers.
+inline void add_counter(Tracer* tracer, std::string_view name, u64 delta) {
+  if (tracer != nullptr) tracer->add_counter(name, delta);
+}
+inline void raise_counter(Tracer* tracer, std::string_view name, u64 value) {
+  if (tracer != nullptr) tracer->raise_counter(name, value);
+}
+
+/// Serializes the trace in the chrome://tracing "traceEvents" format:
+/// complete ("X") events carrying args.domain = host_measured |
+/// device_modeled, pid 0 = host (measured), pid 1 = device (modeled), one
+/// tid per device stream, and one counter ("C") event per counter.
+/// Timestamps are microseconds, host and device clocks each starting at 0.
+std::string chrome_trace_json(const Tracer& tracer);
+
+/// Writes chrome_trace_json() to `path` (throws ParseError's sibling
+/// std::runtime_error on I/O failure).
+void write_chrome_trace(const Tracer& tracer, const std::string& path);
+
+}  // namespace gpclust::obs

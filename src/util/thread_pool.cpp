@@ -64,7 +64,19 @@ void ThreadPool::parallel_for(
     if (lo >= hi) break;
     futures.push_back(submit([&fn, lo, hi] { fn(lo, hi); }));
   }
-  for (auto& f : futures) f.get();
+  // Wait for every chunk even when one throws: the queued tasks reference
+  // `fn` (caller stack), so returning before they all finish would let a
+  // worker run a task whose captures are already destroyed. The first
+  // exception is rethrown after the full drain.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 ThreadPool& default_thread_pool() {

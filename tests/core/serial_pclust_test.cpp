@@ -152,6 +152,10 @@ TEST(SerialShingler, MetricsShowShinglingDominates) {
   // The paper's profiling claim: ~80% of serial runtime is in the two
   // shingling levels. On a dense-enough graph the shingling phases must
   // dominate aggregation and reporting.
+#if defined(__SANITIZE_ADDRESS__)
+  GTEST_SKIP() << "timing-shape assertion: sanitizer instrumentation skews "
+                  "the phase ratio";
+#endif
   const auto g = graph::generate_erdos_renyi(400, 0.2, 10);
   ShinglingParams p = small_params();
   p.c1 = 100;

@@ -99,10 +99,14 @@ TEST(MapReduce, MapperMayEmitNothing) {
 }
 
 TEST(MapReduce, Validation) {
+  // The statement contains commas outside parentheses (braced options +
+  // lambda parameter lists), so it must be parenthesized as a whole or the
+  // macro sees more than two arguments.
   EXPECT_THROW(
-      run_mapreduce<int, int, int>(
-          {1}, [](std::size_t, const int&, const std::function<void(int, int)>&) {},
-          [](const int&, const std::vector<int>&) {}, {.num_workers = 0}),
+      (run_mapreduce<int, int, int>(
+          {1},
+          [](std::size_t, const int&, const std::function<void(int, int)>&) {},
+          [](const int&, const std::vector<int>&) {}, {.num_workers = 0})),
       InvalidArgument);
 }
 

@@ -1,0 +1,93 @@
+// Device-arena hygiene (CLAUDE.md invariant): the arena must be empty
+// after every pipeline run — including runs that die mid-batch with a
+// DeviceError — and the tracer's "arena_peak_bytes" high-water counter
+// must agree with the arena's own accounting on both paths.
+
+#include <gtest/gtest.h>
+
+#include "core/gpclust.hpp"
+#include "graph/generators.hpp"
+#include "obs/trace.hpp"
+
+namespace gpclust {
+namespace {
+
+graph::CsrGraph leak_test_graph() {
+  graph::PlantedFamilyConfig cfg;
+  cfg.num_families = 9;
+  cfg.min_family_size = 5;
+  cfg.max_family_size = 18;
+  cfg.num_singletons = 8;
+  cfg.seed = 99;
+  return graph::generate_planted_families(cfg).graph;
+}
+
+core::ShinglingParams leak_test_params() {
+  core::ShinglingParams params;
+  params.c1 = 10;
+  params.c2 = 5;
+  return params;
+}
+
+TEST(ArenaLeak, EmptyAfterEveryPipelineConfiguration) {
+  const auto g = leak_test_graph();
+  const auto params = leak_test_params();
+
+  struct Config {
+    bool async;
+    bool device_aggregation;
+  };
+  for (const Config& cfg : {Config{false, false}, Config{true, false},
+                            Config{false, true}, Config{true, true}}) {
+    device::DeviceContext ctx(device::DeviceSpec::small_test_device(4 << 20));
+    obs::Tracer tracer;
+    core::GpClustOptions options;
+    options.max_batch_elements = 73;  // several batches per pass
+    options.async = cfg.async;
+    options.device_aggregation = cfg.device_aggregation;
+    options.tracer = &tracer;
+    core::GpClust(ctx, params, options).cluster(g);
+
+    EXPECT_EQ(ctx.arena().used(), 0u)
+        << "async=" << cfg.async << " devagg=" << cfg.device_aggregation;
+    EXPECT_EQ(ctx.arena().num_allocations(), 0u);
+    EXPECT_GT(ctx.arena().peak(), 0u);
+    EXPECT_EQ(tracer.counter("arena_peak_bytes"), ctx.arena().peak());
+    // The tracer binding is scoped to the run.
+    EXPECT_EQ(ctx.tracer(), nullptr);
+  }
+}
+
+TEST(ArenaLeak, EmptyAfterMidRunOutOfMemoryError) {
+  const auto g = leak_test_graph();
+  const auto params = leak_test_params();
+
+  // Size the arena so the batch's member upload fits but the per-trial
+  // permutation buffer cannot: the pass throws DeviceError mid-batch,
+  // after some allocations already succeeded.
+  const std::size_t elems = g.adjacency().size();
+  const std::size_t segs = g.num_vertices();
+  const std::size_t capacity =
+      sizeof(u32) * elems + sizeof(u64) * (segs + 1) + sizeof(u64) * elems / 2;
+  device::DeviceContext ctx(device::DeviceSpec::small_test_device(capacity));
+
+  obs::Tracer tracer;
+  core::GpClustOptions options;
+  options.max_batch_elements = elems;  // force one oversized batch
+  options.tracer = &tracer;
+  core::GpClust gp(ctx, params, options);
+  EXPECT_THROW(gp.cluster(g), DeviceError);
+
+  // The unwind released everything that had been allocated.
+  EXPECT_EQ(ctx.arena().used(), 0u);
+  EXPECT_EQ(ctx.arena().num_allocations(), 0u);
+  // Allocations did happen before the failure, and the tracer's high-water
+  // counter tracked them even though the run never finished.
+  EXPECT_GT(ctx.arena().peak(), 0u);
+  EXPECT_EQ(tracer.counter("arena_peak_bytes"), ctx.arena().peak());
+  // The scoped tracer binding is undone even on the error path.
+  EXPECT_EQ(ctx.tracer(), nullptr);
+}
+
+}  // namespace
+}  // namespace gpclust

@@ -1,0 +1,110 @@
+// Cross-backend bit-identity (CLAUDE.md invariant): SerialShingler,
+// GpClust under every batching/async/aggregation configuration, and
+// dist::distributed_cluster at several rank counts all produce the same
+// partition digest for identical ShinglingParams. Complements the
+// parameter sweep in core/equivalence_sweep_test.cpp, which varies params
+// on one device configuration; here one param set meets every backend
+// configuration.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "core/gpclust.hpp"
+#include "core/serial_pclust.hpp"
+#include "dist/dist_shingling.hpp"
+#include "graph/generators.hpp"
+
+namespace gpclust {
+namespace {
+
+// (graph seed, hash seed, c1, report mode)
+using IdentityParam = std::tuple<u64, u64, u32, core::ReportMode>;
+
+graph::CsrGraph identity_test_graph(u64 graph_seed) {
+  graph::PlantedFamilyConfig cfg;
+  cfg.num_families = 10;
+  cfg.min_family_size = 5;
+  cfg.max_family_size = 24;
+  cfg.num_singletons = 12;
+  cfg.seed = graph_seed;
+  return graph::generate_planted_families(cfg).graph;
+}
+
+core::ShinglingParams identity_test_params(const IdentityParam& p) {
+  core::ShinglingParams params;
+  params.s1 = params.s2 = 2;
+  params.c1 = std::get<2>(p);  // small trial counts keep batch=1 fast
+  params.c2 = std::max<u32>(1, std::get<2>(p) / 2);
+  params.seed = std::get<1>(p);
+  params.mode = std::get<3>(p);
+  return params;
+}
+
+u64 serial_digest(const graph::CsrGraph& g,
+                  const core::ShinglingParams& params) {
+  auto serial = core::SerialShingler(params).cluster(g);
+  serial.normalize();
+  return serial.digest();
+}
+
+class BackendIdentity : public ::testing::TestWithParam<IdentityParam> {};
+
+TEST_P(BackendIdentity, DeviceConfigurationsMatchSerial) {
+  const auto g = identity_test_graph(std::get<0>(GetParam()));
+  const auto params = identity_test_params(GetParam());
+  const auto expected = serial_digest(g, params);
+
+  struct DeviceConfig {
+    std::size_t max_batch_elements;  // 0 = whole graph in one batch
+    bool async;
+    bool device_aggregation;
+  };
+  const DeviceConfig configs[] = {
+      {1, false, false},   // one element per batch: every list splits
+      {1, true, true},
+      {97, false, false},  // prime-sized batches force odd splits
+      {97, true, false},
+      {97, false, true},
+      {97, true, true},
+      {0, false, false},   // memory-derived batch size (all at once here)
+      {0, true, true},
+  };
+
+  for (const DeviceConfig& cfg : configs) {
+    device::DeviceContext ctx(device::DeviceSpec::small_test_device(4 << 20));
+    core::GpClustOptions options;
+    options.max_batch_elements = cfg.max_batch_elements;
+    options.async = cfg.async;
+    options.device_aggregation = cfg.device_aggregation;
+    auto result = core::GpClust(ctx, params, options).cluster(g);
+    result.normalize();
+    EXPECT_EQ(result.digest(), expected)
+        << "batch=" << cfg.max_batch_elements << " async=" << cfg.async
+        << " devagg=" << cfg.device_aggregation;
+  }
+}
+
+TEST_P(BackendIdentity, DistributedRankCountsMatchSerial) {
+  const auto g = identity_test_graph(std::get<0>(GetParam()));
+  const auto params = identity_test_params(GetParam());
+  const auto expected = serial_digest(g, params);
+
+  for (std::size_t ranks : {1u, 2u, 4u}) {
+    auto result = dist::distributed_cluster(g, params, ranks);
+    result.normalize();
+    EXPECT_EQ(result.digest(), expected) << "ranks=" << ranks;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndParams, BackendIdentity,
+    ::testing::Combine(::testing::Values<u64>(20130520, 4242),  // graph seed
+                       ::testing::Values<u64>(777, 31337),      // hash seed
+                       ::testing::Values<u32>(10, 7),           // c1
+                       ::testing::Values(core::ReportMode::Partition,
+                                         core::ReportMode::Overlapping)));
+
+}  // namespace
+}  // namespace gpclust

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# CI entry point: tier-1 verification (configure + build + full ctest with
+# warnings-as-errors) followed by an ASan/UBSan build of the unit-test
+# binary, run directly. Mirrors what a hosted CI job would do; runnable
+# locally from the repo root:
+#
+#   sh tools/ci.sh
+#
+# The build host has one core, so everything runs sequentially (CLAUDE.md).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "=== tier 1: configure + build + ctest (preset: ci) ==="
+cmake --preset ci
+cmake --build --preset ci
+ctest --preset ci
+
+echo "=== tier 2: ASan/UBSan gpclust_tests (preset: asan) ==="
+cmake --preset asan
+cmake --build --preset asan
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ./build-asan/tests/gpclust_tests
+
+echo "=== CI passed ==="

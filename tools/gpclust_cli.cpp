@@ -23,6 +23,9 @@
 //   --async                overlap device transfers with compute
 //   --device-mb=N          simulated device memory (default 5120)
 //   --report               print the Table-I style component breakdown
+//   --trace-out=PATH       write a chrome://tracing JSON of the run (spans
+//                          labeled host_measured / device_modeled) and
+//                          print the per-phase summary table to stderr
 
 #include <cstdio>
 
@@ -33,6 +36,7 @@
 #include "eval/partition_io.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph_io.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
 
@@ -68,7 +72,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: gpclust --graph=PATH | --demo=N [--out=PATH] "
                    "[--engine=gpu|serial] [--s1 N --c1 N --s2 N --c2 N] "
-                   "[--components]\n");
+                   "[--components] [--trace-out=PATH]\n");
       return 2;
     }
 
@@ -98,13 +102,18 @@ int main(int argc, char** argv) {
     spec.global_memory_bytes =
         static_cast<std::size_t>(args.get_int("device-mb", 5120)) << 20;
     device::DeviceContext ctx(spec);
+    const auto trace_out = args.get_string("trace-out", "");
+    obs::Tracer tracer;
+    obs::Tracer* tracer_ptr = trace_out.empty() ? nullptr : &tracer;
     core::GpClustOptions options;
     options.async = args.get_bool("async", false);
+    options.tracer = tracer_ptr;
 
     auto cluster_graph = [&](const graph::CsrGraph& input,
                              core::GpClustReport* report) {
       if (engine == "serial") {
-        return core::SerialShingler(params).cluster(input);
+        return core::SerialShingler(params).cluster(input, nullptr,
+                                                    tracer_ptr);
       }
       if (engine != "gpu") throw InvalidArgument("unknown --engine: " + engine);
       core::GpClust gp(ctx, params, options);
@@ -145,6 +154,13 @@ int main(int argc, char** argv) {
                   "%.2fs | device makespan %.2fs\n",
                   report.cpu_seconds, report.gpu_seconds, report.h2d_seconds,
                   report.d2h_seconds, report.device_makespan);
+    }
+
+    if (tracer_ptr != nullptr) {
+      obs::write_chrome_trace(tracer, trace_out);
+      std::fprintf(stderr, "wrote trace %s (%zu events)\n%s",
+                   trace_out.c_str(), tracer.num_events(),
+                   tracer.summary().c_str());
     }
 
     const auto out = args.get_string("out", "");
