@@ -42,9 +42,20 @@ std::size_t BatchPlan::num_split_lists() const {
   return count;
 }
 
-BatchPlan plan_batches(std::span<const u64> offsets, u32 s,
-                       std::size_t max_batch_elements) {
+std::vector<ListPiece> list_pieces(std::span<const u64> offsets, u32 s) {
   GPCLUST_CHECK(!offsets.empty(), "offsets must have at least one entry");
+  std::vector<ListPiece> pieces;
+  const std::size_t num_lists = offsets.size() - 1;
+  for (std::size_t i = 0; i < num_lists; ++i) {
+    const u64 len = offsets[i + 1] - offsets[i];
+    if (len < s) continue;  // cannot produce a shingle; skip entirely
+    pieces.push_back({static_cast<u32>(i), offsets[i], len, true, true});
+  }
+  return pieces;
+}
+
+BatchPlan plan_batches_from_pieces(std::span<const ListPiece> pieces,
+                                   std::size_t max_batch_elements) {
   GPCLUST_CHECK(max_batch_elements >= 1, "batch capacity must be positive");
 
   BatchPlan plan;
@@ -61,29 +72,54 @@ BatchPlan plan_batches(std::span<const u64> offsets, u32 s,
     used = 0;
   };
 
-  const std::size_t num_lists = offsets.size() - 1;
-  for (std::size_t i = 0; i < num_lists; ++i) {
-    const u64 len = offsets[i + 1] - offsets[i];
-    if (len < s) continue;  // cannot produce a shingle; skip entirely
-
+  for (const ListPiece& piece : pieces) {
+    GPCLUST_CHECK(piece.length >= 1, "empty list piece");
     u64 consumed = 0;
-    bool first_piece = true;
-    while (consumed < len) {
+    bool first_fragment = true;
+    while (consumed < piece.length) {
       if (used == max_batch_elements) flush();
       const u64 take =
-          std::min<u64>(len - consumed, max_batch_elements - used);
-      current.seg_list_ids.push_back(static_cast<u32>(i));
-      current.seg_global_begin.push_back(offsets[i] + consumed);
-      current.seg_starts_list.push_back(first_piece ? 1 : 0);
+          std::min<u64>(piece.length - consumed, max_batch_elements - used);
+      current.seg_list_ids.push_back(piece.list_id);
+      current.seg_global_begin.push_back(piece.global_begin + consumed);
+      current.seg_starts_list.push_back(
+          piece.starts_list && first_fragment ? 1 : 0);
       consumed += take;
-      current.seg_ends_list.push_back(consumed == len ? 1 : 0);
+      current.seg_ends_list.push_back(
+          piece.ends_list && consumed == piece.length ? 1 : 0);
       used += take;
       current.seg_offsets.push_back(used);
-      first_piece = false;
+      first_fragment = false;
     }
   }
   flush();
   return plan;
+}
+
+std::vector<ListPiece> remaining_pieces(std::span<const ListPiece> pieces,
+                                        std::size_t consumed_elements) {
+  std::vector<ListPiece> remaining;
+  u64 to_skip = consumed_elements;
+  for (const ListPiece& piece : pieces) {
+    if (to_skip >= piece.length) {
+      to_skip -= piece.length;
+      continue;
+    }
+    ListPiece tail = piece;
+    tail.global_begin += to_skip;
+    tail.length -= to_skip;
+    if (to_skip > 0) tail.starts_list = false;
+    to_skip = 0;
+    remaining.push_back(tail);
+  }
+  GPCLUST_CHECK(to_skip == 0, "consumed more elements than planned");
+  return remaining;
+}
+
+BatchPlan plan_batches(std::span<const u64> offsets, u32 s,
+                       std::size_t max_batch_elements) {
+  return plan_batches_from_pieces(list_pieces(offsets, s),
+                                  max_batch_elements);
 }
 
 }  // namespace gpclust::core

@@ -44,6 +44,37 @@ struct BatchPlan {
   std::size_t num_split_lists() const;
 };
 
+/// A contiguous run of one list's members still to be shingled. The unit
+/// of work the resilient pass driver replans over: after a device fault,
+/// the committed prefix of the piece stream is dropped and the remainder
+/// is re-batched (possibly at a smaller batch size) or handed to the CPU.
+struct ListPiece {
+  u32 list_id = 0;
+  u64 global_begin = 0;  ///< offset into the member array
+  u64 length = 0;
+  bool starts_list = true;  ///< piece begins its list
+  bool ends_list = true;    ///< piece ends its list
+};
+
+/// One piece per list with >= s members (lists shorter than s can never
+/// produce a shingle and are skipped, as plan_batches does).
+std::vector<ListPiece> list_pieces(std::span<const u64> offsets, u32 s);
+
+/// Plans batches over explicit pieces; pieces longer than
+/// max_batch_elements are split, fragment flags derived from the piece's.
+/// plan_batches(offsets, s, m) == plan_batches_from_pieces(list_pieces(
+/// offsets, s), m), so replanning a full piece set is bit-identical to the
+/// direct plan.
+BatchPlan plan_batches_from_pieces(std::span<const ListPiece> pieces,
+                                   std::size_t max_batch_elements);
+
+/// The piece stream left after the first `consumed_elements` elements
+/// (in piece order) have been committed: fully consumed pieces are
+/// dropped; a partially consumed piece keeps its tail with
+/// starts_list=false. `consumed_elements` must not exceed the total.
+std::vector<ListPiece> remaining_pieces(std::span<const ListPiece> pieces,
+                                        std::size_t consumed_elements);
+
 /// Plans batches over CSR-style lists. Lists with fewer than s members are
 /// skipped; lists longer than max_batch_elements are split across batches.
 /// Requires max_batch_elements >= 1.

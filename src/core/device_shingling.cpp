@@ -19,7 +19,183 @@ struct PendingList {
   std::vector<u64> minima;  // family.size() * s entries, kNoValue padded
 };
 
+using PendingMap = std::unordered_map<u32, PendingList>;
+
+/// A batch's uncommitted side effects. Batches are transactional under
+/// resilience: all tuple appends and split-list merges land here first and
+/// are applied to the committed state only after every device op of the
+/// batch succeeded, so a faulted batch can be retried (or replanned at a
+/// smaller size) without double-counting.
+struct BatchEffects {
+  ShingleTuples tuples;
+  PendingMap updated;         ///< overlay over the committed pending map
+  std::vector<u32> erased;    ///< lists completed (and removed) this batch
+};
+
+void commit_effects(BatchEffects&& fx, ShingleTuples& tuples,
+                    PendingMap& pending) {
+  for (u32 id : fx.erased) pending.erase(id);
+  for (auto& [id, acc] : fx.updated) pending[id] = std::move(acc);
+  for (std::size_t i = 0; i < fx.tuples.size(); ++i) {
+    tuples.append(fx.tuples.shingle[i], fx.tuples.owner[i]);
+  }
+}
+
+/// Shared consume step (identical for the device and CPU-fallback paths):
+/// fold one segment's per-trial minima into the overlay, emitting a tuple
+/// when the segment completes its list for this trial.
+void consume_segment_minima(u32 list_id, bool starts, bool ends, u32 trial,
+                            u32 num_trials, u32 s,
+                            std::span<const u64> seg_minima,
+                            const PendingMap& committed, BatchEffects& fx) {
+  if (starts && ends) {
+    const ShingleId id = hash_shingle(trial, seg_minima);
+    GPCLUST_CHECK(id != kNoValue, "complete list shorter than s");
+    fx.tuples.append(id, list_id);
+    return;
+  }
+  // Piece of a split list: accumulate across batches (via the overlay).
+  auto it = fx.updated.find(list_id);
+  if (it == fx.updated.end()) {
+    auto cit = committed.find(list_id);
+    if (cit != committed.end()) {
+      it = fx.updated.emplace(list_id, cit->second).first;
+    } else {
+      PendingList fresh;
+      fresh.minima.assign(static_cast<std::size_t>(num_trials) * s, kNoValue);
+      it = fx.updated.emplace(list_id, std::move(fresh)).first;
+    }
+  }
+  std::span<u64> acc{it->second.minima.data() + std::size_t{trial} * s, s};
+  merge_minima(acc, seg_minima);
+  if (ends) {
+    const ShingleId id = hash_shingle(trial, acc);
+    GPCLUST_CHECK(id != kNoValue, "split list shorter than s");
+    fx.tuples.append(id, list_id);
+    if (trial + 1 == num_trials) {
+      fx.updated.erase(it);
+      fx.erased.push_back(list_id);
+    }
+  }
+}
+
+/// Runs one batch on the device (Algorithm 1 over the batch's segments ×
+/// the family's trials). Throws DeviceError/TransferError/KernelError on
+/// any (injected or real) fault; in that case no state was committed and
+/// the RAII DeviceVectors have already drained the arena.
+BatchEffects process_batch_device(device::DeviceContext& ctx,
+                                  const Batch& batch,
+                                  std::span<const u32> members,
+                                  const HashFamily& family, u32 s,
+                                  const DevicePassOptions& options,
+                                  util::MetricsRegistry& reg,
+                                  const std::string& cpu_metric,
+                                  obs::Tracer* tracer,
+                                  const std::string& trace_phase,
+                                  const PendingMap& committed,
+                                  std::vector<u32>& staging,
+                                  std::vector<u64>& host_minima) {
+  BatchEffects fx;
+  const u32 c = family.size();
+  const std::size_t nsegs = batch.num_segments();
+  const std::size_t nelems = batch.num_elements();
+
+  {  // CPU aggregates the batch for the device (Figure 3, step 1).
+    util::ScopedTimer t(reg, cpu_metric);
+    obs::HostSpan span(tracer, trace_phase + ".stage");
+    batch.stage(members, staging);
+  }
+
+  // Upload members and segment boundaries once per batch.
+  device::DeviceVector<u32> d_members(ctx, nelems);
+  device::copy_to_device<u32>(d_members, staging, kComputeStream);
+  device::DeviceVector<u64> d_offsets(ctx, nsegs + 1);
+  device::copy_to_device<u64>(d_offsets, batch.seg_offsets, kComputeStream);
+
+  device::DeviceVector<u64> d_perm(ctx, nelems);
+  // Double-buffered minima so an async D2H can overlap the next trial.
+  device::DeviceVector<u64> d_minima[2] = {
+      device::DeviceVector<u64>(ctx, nsegs * s),
+      device::DeviceVector<u64>(ctx, nsegs * s)};
+  double copy_done[2] = {0.0, 0.0};
+
+  const auto seg_span = d_offsets.device_span();
+
+  for (u32 j = 0; j < c; ++j) {
+    const std::size_t buf = j % 2;
+    const AffineHash h = family[j];
+
+    // hi() over every member of the batch (thrust::transform).
+    device::transform(
+        d_members, d_perm, [h](u32 v) { return h(v); }, kComputeStream);
+    // Per-segment sort (thrust-style segmented sort).
+    device::segmented_sort(d_perm, batch.seg_offsets, kComputeStream);
+    // Top-s selection into the trial's minima buffer. Must wait until
+    // the previous copy out of this buffer has completed.
+    const auto perm_span = d_perm.device_span();
+    const u32 s_local = s;
+    const double select_done = device::tabulate(
+        d_minima[buf],
+        [perm_span, seg_span, s_local](std::size_t i) {
+          const std::size_t seg = i / s_local;
+          const u64 pos = seg_span[seg] + (i % s_local);
+          return pos < seg_span[seg + 1] ? perm_span[pos] : kNoValue;
+        },
+        kComputeStream, copy_done[buf]);
+
+    host_minima.resize(nsegs * s);
+    copy_done[buf] = device::copy_to_host<u64>(
+        host_minima, d_minima[buf],
+        options.async ? kCopyStream : kComputeStream, select_done);
+
+    // CPU consumes the trial's minima: merge split pieces, hash complete
+    // lists into tuples (Figure 3, step 2 + the split-list merge).
+    util::ScopedTimer t(reg, cpu_metric);
+    obs::HostSpan span(tracer, trace_phase + ".consume");
+    for (std::size_t seg = 0; seg < nsegs; ++seg) {
+      consume_segment_minima(
+          batch.seg_list_ids[seg], batch.seg_starts_list[seg] != 0,
+          batch.seg_ends_list[seg] != 0, j, c, s,
+          {host_minima.data() + seg * s, s}, committed, fx);
+    }
+  }
+  return fx;
+}
+
+/// Bit-identical CPU continuation: processes the remaining pieces with the
+/// serial s-minima scan (min_s_images produces exactly the sorted
+/// front-s the select kernel produces), feeding the same consume step, so
+/// partially merged split lists complete correctly.
+void process_pieces_cpu(std::span<const ListPiece> pieces,
+                        std::span<const u32> members,
+                        const HashFamily& family, u32 s,
+                        ShingleTuples& tuples, PendingMap& pending) {
+  const u32 c = family.size();
+  std::vector<u64> minima(s);
+  BatchEffects fx;
+  for (u32 j = 0; j < c; ++j) {
+    for (const ListPiece& piece : pieces) {
+      min_s_images({members.data() + piece.global_begin,
+                    static_cast<std::size_t>(piece.length)},
+                   family[j], s, {minima.data(), s});
+      consume_segment_minima(piece.list_id, piece.starts_list,
+                             piece.ends_list, j, c, s, {minima.data(), s},
+                             pending, fx);
+    }
+  }
+  commit_effects(std::move(fx), tuples, pending);
+}
+
 }  // namespace
+
+void charge_retry_backoff(device::DeviceContext& ctx,
+                          const fault::ResiliencePolicy& policy, int attempt,
+                          const std::string& trace_phase) {
+  obs::DevicePhaseScope scope(ctx.tracer(), trace_phase + ".retry");
+  const double backoff = policy.retry_backoff_seconds *
+                         static_cast<double>(u64{1} << (attempt - 1));
+  ctx.timeline().enqueue(kComputeStream, device::OpKind::Kernel, backoff);
+}
 
 std::size_t default_batch_elements(const device::DeviceContext& ctx, u32 s) {
   // Per member element: u32 member + u64 permuted image = 12 bytes. The
@@ -48,115 +224,112 @@ ShingleTuples extract_shingles_device(device::DeviceContext& ctx,
   obs::Tracer* tracer = ctx.tracer();
   obs::DevicePhaseScope phase_scope(tracer, trace_phase);
 
-  const std::size_t max_batch =
+  const fault::ResiliencePolicy& policy = options.resilience;
+  std::size_t cur_max =
       options.max_batch_elements > 0 ? options.max_batch_elements
                                      : default_batch_elements(ctx, s);
 
-  BatchPlan plan;
+  std::vector<ListPiece> pieces;
   {
     util::ScopedTimer t(reg, cpu_metric);
     obs::HostSpan span(tracer, trace_phase + ".plan");
-    plan = plan_batches(offsets, s, max_batch);
+    pieces = list_pieces(offsets, s);
   }
 
-  const u32 c = family.size();
   ShingleTuples tuples;
-  std::unordered_map<u32, PendingList> pending;
+  PendingMap pending;
   std::vector<u32> staging;
   std::vector<u64> host_minima;
 
-  for (const Batch& batch : plan.batches) {
-    const std::size_t nsegs = batch.num_segments();
-    const std::size_t nelems = batch.num_elements();
+  DevicePassStats run_stats;
+  int consecutive_failures = 0;
+  bool cpu_mode = false;
 
-    {  // CPU aggregates the batch for the device (Figure 3, step 1).
+  while (!pieces.empty() && !cpu_mode) {
+    BatchPlan plan;
+    {
       util::ScopedTimer t(reg, cpu_metric);
-      obs::HostSpan span(tracer, trace_phase + ".stage");
-      batch.stage(members, staging);
+      obs::HostSpan span(tracer, trace_phase + ".plan");
+      plan = plan_batches_from_pieces(pieces, cur_max);
     }
 
-    // Upload members and segment boundaries once per batch.
-    device::DeviceVector<u32> d_members(ctx, nelems);
-    device::copy_to_device<u32>(d_members, staging, kComputeStream);
-    device::DeviceVector<u64> d_offsets(ctx, nsegs + 1);
-    device::copy_to_device<u64>(d_offsets, batch.seg_offsets, kComputeStream);
-
-    device::DeviceVector<u64> d_perm(ctx, nelems);
-    // Double-buffered minima so an async D2H can overlap the next trial.
-    device::DeviceVector<u64> d_minima[2] = {
-        device::DeviceVector<u64>(ctx, nsegs * s),
-        device::DeviceVector<u64>(ctx, nsegs * s)};
-    double copy_done[2] = {0.0, 0.0};
-
-    const auto seg_span = d_offsets.device_span();
-
-    for (u32 j = 0; j < c; ++j) {
-      const std::size_t buf = j % 2;
-      const AffineHash h = family[j];
-
-      // hi() over every member of the batch (thrust::transform).
-      device::transform(
-          d_members, d_perm, [h](u32 v) { return h(v); }, kComputeStream);
-      // Per-segment sort (thrust-style segmented sort).
-      device::segmented_sort(d_perm, batch.seg_offsets, kComputeStream);
-      // Top-s selection into the trial's minima buffer. Must wait until
-      // the previous copy out of this buffer has completed.
-      const auto perm_span = d_perm.device_span();
-      const u32 s_local = s;
-      const double select_done = device::tabulate(
-          d_minima[buf],
-          [perm_span, seg_span, s_local](std::size_t i) {
-            const std::size_t seg = i / s_local;
-            const u64 pos = seg_span[seg] + (i % s_local);
-            return pos < seg_span[seg + 1] ? perm_span[pos] : kNoValue;
-          },
-          kComputeStream, copy_done[buf]);
-
-      host_minima.resize(nsegs * s);
-      copy_done[buf] = device::copy_to_host<u64>(
-          host_minima, d_minima[buf],
-          options.async ? kCopyStream : kComputeStream, select_done);
-
-      // CPU consumes the trial's minima: merge split pieces, hash complete
-      // lists into tuples (Figure 3, step 2 + the split-list merge).
-      util::ScopedTimer t(reg, cpu_metric);
-      obs::HostSpan span(tracer, trace_phase + ".consume");
-      for (std::size_t seg = 0; seg < nsegs; ++seg) {
-        const u32 list_id = batch.seg_list_ids[seg];
-        const bool starts = batch.seg_starts_list[seg] != 0;
-        const bool ends = batch.seg_ends_list[seg] != 0;
-        std::span<const u64> seg_minima{host_minima.data() + seg * s, s};
-
-        if (starts && ends) {
-          const ShingleId id = hash_shingle(j, seg_minima);
-          GPCLUST_CHECK(id != kNoValue, "complete list shorter than s");
-          tuples.append(id, list_id);
-          continue;
-        }
-        // Piece of a split list: accumulate across batches.
-        auto [it, inserted] = pending.try_emplace(list_id);
-        if (inserted) {
-          it->second.minima.assign(static_cast<std::size_t>(c) * s, kNoValue);
-        }
-        std::span<u64> acc{it->second.minima.data() + std::size_t{j} * s, s};
-        merge_minima(acc, seg_minima);
-        if (ends) {
-          const ShingleId id = hash_shingle(j, acc);
-          GPCLUST_CHECK(id != kNoValue, "split list shorter than s");
-          tuples.append(id, list_id);
-          if (j + 1 == c) pending.erase(it);
+    std::size_t consumed = 0;
+    bool replan = false;
+    for (const Batch& batch : plan.batches) {
+      int attempt = 0;
+      for (;;) {
+        try {
+          BatchEffects fx = process_batch_device(
+              ctx, batch, members, family, s, options, reg, cpu_metric,
+              tracer, trace_phase, pending, staging, host_minima);
+          {
+            util::ScopedTimer t(reg, cpu_metric);
+            commit_effects(std::move(fx), tuples, pending);
+          }
+          for (std::size_t seg = 0; seg < batch.num_segments(); ++seg) {
+            if (batch.seg_starts_list[seg] && !batch.seg_ends_list[seg]) {
+              ++run_stats.num_split_lists;
+            }
+          }
+          ++run_stats.num_batches;
+          consumed += batch.num_elements();
+          consecutive_failures = 0;
+          break;
+        } catch (const DeviceError& e) {
+          if (!policy.enabled()) throw;
+          const bool transient = dynamic_cast<const TransferError*>(&e) ||
+                                 dynamic_cast<const KernelError*>(&e);
+          if (transient && attempt < policy.max_retries) {
+            // Bounded retry of the whole (uncommitted) batch, with the
+            // deterministic backoff charged to the modeled timeline.
+            ++attempt;
+            charge_retry_backoff(ctx, policy, attempt, trace_phase);
+            ++run_stats.num_retries;
+            obs::add_counter(tracer, "retries", 1);
+            continue;
+          }
+          if (!transient && cur_max > policy.min_batch_elements) {
+            // Adaptive batch backoff: halve the batch size and replan the
+            // remaining pieces (the split-list merge keeps the partition
+            // bit-identical across any re-batching).
+            cur_max = std::max(policy.min_batch_elements, cur_max / 2);
+            ++run_stats.num_batch_replans;
+            obs::add_counter(tracer, "batch_replans", 1);
+            replan = true;
+            break;
+          }
+          // Unrecoverable here: retries exhausted or OOM at the batch-size
+          // floor. In Fallback mode tolerate up to max_consecutive_failures
+          // full re-attempts, then degrade the rest of the pass to the CPU.
+          if (!policy.fallback_enabled()) throw;
+          ++consecutive_failures;
+          if (consecutive_failures >= policy.max_consecutive_failures) {
+            cpu_mode = true;
+          }
+          replan = true;
+          break;
         }
       }
+      if (replan || cpu_mode) break;
     }
+    pieces = remaining_pieces(pieces, consumed);
+  }
+
+  if (cpu_mode && !pieces.empty()) {
+    run_stats.cpu_fallback = true;
+    obs::add_counter(tracer, "cpu_fallbacks", 1);
+    util::ScopedTimer t(reg, cpu_metric);
+    obs::HostSpan span(tracer, trace_phase + ".cpu_fallback");
+    process_pieces_cpu(pieces, members, family, s, tuples, pending);
+    pieces.clear();
   }
   GPCLUST_CHECK(pending.empty(), "unfinished split lists after final batch");
 
-  obs::add_counter(tracer, "batches", plan.batches.size());
+  obs::add_counter(tracer, "batches", run_stats.num_batches);
   obs::add_counter(tracer, "tuples", tuples.size());
 
   if (stats != nullptr) {
-    stats->num_batches = plan.batches.size();
-    stats->num_split_lists = plan.num_split_lists();
+    *stats = run_stats;
     stats->num_tuples = tuples.size();
   }
   return tuples;

@@ -18,6 +18,7 @@
 #include "core/minhash.hpp"
 #include "core/shingle_graph.hpp"
 #include "device/device_context.hpp"
+#include "fault/resilience.hpp"
 #include "util/timer.hpp"
 
 namespace gpclust::core {
@@ -25,13 +26,32 @@ namespace gpclust::core {
 struct DevicePassOptions {
   std::size_t max_batch_elements = 0;  ///< 0: derive from device memory
   bool async = false;                  ///< overlap D2H with compute
+
+  /// How the pass reacts to device faults (injected or real): adaptive
+  /// batch backoff on OOM, bounded retries for transient transfer/kernel
+  /// faults, and (in Fallback mode) bit-identical CPU processing of the
+  /// remaining pieces after repeated unrecoverable faults.
+  fault::ResiliencePolicy resilience;
 };
 
 struct DevicePassStats {
   std::size_t num_batches = 0;
   std::size_t num_split_lists = 0;
   std::size_t num_tuples = 0;
+
+  // Recovery bookkeeping (all zero on a fault-free run).
+  std::size_t num_retries = 0;       ///< transient-fault batch retries
+  std::size_t num_batch_replans = 0; ///< OOM-driven batch-size halvings
+  bool cpu_fallback = false;         ///< pass finished on the CPU
 };
+
+/// Charges the deterministic retry backoff for (1-based) retry `attempt`
+/// to the context's modeled timeline, attributed to phase
+/// "<trace_phase>.retry" when a tracer is attached — so retry cost is
+/// part of modeled device time and visible in the exported trace.
+void charge_retry_backoff(device::DeviceContext& ctx,
+                          const fault::ResiliencePolicy& policy, int attempt,
+                          const std::string& trace_phase);
 
 /// Derives the largest safe batch size (in member elements) from the
 /// device's free memory, accounting for the member, permutation, offset

@@ -27,6 +27,64 @@ class ScopedDeviceTracer {
   obs::Tracer* previous_;
 };
 
+/// Binds the run's fault plan to the device context for the duration of
+/// the run (restoring the previous binding on any exit path), mirroring
+/// ScopedDeviceTracer.
+class ScopedDeviceFault {
+ public:
+  ScopedDeviceFault(device::DeviceContext& ctx, fault::FaultPlan* plan)
+      : ctx_(ctx), previous_(ctx.fault_plan()) {
+    ctx_.set_fault_plan(plan);
+  }
+  ~ScopedDeviceFault() { ctx_.set_fault_plan(previous_); }
+
+  ScopedDeviceFault(const ScopedDeviceFault&) = delete;
+  ScopedDeviceFault& operator=(const ScopedDeviceFault&) = delete;
+
+ private:
+  device::DeviceContext& ctx_;
+  fault::FaultPlan* previous_;
+};
+
+/// Device aggregation under the resilience policy. The tuples are kept
+/// intact until the device path succeeds, so a transient fault can retry
+/// (with the backoff charged to the modeled timeline) and an unrecoverable
+/// fault can degrade to the CPU aggregation — which is shared code with
+/// the serial pipeline, so the result stays bit-identical.
+BipartiteShingleGraph aggregate_resilient(device::DeviceContext& ctx,
+                                          ShingleTuples&& tuples,
+                                          const fault::ResiliencePolicy& policy,
+                                          util::MetricsRegistry& reg,
+                                          obs::Tracer* tracer,
+                                          const std::string& trace_phase) {
+  if (!policy.enabled()) {
+    return aggregate_tuples_device(ctx, std::move(tuples), 0, &reg, "cpu",
+                                   trace_phase);
+  }
+  int attempt = 0;
+  for (;;) {
+    try {
+      ShingleTuples working = tuples;
+      return aggregate_tuples_device(ctx, std::move(working), 0, &reg, "cpu",
+                                     trace_phase);
+    } catch (const DeviceError& e) {
+      const bool transient = dynamic_cast<const TransferError*>(&e) ||
+                             dynamic_cast<const KernelError*>(&e);
+      if (transient && attempt < policy.max_retries) {
+        ++attempt;
+        charge_retry_backoff(ctx, policy, attempt, trace_phase);
+        obs::add_counter(tracer, "retries", 1);
+        continue;
+      }
+      if (!policy.fallback_enabled()) throw;
+      obs::add_counter(tracer, "cpu_fallbacks", 1);
+      util::ScopedTimer t(reg, "cpu");
+      obs::HostSpan span(tracer, trace_phase + ".cpu_fallback");
+      return aggregate_tuples(std::move(tuples));
+    }
+  }
+}
+
 }  // namespace
 
 GpClust::GpClust(device::DeviceContext& ctx, ShinglingParams params,
@@ -57,12 +115,14 @@ Clustering GpClust::run(const graph::CsrGraph& g, GpClustReport* report,
 
   obs::Tracer* tracer = options_.tracer;
   ScopedDeviceTracer bind(ctx_, tracer);
+  ScopedDeviceFault bind_fault(ctx_, options_.fault_plan);
   obs::add_counter(tracer, "sequences", g.num_vertices());
 
   util::MetricsRegistry reg;
   DevicePassOptions pass_options;
   pass_options.async = options_.async;
   pass_options.max_batch_elements = options_.max_batch_elements;
+  pass_options.resilience = options_.resilience;
 
   const HashFamily family1(params_.c1, params_.prime, params_.seed, 1);
   const HashFamily family2(params_.c2, params_.prime, params_.seed, 2);
@@ -81,8 +141,8 @@ Clustering GpClust::run(const graph::CsrGraph& g, GpClustReport* report,
   if (options_.device_aggregation) {
     // Host merge/group time accrues to "cpu" inside; the radix sort is
     // device work on the modeled timeline.
-    gi = aggregate_tuples_device(ctx_, std::move(tuples1), 0, &reg, "cpu",
-                                 "aggregate1");
+    gi = aggregate_resilient(ctx_, std::move(tuples1), options_.resilience,
+                             reg, tracer, "aggregate1");
   } else {
     util::ScopedTimer t(reg, "cpu");
     obs::HostSpan span(tracer, "aggregate1");
@@ -101,8 +161,8 @@ Clustering GpClust::run(const graph::CsrGraph& g, GpClustReport* report,
   {
     BipartiteShingleGraph gii;
     if (options_.device_aggregation) {
-      gii = aggregate_tuples_device(ctx_, std::move(tuples2), 0, &reg, "cpu",
-                                    "aggregate2");
+      gii = aggregate_resilient(ctx_, std::move(tuples2), options_.resilience,
+                                reg, tracer, "aggregate2");
     } else {
       util::ScopedTimer t(reg, "cpu");
       obs::HostSpan span(tracer, "aggregate2");

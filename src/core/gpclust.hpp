@@ -14,6 +14,7 @@
 #include "core/params.hpp"
 #include "core/serial_pclust.hpp"
 #include "device/device_context.hpp"
+#include "fault/fault_plan.hpp"
 #include "graph/csr_graph.hpp"
 
 namespace gpclust::obs {
@@ -37,6 +38,18 @@ struct GpClustOptions {
   /// Results are identical; the CPU column shrinks and the GPU/transfer
   /// columns grow.
   bool device_aggregation = false;
+
+  /// Deterministic fault injection: when non-null, the plan is bound to
+  /// the device context for the duration of the run (alloc/h2d/d2h/kernel
+  /// sites fire at their scheduled call indices). The same plan object can
+  /// be shared with dist runs for comm-site faults.
+  fault::FaultPlan* fault_plan = nullptr;
+
+  /// How the pipeline reacts to device faults (injected or real): see
+  /// fault::ResiliencePolicy. Off (the default) propagates the first
+  /// fault; Fallback guarantees a bit-identical result to SerialShingler
+  /// for any finite fault schedule.
+  fault::ResiliencePolicy resilience;
 
   /// Observability: when non-null, the run records host-measured and
   /// device-modeled phase spans (load, pass1, aggregate1, pass2,

@@ -12,6 +12,10 @@
 #include "device/sim_timeline.hpp"
 #include "util/thread_pool.hpp"
 
+namespace gpclust::fault {
+class FaultPlan;
+}
+
 namespace gpclust::device {
 
 class DeviceContext {
@@ -57,12 +61,23 @@ class DeviceContext {
   }
   obs::Tracer* tracer() const { return tracer_; }
 
+  // --- fault injection ----------------------------------------------------
+  /// Attaches a deterministic fault plan to the whole device: the arena
+  /// consults its "alloc" site, the transfer helpers "h2d"/"d2h", and
+  /// every kernel primitive "kernel". Null detaches.
+  void set_fault_plan(fault::FaultPlan* plan) {
+    fault_plan_ = plan;
+    arena_.set_fault_plan(plan);
+  }
+  fault::FaultPlan* fault_plan() const { return fault_plan_; }
+
  private:
   DeviceSpec spec_;
   MemoryArena arena_;
   SimTimeline timeline_;
   util::ThreadPool* pool_;
   obs::Tracer* tracer_ = nullptr;
+  fault::FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace gpclust::device

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "device/device_context.hpp"
+#include "device/fault_points.hpp"
 #include "obs/trace.hpp"
 #include "util/common.hpp"
 
@@ -24,7 +25,17 @@ class DeviceVector {
   DeviceVector(DeviceContext& ctx, std::size_t size)
       : ctx_(&ctx), allocated_bytes_(size * sizeof(T)) {
     ctx_->arena().allocate(allocated_bytes_);
-    data_.resize(size);
+    // Strong exception safety: if the backing store cannot be created the
+    // arena reservation must not leak (the destructor never runs when the
+    // constructor throws).
+    try {
+      data_.resize(size);
+    } catch (...) {
+      ctx_->arena().release(allocated_bytes_);
+      ctx_ = nullptr;
+      allocated_bytes_ = 0;
+      throw;
+    }
   }
 
   ~DeviceVector() { release(); }
@@ -85,8 +96,10 @@ double copy_to_device(DeviceVector<T>& dst, std::span<const T> src,
                       double ready_after = 0.0) {
   GPCLUST_CHECK(dst.context() != nullptr, "destination is not allocated");
   GPCLUST_CHECK(src.size() <= dst.size(), "device buffer too small");
-  std::copy(src.begin(), src.end(), dst.device_span().begin());
   DeviceContext& ctx = *dst.context();
+  detail::maybe_inject_transfer_fault(ctx, fault::FaultSite::H2D,
+                                      src.size() * sizeof(T));
+  std::copy(src.begin(), src.end(), dst.device_span().begin());
   obs::add_counter(ctx.tracer(), "h2d_bytes", src.size() * sizeof(T));
   return ctx.timeline().enqueue(stream, OpKind::CopyH2D,
                                 ctx.h2d_cost(src.size() * sizeof(T)),
@@ -101,10 +114,12 @@ double copy_to_host(std::span<T> dst, const DeviceVector<T>& src,
                     double ready_after = 0.0) {
   GPCLUST_CHECK(src.context() != nullptr, "source is not allocated");
   GPCLUST_CHECK(dst.size() <= src.size(), "host buffer larger than source");
+  DeviceContext& ctx = *src.context();
+  detail::maybe_inject_transfer_fault(ctx, fault::FaultSite::D2H,
+                                      dst.size() * sizeof(T));
   auto sp = src.device_span();
   std::copy(sp.begin(), sp.begin() + static_cast<std::ptrdiff_t>(dst.size()),
             dst.begin());
-  DeviceContext& ctx = *src.context();
   obs::add_counter(ctx.tracer(), "d2h_bytes", dst.size() * sizeof(T));
   return ctx.timeline().enqueue(stream, OpKind::CopyD2H,
                                 ctx.d2h_cost(dst.size() * sizeof(T)),

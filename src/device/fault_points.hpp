@@ -1,0 +1,37 @@
+#pragma once
+// The device-layer fault points: tiny guards called at the top of every
+// transfer and kernel primitive. When the context carries a FaultPlan and
+// the plan schedules a fault at this call index, a typed transient error
+// is thrown (TransferError / KernelError) and the "faults_injected"
+// counter advances on the attached tracer. Without a plan the guard is a
+// single null check.
+
+#include <string>
+
+#include "device/device_context.hpp"
+#include "fault/fault_plan.hpp"
+#include "obs/trace.hpp"
+
+namespace gpclust::device::detail {
+
+inline void maybe_inject_transfer_fault(DeviceContext& ctx,
+                                        fault::FaultSite site,
+                                        std::size_t bytes) {
+  fault::FaultPlan* plan = ctx.fault_plan();
+  if (plan == nullptr || !plan->should_fault(site)) return;
+  obs::add_counter(ctx.tracer(), "faults_injected", 1);
+  throw TransferError("injected " + std::string(fault::site_name(site)) +
+                      " transfer fault (fault plan, " +
+                      std::to_string(bytes) + " bytes)");
+}
+
+inline void maybe_inject_kernel_fault(DeviceContext& ctx,
+                                      const char* primitive) {
+  fault::FaultPlan* plan = ctx.fault_plan();
+  if (plan == nullptr || !plan->should_fault(fault::FaultSite::Kernel)) return;
+  obs::add_counter(ctx.tracer(), "faults_injected", 1);
+  throw KernelError(std::string("injected kernel fault (fault plan, ") +
+                    primitive + ")");
+}
+
+}  // namespace gpclust::device::detail

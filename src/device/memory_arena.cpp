@@ -3,11 +3,19 @@
 #include <algorithm>
 #include <string>
 
+#include "fault/fault_plan.hpp"
 #include "obs/trace.hpp"
 
 namespace gpclust::device {
 
 void MemoryArena::allocate(std::size_t bytes) {
+  if (fault_plan_ != nullptr &&
+      fault_plan_->should_fault(fault::FaultSite::Alloc)) {
+    obs::add_counter(tracer_, "faults_injected", 1);
+    throw DeviceError("injected out of device memory (fault plan, alloc #" +
+                      std::to_string(fault_plan_->calls(fault::FaultSite::Alloc) - 1) +
+                      ", " + std::to_string(bytes) + " bytes)");
+  }
   if (bytes > capacity_ - used_) {
     throw DeviceError("out of device memory: requested " +
                       std::to_string(bytes) + " bytes, " +

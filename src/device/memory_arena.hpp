@@ -11,6 +11,9 @@
 namespace gpclust::obs {
 class Tracer;
 }
+namespace gpclust::fault {
+class FaultPlan;
+}
 
 namespace gpclust::device {
 
@@ -35,12 +38,18 @@ class MemoryArena {
   /// counter on every allocation. Null detaches.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Fault injection: allocate() consults the plan's "alloc" site and
+  /// throws an injected OOM when scheduled. Null detaches.
+  void set_fault_plan(fault::FaultPlan* plan) { fault_plan_ = plan; }
+  fault::FaultPlan* fault_plan() const { return fault_plan_; }
+
  private:
   std::size_t capacity_;
   std::size_t used_ = 0;
   std::size_t peak_ = 0;
   std::size_t live_allocations_ = 0;
   obs::Tracer* tracer_ = nullptr;
+  fault::FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace gpclust::device

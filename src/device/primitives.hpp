@@ -14,6 +14,7 @@
 #include <numeric>
 
 #include "device/device_vector.hpp"
+#include "device/fault_points.hpp"
 
 namespace gpclust::device {
 
@@ -31,6 +32,7 @@ template <typename T, typename U, typename F>
 double transform(const DeviceVector<T>& in, DeviceVector<U>& out, F f,
                  StreamId stream = kDefaultStream, double ready_after = 0.0) {
   DeviceContext& ctx = detail::ctx_of(in);
+  detail::maybe_inject_kernel_fault(ctx, "transform");
   GPCLUST_CHECK(out.context() == &ctx, "vectors belong to different devices");
   GPCLUST_CHECK(out.size() >= in.size(), "output too small");
   auto src = in.device_span();
@@ -47,6 +49,7 @@ template <typename T, typename F>
 double tabulate(DeviceVector<T>& data, F f, StreamId stream = kDefaultStream,
                 double ready_after = 0.0) {
   DeviceContext& ctx = detail::ctx_of(data);
+  detail::maybe_inject_kernel_fault(ctx, "tabulate");
   auto dst = data.device_span();
   ctx.pool().parallel_for(0, dst.size(), [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) dst[i] = f(i);
@@ -60,6 +63,7 @@ template <typename T, typename Cmp = std::less<T>>
 double sort(DeviceVector<T>& data, Cmp cmp = Cmp{},
             StreamId stream = kDefaultStream, double ready_after = 0.0) {
   DeviceContext& ctx = detail::ctx_of(data);
+  detail::maybe_inject_kernel_fault(ctx, "sort");
   auto sp = data.device_span();
   std::sort(sp.begin(), sp.end(), cmp);
   return ctx.timeline().enqueue(stream, OpKind::Kernel,
@@ -75,6 +79,7 @@ double segmented_sort(DeviceVector<T>& data, std::span<const u64> offsets,
                       StreamId stream = kDefaultStream,
                       double ready_after = 0.0) {
   DeviceContext& ctx = detail::ctx_of(data);
+  detail::maybe_inject_kernel_fault(ctx, "segmented_sort");
   GPCLUST_CHECK(!offsets.empty() && offsets.back() == data.size(),
                 "offsets must cover the data exactly");
   auto sp = data.device_span();
@@ -102,6 +107,7 @@ template <typename K, typename V>
 double sort_by_key(DeviceVector<K>& keys, DeviceVector<V>& values,
                    StreamId stream = kDefaultStream, double ready_after = 0.0) {
   DeviceContext& ctx = detail::ctx_of(keys);
+  detail::maybe_inject_kernel_fault(ctx, "sort_by_key");
   GPCLUST_CHECK(values.context() == &ctx, "vectors belong to different devices");
   GPCLUST_CHECK(keys.size() == values.size(), "key/value size mismatch");
   auto ks = keys.device_span();
@@ -128,6 +134,7 @@ template <typename T>
 T reduce(const DeviceVector<T>& data, T init,
          StreamId stream = kDefaultStream) {
   DeviceContext& ctx = detail::ctx_of(data);
+  detail::maybe_inject_kernel_fault(ctx, "reduce");
   auto sp = data.device_span();
   const T total = std::accumulate(sp.begin(), sp.end(), init);
   const double done = ctx.timeline().enqueue(
@@ -143,6 +150,7 @@ double exclusive_scan(DeviceVector<T>& data, T init,
                       StreamId stream = kDefaultStream,
                       double ready_after = 0.0) {
   DeviceContext& ctx = detail::ctx_of(data);
+  detail::maybe_inject_kernel_fault(ctx, "exclusive_scan");
   auto sp = data.device_span();
   T running = init;
   for (auto& x : sp) {
@@ -159,6 +167,7 @@ template <typename T>
 double fill(DeviceVector<T>& data, T value, StreamId stream = kDefaultStream,
             double ready_after = 0.0) {
   DeviceContext& ctx = detail::ctx_of(data);
+  detail::maybe_inject_kernel_fault(ctx, "fill");
   auto sp = data.device_span();
   ctx.pool().parallel_for(0, sp.size(), [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) sp[i] = value;
@@ -173,6 +182,7 @@ double inclusive_scan(DeviceVector<T>& data,
                       StreamId stream = kDefaultStream,
                       double ready_after = 0.0) {
   DeviceContext& ctx = detail::ctx_of(data);
+  detail::maybe_inject_kernel_fault(ctx, "inclusive_scan");
   auto sp = data.device_span();
   T running{};
   for (auto& x : sp) {
@@ -189,6 +199,7 @@ double inclusive_scan(DeviceVector<T>& data,
 template <typename T>
 std::size_t unique(DeviceVector<T>& data, StreamId stream = kDefaultStream) {
   DeviceContext& ctx = detail::ctx_of(data);
+  detail::maybe_inject_kernel_fault(ctx, "unique");
   auto sp = data.device_span();
   const auto end = std::unique(sp.begin(), sp.end());
   ctx.timeline().enqueue(stream, OpKind::Kernel, ctx.transform_cost(sp.size()),
@@ -202,6 +213,7 @@ template <typename T, typename Pred>
 std::size_t count_if(const DeviceVector<T>& data, Pred pred,
                      StreamId stream = kDefaultStream) {
   DeviceContext& ctx = detail::ctx_of(data);
+  detail::maybe_inject_kernel_fault(ctx, "count_if");
   auto sp = data.device_span();
   const std::size_t count = static_cast<std::size_t>(
       std::count_if(sp.begin(), sp.end(), pred));
@@ -218,6 +230,7 @@ template <typename T, typename Pred>
 std::size_t copy_if(const DeviceVector<T>& in, DeviceVector<T>& out, Pred pred,
                     StreamId stream = kDefaultStream, double ready_after = 0.0) {
   DeviceContext& ctx = detail::ctx_of(in);
+  detail::maybe_inject_kernel_fault(ctx, "copy_if");
   GPCLUST_CHECK(out.context() == &ctx, "vectors belong to different devices");
   GPCLUST_CHECK(out.size() >= in.size(), "output too small");
   auto src = in.device_span();
@@ -273,6 +286,7 @@ double gather(const DeviceVector<T>& in, const DeviceVector<u64>& map,
               DeviceVector<T>& out, StreamId stream = kDefaultStream,
               double ready_after = 0.0) {
   DeviceContext& ctx = detail::ctx_of(in);
+  detail::maybe_inject_kernel_fault(ctx, "gather");
   GPCLUST_CHECK(out.size() >= map.size(), "output too small");
   auto src = in.device_span();
   auto idx = map.device_span();

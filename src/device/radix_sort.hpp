@@ -49,6 +49,7 @@ double radix_sort(DeviceVector<K>& keys, StreamId stream = kDefaultStream,
                   double ready_after = 0.0) {
   static_assert(std::is_unsigned_v<K>, "radix_sort requires unsigned keys");
   DeviceContext& ctx = detail::ctx_of(keys);
+  detail::maybe_inject_kernel_fault(ctx, "radix_sort");
   DeviceVector<K> scratch(ctx, keys.size());
   auto ks = keys.device_span();
   for (int shift = 0; shift < static_cast<int>(sizeof(K)) * 8; shift += 8) {
@@ -67,6 +68,7 @@ double radix_sort_by_key(DeviceVector<K>& keys, DeviceVector<V>& values,
   DeviceContext& ctx = detail::ctx_of(keys);
   GPCLUST_CHECK(values.context() == &ctx, "vectors belong to different devices");
   GPCLUST_CHECK(keys.size() == values.size(), "key/value size mismatch");
+  detail::maybe_inject_kernel_fault(ctx, "radix_sort_by_key");
   DeviceVector<K> key_scratch(ctx, keys.size());
   DeviceVector<V> value_scratch(ctx, values.size());
   auto ks = keys.device_span();

@@ -3,12 +3,36 @@
 #include <exception>
 #include <thread>
 
+#include "util/logging.hpp"
+
 namespace gpclust::dist {
 
+namespace {
+
+/// True when the exception is a secondary failure: a bystander rank woken
+/// by World::abort after some other rank already died. Those must not
+/// shadow the originating error when run_ranks rethrows.
+bool is_abort_error(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const CommError& e) {
+    return e.op() == "abort";
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
 void run_ranks(std::size_t num_ranks,
-               const std::function<void(Communicator&)>& fn) {
+               const std::function<void(Communicator&)>& fn,
+               const RankRunOptions& options) {
   GPCLUST_CHECK(num_ranks >= 1, "need at least one rank");
   World world(num_ranks);
+  world.set_fault_plan(options.fault_plan);
+  world.set_resilience(options.resilience);
+  world.set_tracer(options.tracer);
+
   std::vector<std::exception_ptr> errors(num_ranks);
   std::vector<std::thread> threads;
   threads.reserve(num_ranks);
@@ -17,17 +41,47 @@ void run_ranks(std::size_t num_ranks,
       Communicator comm(world, r);
       try {
         fn(comm);
-      } catch (...) {
-        // NOTE: a rank failing mid-collective leaves peers blocked, as a
-        // crashed MPI rank would; callers must not throw between matching
-        // collective calls.
+      } catch (const CommError&) {
         errors[r] = std::current_exception();
+        world.abort();
+      } catch (const std::exception& e) {
+        // Wrap foreign exceptions so the failure keeps its rank identity.
+        errors[r] = std::make_exception_ptr(
+            CommError(r, "rank_main", e.what()));
+        world.abort();
+      } catch (...) {
+        errors[r] = std::make_exception_ptr(
+            CommError(r, "rank_main", "unknown exception"));
+        world.abort();
       }
     });
   }
   for (auto& t : threads) t.join();
-  for (const auto& error : errors) {
-    if (error) std::rethrow_exception(error);
+
+  // Rethrow the originating failure; bystander aborts only if nothing else.
+  std::exception_ptr primary, secondary;
+  for (RankId r = 0; r < num_ranks; ++r) {
+    if (!errors[r]) continue;
+    if (is_abort_error(errors[r])) {
+      if (!secondary) secondary = errors[r];
+    } else if (!primary) {
+      primary = errors[r];
+    }
+  }
+  const std::exception_ptr error = primary ? primary : secondary;
+  if (error) {
+    try {
+      std::rethrow_exception(error);
+    } catch (const CommError& e) {
+      util::log_warn() << "dist: rank " << e.rank() << " failed in "
+                       << e.op() << ": " << e.what();
+      obs::add_counter(options.tracer, "rank_failures", 1);
+      throw;
+    } catch (const std::exception& e) {
+      util::log_warn() << "dist: rank failed: " << e.what();
+      obs::add_counter(options.tracer, "rank_failures", 1);
+      throw;
+    }
   }
 }
 

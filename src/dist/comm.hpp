@@ -11,19 +11,44 @@
 // order per (source, destination, tag) channel, like MPI's non-overtaking
 // guarantee.
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <cstring>
 #include <deque>
 #include <map>
 #include <mutex>
+#include <string>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
+#include "fault/resilience.hpp"
+#include "obs/trace.hpp"
 #include "util/common.hpp"
 
 namespace gpclust::dist {
 
 using RankId = std::size_t;
+
+/// Typed communication failure: carries the rank it happened on and the
+/// operation ("send", "recv", "barrier", "rank_down", "rank_main" for a
+/// wrapped foreign exception, "abort" for a peer-failure unblock). Derives
+/// std::runtime_error so untyped handlers still catch it.
+class CommError : public std::runtime_error {
+ public:
+  CommError(RankId rank, std::string op, const std::string& detail)
+      : std::runtime_error("rank " + std::to_string(rank) + " " + op + ": " +
+                           detail),
+        rank_(rank),
+        op_(std::move(op)) {}
+
+  RankId rank() const { return rank_; }
+  const std::string& op() const { return op_; }
+
+ private:
+  RankId rank_;
+  std::string op_;
+};
 
 namespace detail {
 
@@ -55,10 +80,41 @@ class World {
 
   std::size_t size() const { return mailboxes_.size(); }
 
+  /// Fault-injection / resilience bindings, shared by every rank. Set them
+  /// before the rank threads start; the plan's send/recv schedules fire at
+  /// global call indices across all ranks.
+  void set_fault_plan(fault::FaultPlan* plan) { fault_plan_ = plan; }
+  fault::FaultPlan* fault_plan() const { return fault_plan_; }
+  void set_resilience(const fault::ResiliencePolicy& policy) {
+    resilience_ = policy;
+  }
+  const fault::ResiliencePolicy& resilience() const { return resilience_; }
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
+  /// Marks the world dead and wakes every rank blocked in recv/barrier so
+  /// a failed rank cannot leave its peers deadlocked: woken ranks throw
+  /// CommError instead of waiting forever. Idempotent; callable from any
+  /// thread.
+  void abort() {
+    aborted_.store(true, std::memory_order_release);
+    for (auto& box : mailboxes_) {
+      std::lock_guard lock(box.mutex);
+      box.cv.notify_all();
+    }
+    std::lock_guard lock(barrier_.mutex);
+    barrier_.cv.notify_all();
+  }
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
  private:
   friend class Communicator;
   std::vector<detail::Mailbox> mailboxes_;
   detail::BarrierState barrier_;
+  fault::FaultPlan* fault_plan_ = nullptr;
+  fault::ResiliencePolicy resilience_;
+  obs::Tracer* tracer_ = nullptr;
+  std::atomic<bool> aborted_{false};
 };
 
 /// Per-rank handle. Not thread-safe across callers; each rank thread owns
@@ -78,6 +134,8 @@ class Communicator {
   void send(RankId dst, int tag, const std::vector<T>& payload) {
     static_assert(std::is_trivially_copyable_v<T>);
     GPCLUST_CHECK(dst < size(), "destination rank out of range");
+    check_alive("send");
+    maybe_inject(fault::FaultSite::Send, "send");
     std::vector<u8> bytes(payload.size() * sizeof(T));
     // Empty payloads are legal messages; memcpy requires non-null pointers
     // even for zero bytes.
@@ -97,10 +155,17 @@ class Communicator {
   std::vector<T> recv(RankId src, int tag) {
     static_assert(std::is_trivially_copyable_v<T>);
     GPCLUST_CHECK(src < size(), "source rank out of range");
+    check_alive("recv");
+    maybe_inject(fault::FaultSite::Recv, "recv");
     auto& box = world_.mailboxes_[rank_];
     std::unique_lock lock(box.mutex);
     auto& queue = box.queues[{src, tag}];
-    box.cv.wait(lock, [&] { return !queue.empty(); });
+    // Also wake on world abort: a message that will never arrive (its
+    // sender died) must become an error, not a deadlock.
+    box.cv.wait(lock, [&] { return !queue.empty() || world_.aborted(); });
+    if (queue.empty()) {
+      throw CommError(rank_, "abort", "peer rank failed while receiving");
+    }
     std::vector<u8> bytes = std::move(queue.front());
     queue.pop_front();
     lock.unlock();
@@ -114,6 +179,7 @@ class Communicator {
 
   /// All ranks must call; returns when every rank has arrived.
   void barrier() {
+    check_alive("barrier");
     auto& b = world_.barrier_;
     std::unique_lock lock(b.mutex);
     const u64 my_generation = b.generation;
@@ -123,7 +189,11 @@ class Communicator {
       b.cv.notify_all();
       return;
     }
-    b.cv.wait(lock, [&] { return b.generation != my_generation; });
+    b.cv.wait(lock,
+              [&] { return b.generation != my_generation || world_.aborted(); });
+    if (b.generation == my_generation) {
+      throw CommError(rank_, "abort", "peer rank failed at barrier");
+    }
   }
 
   /// Personalized all-to-all: outgoing[d] goes to rank d; returns
@@ -196,13 +266,59 @@ class Communicator {
   static constexpr int kReduceTag = -4;
   static constexpr int kScanTag = -5;
 
+  /// Once a peer has died, every further comm op on a live rank fails
+  /// fast instead of queueing work for (or waiting on) a corpse.
+  void check_alive(const char* op) const {
+    if (world_.aborted()) {
+      throw CommError(rank_, "abort",
+                      std::string("peer rank failed before ") + op);
+    }
+  }
+
+  /// Fault-plan hook on send/recv entry. Under the world's resilience
+  /// policy a scheduled fault is retried in place (each retry re-asks the
+  /// plan, advancing the site's call counter, so a finite schedule is
+  /// always defeated eventually); with resilience off — or once the retry
+  /// budget is spent against a persistent schedule — it becomes a typed
+  /// CommError on this rank.
+  void maybe_inject(fault::FaultSite site, const char* op) {
+    fault::FaultPlan* plan = world_.fault_plan();
+    if (plan == nullptr) return;
+    const fault::ResiliencePolicy& policy = world_.resilience();
+    int attempt = 0;
+    while (plan->should_fault(site)) {
+      obs::add_counter(world_.tracer(), "faults_injected", 1);
+      if (!policy.enabled() || attempt >= policy.max_retries) {
+        throw CommError(rank_, op,
+                        std::string("injected communication fault at ") +
+                            std::string(site_name(site)) + " call " +
+                            std::to_string(plan->calls(site) - 1));
+      }
+      ++attempt;
+      obs::add_counter(world_.tracer(), "comm_retries", 1);
+    }
+  }
+
   World& world_;
   RankId rank_;
 };
 
-/// Runs fn(comm) on `num_ranks` threads; rethrows the first exception
-/// after all ranks have joined.
+/// Fault/resilience bindings for one rank ensemble (see World setters).
+struct RankRunOptions {
+  fault::FaultPlan* fault_plan = nullptr;
+  fault::ResiliencePolicy resilience;
+  obs::Tracer* tracer = nullptr;
+};
+
+/// Runs fn(comm) on `num_ranks` threads. A rank that throws aborts the
+/// world (waking any peer blocked in recv/barrier, which then throws
+/// CommError instead of deadlocking); after all ranks have joined, the
+/// originating failure is rethrown — wrapped into a CommError carrying the
+/// rank id if it was not already one — in preference to the secondary
+/// abort errors of the bystander ranks. Failures are logged and counted
+/// ("rank_failures") on options.tracer.
 void run_ranks(std::size_t num_ranks,
-               const std::function<void(Communicator&)>& fn);
+               const std::function<void(Communicator&)>& fn,
+               const RankRunOptions& options = {});
 
 }  // namespace gpclust::dist

@@ -8,6 +8,7 @@
 #include "core/shingle.hpp"
 #include "core/shingle_graph.hpp"
 #include "obs/trace.hpp"
+#include "util/logging.hpp"
 
 namespace gpclust::dist {
 
@@ -103,16 +104,48 @@ std::pair<std::size_t, std::size_t> block_of(std::size_t n, RankId r,
 core::Clustering distributed_cluster(const graph::CsrGraph& g,
                                      const core::ShinglingParams& params,
                                      std::size_t num_ranks, DistStats* stats,
-                                     obs::Tracer* tracer) {
+                                     obs::Tracer* tracer,
+                                     fault::FaultPlan* fault_plan,
+                                     fault::ResiliencePolicy resilience) {
   params.validate(g.num_vertices());
   GPCLUST_CHECK(num_ranks >= 1, "need at least one rank");
   obs::add_counter(tracer, "sequences", g.num_vertices());
+
+  // Rank-down handling: a down rank never comes up. Without resilience
+  // that is fatal; with it the run is re-sharded over the survivors (the
+  // clustering is bit-identical for any rank count, so reassignment is
+  // exactly "run with fewer ranks").
+  std::size_t down = 0;
+  std::size_t live = num_ranks;
+  if (fault_plan != nullptr) {
+    std::size_t first_down = num_ranks;
+    for (std::size_t r = 0; r < num_ranks; ++r) {
+      if (fault_plan->is_rank_down(r)) {
+        ++down;
+        if (first_down == num_ranks) first_down = r;
+      }
+    }
+    if (down > 0) {
+      if (!resilience.enabled()) {
+        throw CommError(first_down, "rank_down",
+                        "rank marked down by fault plan (resilience off)");
+      }
+      live = num_ranks - down;
+      if (live == 0) {
+        throw CommError(first_down, "rank_down",
+                        "every rank marked down; nothing to reassign to");
+      }
+      util::log_warn() << "dist: " << down << " rank(s) down, reassigning "
+                       << "shards across " << live << " surviving rank(s)";
+      obs::add_counter(tracer, "rank_reassignments", down);
+    }
+  }
 
   core::Clustering result;
   u64 exchanged1 = 0, exchanged2 = 0;
 
   obs::HostSpan ensemble_span(tracer, "dist.cluster");
-  run_ranks(num_ranks, [&](Communicator& comm) {
+  run_ranks(live, [&](Communicator& comm) {
     const HashFamily family1(params.c1, params.prime, params.seed, 1);
     const HashFamily family2(params.c2, params.prime, params.seed, 2);
 
@@ -144,14 +177,15 @@ core::Clustering distributed_cluster(const graph::CsrGraph& g,
       exchanged1 = pass1_count;
       exchanged2 = pass2_count;
     }
-  });
+  }, RankRunOptions{fault_plan, resilience, tracer});
 
   obs::add_counter(tracer, "tuples", exchanged1 + exchanged2);
 
   if (stats != nullptr) {
-    stats->num_ranks = num_ranks;
+    stats->num_ranks = live;
     stats->tuples_exchanged_pass1 = exchanged1;
     stats->tuples_exchanged_pass2 = exchanged2;
+    stats->ranks_reassigned = down;
   }
   return result;
 }

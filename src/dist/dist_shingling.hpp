@@ -25,9 +25,10 @@ class Tracer;
 namespace gpclust::dist {
 
 struct DistStats {
-  std::size_t num_ranks = 0;
+  std::size_t num_ranks = 0;  ///< live ranks the run actually used
   std::size_t tuples_exchanged_pass1 = 0;
   std::size_t tuples_exchanged_pass2 = 0;
+  std::size_t ranks_reassigned = 0;  ///< ranks down per the fault plan
 };
 
 /// Clusters `g` with `num_ranks` communicating ranks. The graph is shared
@@ -38,10 +39,20 @@ struct DistStats {
 /// "dist.cluster" span (wall time of the whole rank ensemble — all rank
 /// work is real host time) plus the "sequences"/"tuples" counters (tuples
 /// = total exchanged over both passes).
+///
+/// When `fault_plan` is provided, its send/recv schedules fire inside the
+/// comm layer and its rank_down entries mark ranks as never coming up.
+/// With `resilience` off any such fault is a CommError; otherwise comm
+/// faults are retried per the policy and down ranks are reassigned: the
+/// run proceeds on the surviving ranks only, which re-shards every block
+/// decomposition — the partition is bit-identical for any rank count, so
+/// the result is unchanged ("rank_reassignments" counter records it).
 core::Clustering distributed_cluster(const graph::CsrGraph& g,
                                      const core::ShinglingParams& params,
                                      std::size_t num_ranks,
                                      DistStats* stats = nullptr,
-                                     obs::Tracer* tracer = nullptr);
+                                     obs::Tracer* tracer = nullptr,
+                                     fault::FaultPlan* fault_plan = nullptr,
+                                     fault::ResiliencePolicy resilience = {});
 
 }  // namespace gpclust::dist

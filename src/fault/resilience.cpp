@@ -1,0 +1,25 @@
+#include "fault/resilience.hpp"
+
+namespace gpclust::fault {
+
+ResilienceMode parse_resilience_mode(const std::string& name) {
+  if (name == "off") return ResilienceMode::Off;
+  if (name == "retry") return ResilienceMode::Retry;
+  if (name == "fallback") return ResilienceMode::Fallback;
+  throw InvalidArgument("unknown resilience mode '" + name +
+                        "' (expected off|retry|fallback)");
+}
+
+std::string_view resilience_mode_name(ResilienceMode mode) {
+  switch (mode) {
+    case ResilienceMode::Off:
+      return "off";
+    case ResilienceMode::Retry:
+      return "retry";
+    case ResilienceMode::Fallback:
+      return "fallback";
+  }
+  return "off";
+}
+
+}  // namespace gpclust::fault

@@ -1,0 +1,54 @@
+#pragma once
+// The policy knob for how the pipeline reacts to device and comm faults
+// (injected by a FaultPlan or real, like a genuine arena OOM). Shared by
+// GpClust, the device shingling pass and dist::distributed_cluster so one
+// policy describes the whole run.
+
+#include <cstddef>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace gpclust::fault {
+
+enum class ResilienceMode {
+  /// Every fault is terminal: the typed error propagates (seed behavior).
+  Off,
+  /// Adaptive batch backoff on OOM and bounded deterministic retries for
+  /// transient transfer/kernel/comm faults; unrecoverable faults still
+  /// propagate.
+  Retry,
+  /// Retry, plus graceful degradation: after max_consecutive_failures
+  /// unrecoverable device faults the remaining input is processed on the
+  /// CPU (bit-identical partition); downed ranks are reassigned.
+  Fallback,
+};
+
+/// Parses "off" | "retry" | "fallback"; throws InvalidArgument otherwise.
+ResilienceMode parse_resilience_mode(const std::string& name);
+std::string_view resilience_mode_name(ResilienceMode mode);
+
+struct ResiliencePolicy {
+  ResilienceMode mode = ResilienceMode::Off;
+
+  /// Bounded retries per transient fault (transfer/kernel/comm).
+  int max_retries = 3;
+
+  /// Modeled backoff charged to the SimTimeline before retry k (1-based):
+  /// retry_backoff_seconds * 2^(k-1). Deterministic — no jitter — so the
+  /// modeled cost of a replayed fault schedule is itself replayable.
+  double retry_backoff_seconds = 1e-4;
+
+  /// Unrecoverable device faults tolerated back to back before the
+  /// remaining work degrades to the CPU (Fallback mode only).
+  int max_consecutive_failures = 2;
+
+  /// Floor for the adaptive batch backoff; OOM below this is
+  /// unrecoverable.
+  std::size_t min_batch_elements = 1;
+
+  bool enabled() const { return mode != ResilienceMode::Off; }
+  bool fallback_enabled() const { return mode == ResilienceMode::Fallback; }
+};
+
+}  // namespace gpclust::fault

@@ -33,6 +33,21 @@ class DeviceError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Transient host<->device transfer failure (e.g. injected by a
+/// FaultPlan). A DeviceError subtype so untyped handlers still catch it;
+/// the resilience layer treats it as retryable, unlike OOM.
+class TransferError : public DeviceError {
+ public:
+  using DeviceError::DeviceError;
+};
+
+/// Transient kernel-launch failure (e.g. injected by a FaultPlan).
+/// Retryable, like TransferError.
+class KernelError : public DeviceError {
+ public:
+  using DeviceError::DeviceError;
+};
+
 /// Thrown on malformed input files.
 class ParseError : public std::runtime_error {
  public:

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <numeric>
 
 #include "util/rng.hpp"
@@ -118,6 +119,116 @@ TEST(PlanBatches, Validation) {
   EXPECT_THROW(plan_batches(std::span<const u64>{}, 2, 10), InvalidArgument);
   const std::vector<u64> offsets = {0, 2};
   EXPECT_THROW(plan_batches(offsets, 2, 0), InvalidArgument);
+}
+
+TEST(ListPieces, OnePiecePerLongEnoughList) {
+  const std::vector<u64> offsets = {0, 1, 4, 4, 9};  // lens 1, 3, 0, 5
+  const auto pieces = list_pieces(offsets, 2);
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0].list_id, 1u);
+  EXPECT_EQ(pieces[0].global_begin, 1u);
+  EXPECT_EQ(pieces[0].length, 3u);
+  EXPECT_TRUE(pieces[0].starts_list && pieces[0].ends_list);
+  EXPECT_EQ(pieces[1].list_id, 3u);
+  EXPECT_EQ(pieces[1].length, 5u);
+}
+
+TEST(PlanBatchesFromPieces, MatchesDirectPlanOnRandomInputs) {
+  util::Xoshiro256 rng(20130613);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<u64> offsets = {0};
+    const std::size_t lists = 1 + rng.next_below(40);
+    for (std::size_t i = 0; i < lists; ++i) {
+      offsets.push_back(offsets.back() + rng.next_below(25));
+    }
+    const u32 s = 1 + static_cast<u32>(rng.next_below(4));
+    const std::size_t cap = 1 + rng.next_below(30);
+
+    const auto direct = plan_batches(offsets, s, cap);
+    const auto via_pieces = plan_batches_from_pieces(list_pieces(offsets, s), cap);
+    ASSERT_EQ(direct.batches.size(), via_pieces.batches.size());
+    for (std::size_t b = 0; b < direct.batches.size(); ++b) {
+      EXPECT_EQ(direct.batches[b].seg_offsets, via_pieces.batches[b].seg_offsets);
+      EXPECT_EQ(direct.batches[b].seg_list_ids, via_pieces.batches[b].seg_list_ids);
+      EXPECT_EQ(direct.batches[b].seg_global_begin,
+                via_pieces.batches[b].seg_global_begin);
+      EXPECT_EQ(direct.batches[b].seg_starts_list,
+                via_pieces.batches[b].seg_starts_list);
+      EXPECT_EQ(direct.batches[b].seg_ends_list,
+                via_pieces.batches[b].seg_ends_list);
+    }
+  }
+}
+
+TEST(RemainingPieces, SkipsConsumedAndTrimsPartialPiece) {
+  const std::vector<u64> offsets = {0, 4, 10};  // lens 4, 6
+  const auto pieces = list_pieces(offsets, 2);
+
+  // Nothing consumed: unchanged.
+  auto rest = remaining_pieces(pieces, 0);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_TRUE(rest[0].starts_list);
+
+  // First list fully consumed, second untouched.
+  rest = remaining_pieces(pieces, 4);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].list_id, 1u);
+  EXPECT_TRUE(rest[0].starts_list);
+
+  // Mid-second-list: the tail no longer starts its list (its head minima
+  // are already merged into the pending accumulator) but still ends it.
+  rest = remaining_pieces(pieces, 7);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].list_id, 1u);
+  EXPECT_EQ(rest[0].global_begin, 7u);
+  EXPECT_EQ(rest[0].length, 3u);
+  EXPECT_FALSE(rest[0].starts_list);
+  EXPECT_TRUE(rest[0].ends_list);
+
+  // Everything consumed.
+  EXPECT_TRUE(remaining_pieces(pieces, 10).empty());
+  // Consuming more than exists is a caller bug.
+  EXPECT_THROW(remaining_pieces(pieces, 11), InvalidArgument);
+}
+
+TEST(RemainingPieces, ReplanAfterPartialConsumptionCoversTheRest) {
+  // The resilient pass pattern: plan at one size, commit a batch prefix,
+  // replan the remainder at a smaller size. The new plan must cover
+  // exactly the unconsumed elements with consistent start/end flags.
+  const std::vector<u64> offsets = {0, 5, 8, 20, 22};
+  const auto pieces = list_pieces(offsets, 2);
+  const auto plan = plan_batches_from_pieces(pieces, 7);
+  ASSERT_GE(plan.batches.size(), 2u);
+
+  const std::size_t consumed = plan.batches[0].num_elements();
+  const auto rest = remaining_pieces(pieces, consumed);
+  const auto replan = plan_batches_from_pieces(rest, 3);
+
+  std::size_t rest_elems = 0;
+  for (const auto& p : rest) rest_elems += p.length;
+  EXPECT_EQ(rest_elems, plan.total_elements() - consumed);
+  EXPECT_EQ(replan.total_elements(), rest_elems);
+
+  // Each list still has exactly one starting and one ending segment over
+  // the union of committed and replanned batches.
+  std::map<u32, int> starts, ends;
+  for (std::size_t i = 0; i < plan.batches[0].num_segments(); ++i) {
+    starts[plan.batches[0].seg_list_ids[i]] +=
+        plan.batches[0].seg_starts_list[i];
+    ends[plan.batches[0].seg_list_ids[i]] += plan.batches[0].seg_ends_list[i];
+  }
+  for (const auto& b : replan.batches) {
+    for (std::size_t i = 0; i < b.num_segments(); ++i) {
+      starts[b.seg_list_ids[i]] += b.seg_starts_list[i];
+      ends[b.seg_list_ids[i]] += b.seg_ends_list[i];
+    }
+  }
+  for (const auto& [list, count] : starts) {
+    EXPECT_EQ(count, 1) << "list " << list;
+  }
+  for (const auto& [list, count] : ends) {
+    EXPECT_EQ(count, 1) << "list " << list;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,191 @@
+// Comm-layer fault injection and rank failure semantics: typed CommError
+// with rank/op identity, world abort instead of deadlock when a rank dies
+// mid-collective, per-rank retry of injected comm faults, and rank-down
+// shard reassignment with a bit-identical clustering.
+
+#include <gtest/gtest.h>
+
+#include "core/serial_pclust.hpp"
+#include "dist/dist_shingling.hpp"
+#include "graph/generators.hpp"
+#include "obs/trace.hpp"
+
+namespace gpclust::dist {
+namespace {
+
+graph::CsrGraph fault_test_graph() {
+  graph::PlantedFamilyConfig cfg;
+  cfg.num_families = 6;
+  cfg.min_family_size = 5;
+  cfg.max_family_size = 14;
+  cfg.num_singletons = 5;
+  cfg.seed = 2718;
+  return graph::generate_planted_families(cfg).graph;
+}
+
+core::ShinglingParams fault_test_params() {
+  core::ShinglingParams params;
+  params.c1 = 6;
+  params.c2 = 3;
+  return params;
+}
+
+u64 serial_digest(const graph::CsrGraph& g,
+                  const core::ShinglingParams& params) {
+  auto serial = core::SerialShingler(params).cluster(g);
+  serial.normalize();
+  return serial.digest();
+}
+
+TEST(CommFault, InjectedSendFaultIsTypedFatalWithoutResilience) {
+  const auto g = fault_test_graph();
+  const auto params = fault_test_params();
+  auto plan = fault::FaultPlan::parse("comm_fail@send:0");
+  // No hang: the failing rank aborts the world, blocked peers throw, and
+  // the originating CommError is rethrown with its rank and operation.
+  try {
+    distributed_cluster(g, params, 3, nullptr, nullptr, &plan);
+    FAIL() << "expected CommError";
+  } catch (const CommError& e) {
+    EXPECT_EQ(e.op(), "send");
+    EXPECT_LT(e.rank(), 3u);
+  }
+  EXPECT_EQ(plan.injected(), 1u);
+}
+
+TEST(CommFault, InjectedRecvFaultIsTypedFatalWithoutResilience) {
+  const auto g = fault_test_graph();
+  const auto params = fault_test_params();
+  auto plan = fault::FaultPlan::parse("comm_fail@recv:2");
+  EXPECT_THROW(distributed_cluster(g, params, 2, nullptr, nullptr, &plan),
+               CommError);
+  EXPECT_GE(plan.injected(), 1u);
+}
+
+TEST(CommFault, RetriedCommFaultsProduceIdenticalClustering) {
+  const auto g = fault_test_graph();
+  const auto params = fault_test_params();
+  const u64 expected = serial_digest(g, params);
+
+  auto plan =
+      fault::FaultPlan::parse("comm_fail@send:0,comm_fail@send:5,"
+                              "comm_fail@recv:1,comm_fail@recv:7");
+  fault::ResiliencePolicy policy;
+  policy.mode = fault::ResilienceMode::Retry;
+  obs::Tracer tracer;
+  auto result =
+      distributed_cluster(g, params, 3, nullptr, &tracer, &plan, policy);
+  result.normalize();
+  EXPECT_EQ(result.digest(), expected);
+  EXPECT_EQ(plan.injected(), 4u);
+  EXPECT_EQ(tracer.counter("comm_retries"), 4u);
+  EXPECT_EQ(tracer.counter("rank_failures"), 0u);
+}
+
+TEST(CommFault, PersistentCommFaultExhaustsRetriesIntoCommError) {
+  const auto g = fault_test_graph();
+  const auto params = fault_test_params();
+  auto plan = fault::FaultPlan::parse("comm_fail@send:0-999999");
+  fault::ResiliencePolicy policy;
+  policy.mode = fault::ResilienceMode::Retry;
+  obs::Tracer tracer;
+  EXPECT_THROW(
+      distributed_cluster(g, params, 2, nullptr, &tracer, &plan, policy),
+      CommError);
+  EXPECT_GE(tracer.counter("rank_failures"), 1u);
+}
+
+TEST(CommFault, RankDownIsFatalWithoutResilience) {
+  const auto g = fault_test_graph();
+  const auto params = fault_test_params();
+  auto plan = fault::FaultPlan::parse("rank_down@1");
+  try {
+    distributed_cluster(g, params, 3, nullptr, nullptr, &plan);
+    FAIL() << "expected CommError";
+  } catch (const CommError& e) {
+    EXPECT_EQ(e.op(), "rank_down");
+    EXPECT_EQ(e.rank(), 1u);
+  }
+}
+
+TEST(CommFault, RankDownReassignsShardsBitIdentically) {
+  const auto g = fault_test_graph();
+  const auto params = fault_test_params();
+  const u64 expected = serial_digest(g, params);
+
+  fault::ResiliencePolicy policy;
+  policy.mode = fault::ResilienceMode::Fallback;
+  for (const char* spec : {"rank_down@2", "rank_down@0,rank_down@3"}) {
+    auto plan = fault::FaultPlan::parse(spec);
+    obs::Tracer tracer;
+    DistStats stats;
+    auto result =
+        distributed_cluster(g, params, 4, &stats, &tracer, &plan, policy);
+    result.normalize();
+    EXPECT_EQ(result.digest(), expected) << spec;
+    EXPECT_EQ(stats.ranks_reassigned, plan.num_ranks_down()) << spec;
+    EXPECT_EQ(stats.num_ranks, 4 - plan.num_ranks_down()) << spec;
+    EXPECT_EQ(tracer.counter("rank_reassignments"), plan.num_ranks_down())
+        << spec;
+  }
+}
+
+TEST(CommFault, AllRanksDownIsFatalEvenWithResilience) {
+  const auto g = fault_test_graph();
+  const auto params = fault_test_params();
+  auto plan = fault::FaultPlan::parse("rank_down@0,rank_down@1");
+  fault::ResiliencePolicy policy;
+  policy.mode = fault::ResilienceMode::Fallback;
+  EXPECT_THROW(
+      distributed_cluster(g, params, 2, nullptr, nullptr, &plan, policy),
+      CommError);
+}
+
+TEST(CommFault, ForeignExceptionIsWrappedWithRankIdentity) {
+  try {
+    run_ranks(3, [](Communicator& comm) {
+      comm.barrier();
+      if (comm.rank() == 1) throw std::logic_error("rank 1 exploded");
+      // The other ranks block on a message that will never come; the
+      // abort must wake them instead of deadlocking the join.
+      if (comm.rank() != 1) comm.recv<u32>(1, 42);
+    });
+    FAIL() << "expected CommError";
+  } catch (const CommError& e) {
+    EXPECT_EQ(e.rank(), 1u);
+    EXPECT_EQ(e.op(), "rank_main");
+    EXPECT_NE(std::string(e.what()).find("rank 1 exploded"),
+              std::string::npos);
+  }
+}
+
+TEST(CommFault, AbortUnblocksBarrierWaiters) {
+  try {
+    run_ranks(3, [](Communicator& comm) {
+      if (comm.rank() == 0) throw std::runtime_error("early death");
+      comm.barrier();  // rank 0 never arrives
+    });
+    FAIL() << "expected CommError";
+  } catch (const CommError& e) {
+    EXPECT_EQ(e.rank(), 0u);
+  }
+}
+
+TEST(CommFault, RankFailureIsCountedOnTracer) {
+  obs::Tracer tracer;
+  RankRunOptions options;
+  options.tracer = &tracer;
+  EXPECT_THROW(run_ranks(
+                   2,
+                   [](Communicator& comm) {
+                     if (comm.rank() == 1) {
+                       throw std::runtime_error("boom");
+                     }
+                   },
+                   options),
+               CommError);
+  EXPECT_EQ(tracer.counter("rank_failures"), 1u);
+}
+
+}  // namespace
+}  // namespace gpclust::dist

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include "core/gpclust.hpp"
+#include "device/device_vector.hpp"
+#include "fault/fault_plan.hpp"
 #include "graph/generators.hpp"
 #include "obs/trace.hpp"
 
@@ -87,6 +89,74 @@ TEST(ArenaLeak, EmptyAfterMidRunOutOfMemoryError) {
   EXPECT_EQ(tracer.counter("arena_peak_bytes"), ctx.arena().peak());
   // The scoped tracer binding is undone even on the error path.
   EXPECT_EQ(ctx.tracer(), nullptr);
+}
+
+TEST(ArenaLeak, EmptyAfterMidTransferFaults) {
+  const auto g = leak_test_graph();
+  const auto params = leak_test_params();
+
+  // Kill the pipeline at a transfer (H2D, then D2H) while device buffers
+  // are live: the strong exception guarantee of DeviceVector plus RAII
+  // unwind must leave the arena empty even though the fault fired between
+  // an allocation and its matching release.
+  for (const char* spec :
+       {"xfer_fail@h2d:0", "xfer_fail@h2d:3", "xfer_fail@d2h:1",
+        "kernel_fail@kernel:7"}) {
+    auto plan = fault::FaultPlan::parse(spec);
+    device::DeviceContext ctx(device::DeviceSpec::small_test_device(4 << 20));
+    obs::Tracer tracer;
+    core::GpClustOptions options;
+    options.max_batch_elements = 73;
+    options.tracer = &tracer;
+    options.fault_plan = &plan;
+    core::GpClust gp(ctx, params, options);
+    EXPECT_THROW(gp.cluster(g), DeviceError) << spec;
+
+    EXPECT_EQ(ctx.arena().used(), 0u) << spec;
+    EXPECT_EQ(ctx.arena().num_allocations(), 0u) << spec;
+    EXPECT_EQ(tracer.counter("faults_injected"), 1u) << spec;
+    // Scoped bindings undone on the error path.
+    EXPECT_EQ(ctx.tracer(), nullptr) << spec;
+    EXPECT_EQ(ctx.fault_plan(), nullptr) << spec;
+  }
+}
+
+TEST(ArenaLeak, EmptyAfterEveryResilienceRecoveryPath) {
+  const auto g = leak_test_graph();
+  const auto params = leak_test_params();
+
+  // Recovery (not just unwind) must also keep the arena clean: replans,
+  // retries and the CPU fallback all drain every device allocation.
+  for (const char* spec :
+       {"oom@alloc:3", "xfer_fail@h2d:2,xfer_fail@d2h:4",
+        "kernel_fail@kernel:0-999999"}) {
+    auto plan = fault::FaultPlan::parse(spec);
+    device::DeviceContext ctx(device::DeviceSpec::small_test_device(4 << 20));
+    core::GpClustOptions options;
+    options.max_batch_elements = 73;
+    options.fault_plan = &plan;
+    options.resilience.mode = fault::ResilienceMode::Fallback;
+    core::GpClust(ctx, params, options).cluster(g);
+
+    EXPECT_EQ(ctx.arena().used(), 0u) << spec;
+    EXPECT_EQ(ctx.arena().num_allocations(), 0u) << spec;
+  }
+}
+
+TEST(ArenaLeak, DeviceVectorConstructionFaultReleasesReservation) {
+  device::DeviceContext ctx(device::DeviceSpec::small_test_device(1 << 20));
+  {
+    auto plan = fault::FaultPlan::parse("oom@alloc:1");
+    ctx.set_fault_plan(&plan);
+    device::DeviceVector<u64> ok(ctx, 128);  // alloc #0 succeeds
+    EXPECT_EQ(ctx.arena().used(), 128 * sizeof(u64));
+    EXPECT_THROW(device::DeviceVector<u64>(ctx, 64), DeviceError);
+    // The failed vector holds nothing; only `ok` remains accounted.
+    EXPECT_EQ(ctx.arena().used(), 128 * sizeof(u64));
+    EXPECT_EQ(ctx.arena().num_allocations(), 1u);
+    ctx.set_fault_plan(nullptr);
+  }
+  EXPECT_EQ(ctx.arena().used(), 0u);
 }
 
 }  // namespace

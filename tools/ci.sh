@@ -22,4 +22,10 @@ cmake --build --preset asan
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
   ./build-asan/tests/gpclust_tests
 
+echo "=== tier 3: chaos — randomized fault schedules under ASan ==="
+# Reuses the asan preset build; the chaos suite is the ctest label
+# (equivalently: ctest --test-dir build-asan -L chaos).
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ./build-asan/tests/gpclust_chaos_tests
+
 echo "=== CI passed ==="

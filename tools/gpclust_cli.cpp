@@ -26,6 +26,16 @@
 //   --trace-out=PATH       write a chrome://tracing JSON of the run (spans
 //                          labeled host_measured / device_modeled) and
 //                          print the per-phase summary table to stderr
+//   --fault-plan=SPEC      deterministic fault injection (gpu engine).
+//                          SPEC is comma-separated KIND@SITE:IDX entries:
+//                            oom@alloc:IDX, xfer_fail@h2d:IDX,
+//                            xfer_fail@d2h:IDX, kernel_fail@kernel:IDX
+//                          IDX = 0-based call index N or range N-M.
+//                          Fault counters are printed to stderr.
+//   --resilience=MODE      off: first fault is fatal (default);
+//                          retry: bounded retries, fatal when exhausted;
+//                          fallback: retries, then bit-identical CPU
+//                          fallback — the run always completes
 
 #include <cstdio>
 
@@ -69,10 +79,15 @@ int main(int argc, char** argv) {
     const auto graph_path = args.get_string("graph", "");
     const auto demo_vertices = args.get_int("demo", 0);
     if (graph_path.empty() && demo_vertices <= 0) {
-      std::fprintf(stderr,
-                   "usage: gpclust --graph=PATH | --demo=N [--out=PATH] "
-                   "[--engine=gpu|serial] [--s1 N --c1 N --s2 N --c2 N] "
-                   "[--components] [--trace-out=PATH]\n");
+      std::fprintf(
+          stderr,
+          "usage: gpclust --graph=PATH | --demo=N [--out=PATH] "
+          "[--engine=gpu|serial] [--s1 N --c1 N --s2 N --c2 N] "
+          "[--components] [--trace-out=PATH] "
+          "[--fault-plan=SPEC] [--resilience=off|retry|fallback]\n"
+          "fault-plan spec: comma-separated KIND@SITE:IDX with KIND@SITE in "
+          "{oom@alloc, xfer_fail@h2d, xfer_fail@d2h, kernel_fail@kernel} and "
+          "IDX a 0-based call index N or inclusive range N-M\n");
       return 2;
     }
 
@@ -105,9 +120,19 @@ int main(int argc, char** argv) {
     const auto trace_out = args.get_string("trace-out", "");
     obs::Tracer tracer;
     obs::Tracer* tracer_ptr = trace_out.empty() ? nullptr : &tracer;
+    const auto fault_spec = args.get_string("fault-plan", "");
+    fault::FaultPlan fault_plan;
     core::GpClustOptions options;
     options.async = args.get_bool("async", false);
     options.tracer = tracer_ptr;
+    if (!fault_spec.empty()) {
+      fault_plan = fault::FaultPlan::parse(fault_spec);
+      options.fault_plan = &fault_plan;
+      // Fault counters need a tracer even when no trace file is written.
+      if (options.tracer == nullptr) options.tracer = &tracer;
+    }
+    options.resilience.mode =
+        fault::parse_resilience_mode(args.get_string("resilience", "off"));
 
     auto cluster_graph = [&](const graph::CsrGraph& input,
                              core::GpClustReport* report) {
@@ -154,6 +179,21 @@ int main(int argc, char** argv) {
                   "%.2fs | device makespan %.2fs\n",
                   report.cpu_seconds, report.gpu_seconds, report.h2d_seconds,
                   report.d2h_seconds, report.device_makespan);
+    }
+
+    if (!fault_spec.empty()) {
+      std::fprintf(stderr,
+                   "fault plan \"%s\" (resilience %s): %llu faults injected, "
+                   "%llu retries, %llu batch replans, %llu cpu fallbacks\n",
+                   fault_plan.to_string().c_str(),
+                   std::string(fault::resilience_mode_name(options.resilience.mode))
+                       .c_str(),
+                   static_cast<unsigned long long>(fault_plan.injected()),
+                   static_cast<unsigned long long>(tracer.counter("retries")),
+                   static_cast<unsigned long long>(
+                       tracer.counter("batch_replans")),
+                   static_cast<unsigned long long>(
+                       tracer.counter("cpu_fallbacks")));
     }
 
     if (tracer_ptr != nullptr) {
