@@ -10,9 +10,40 @@ namespace gpclust::core {
 
 namespace {
 
-/// Streams used by the pass: kernels and H2D on 0, async D2H on 1.
-constexpr device::StreamId kComputeStream = 0;
-constexpr device::StreamId kCopyStream = 1;
+/// One pipeline lane: a (compute, copy) stream pair plus the device
+/// buffers of the batch currently in flight on it. The buffers outlive the
+/// batch's (synchronously executed) computation until the lane is reused —
+/// or a fault drains the pipeline — so the arena accounts for every batch
+/// the modeled schedule keeps co-resident, exactly like real
+/// double-buffered staging would.
+struct Lane {
+  device::StreamId compute = device::kDefaultStream;
+  device::StreamId copy = device::kDefaultStream;
+
+  struct Buffers {
+    device::DeviceVector<u32> members;
+    device::DeviceVector<u64> offsets;
+    device::DeviceVector<u64> perm;
+    device::DeviceVector<u64> minima[2];
+
+    bool live() const { return members.context() != nullptr; }
+  } buffers;
+};
+
+/// Lane layout for a stream budget k: L = ceil(k/2) lanes, lane l
+/// computing on stream 2l and copying on stream 2l+1 (the last lane shares
+/// one stream when k is odd; k=1 degenerates to the fully synchronous
+/// single-stream schedule).
+std::vector<Lane> make_lanes(std::size_t num_streams) {
+  const std::size_t count = num_streams / 2 + num_streams % 2;
+  std::vector<Lane> lanes(count);
+  for (std::size_t l = 0; l < count; ++l) {
+    lanes[l].compute = static_cast<device::StreamId>(2 * l);
+    lanes[l].copy = static_cast<device::StreamId>(
+        std::min(2 * l + 1, num_streams - 1));
+  }
+  return lanes;
+}
 
 /// Per-split-list accumulator: s minima per trial, merged piece by piece.
 struct PendingList {
@@ -87,12 +118,11 @@ BatchEffects process_batch_device(device::DeviceContext& ctx,
                                   const Batch& batch,
                                   std::span<const u32> members,
                                   const HashFamily& family, u32 s,
-                                  const DevicePassOptions& options,
                                   util::MetricsRegistry& reg,
                                   const std::string& cpu_metric,
                                   obs::Tracer* tracer,
                                   const std::string& trace_phase,
-                                  const PendingMap& committed,
+                                  const PendingMap& committed, Lane& lane,
                                   std::vector<u32>& staging,
                                   std::vector<u64>& host_minima) {
   BatchEffects fx;
@@ -106,20 +136,21 @@ BatchEffects process_batch_device(device::DeviceContext& ctx,
     batch.stage(members, staging);
   }
 
-  // Upload members and segment boundaries once per batch.
-  device::DeviceVector<u32> d_members(ctx, nelems);
-  device::copy_to_device<u32>(d_members, staging, kComputeStream);
-  device::DeviceVector<u64> d_offsets(ctx, nsegs + 1);
-  device::copy_to_device<u64>(d_offsets, batch.seg_offsets, kComputeStream);
+  // Upload members and segment boundaries once per batch, into the lane's
+  // in-flight buffer set (kept allocated until the lane is reused).
+  Lane::Buffers& bufs = lane.buffers;
+  bufs.members = device::DeviceVector<u32>(ctx, nelems);
+  device::copy_to_device<u32>(bufs.members, staging, lane.compute);
+  bufs.offsets = device::DeviceVector<u64>(ctx, nsegs + 1);
+  device::copy_to_device<u64>(bufs.offsets, batch.seg_offsets, lane.compute);
 
-  device::DeviceVector<u64> d_perm(ctx, nelems);
-  // Double-buffered minima so an async D2H can overlap the next trial.
-  device::DeviceVector<u64> d_minima[2] = {
-      device::DeviceVector<u64>(ctx, nsegs * s),
-      device::DeviceVector<u64>(ctx, nsegs * s)};
+  bufs.perm = device::DeviceVector<u64>(ctx, nelems);
+  // Double-buffered minima so a copy-stream D2H can overlap the next trial.
+  bufs.minima[0] = device::DeviceVector<u64>(ctx, nsegs * s);
+  bufs.minima[1] = device::DeviceVector<u64>(ctx, nsegs * s);
   double copy_done[2] = {0.0, 0.0};
 
-  const auto seg_span = d_offsets.device_span();
+  const auto seg_span = bufs.offsets.device_span();
 
   for (u32 j = 0; j < c; ++j) {
     const std::size_t buf = j % 2;
@@ -127,26 +158,25 @@ BatchEffects process_batch_device(device::DeviceContext& ctx,
 
     // hi() over every member of the batch (thrust::transform).
     device::transform(
-        d_members, d_perm, [h](u32 v) { return h(v); }, kComputeStream);
+        bufs.members, bufs.perm, [h](u32 v) { return h(v); }, lane.compute);
     // Per-segment sort (thrust-style segmented sort).
-    device::segmented_sort(d_perm, batch.seg_offsets, kComputeStream);
+    device::segmented_sort(bufs.perm, batch.seg_offsets, lane.compute);
     // Top-s selection into the trial's minima buffer. Must wait until
     // the previous copy out of this buffer has completed.
-    const auto perm_span = d_perm.device_span();
+    const auto perm_span = bufs.perm.device_span();
     const u32 s_local = s;
     const double select_done = device::tabulate(
-        d_minima[buf],
+        bufs.minima[buf],
         [perm_span, seg_span, s_local](std::size_t i) {
           const std::size_t seg = i / s_local;
           const u64 pos = seg_span[seg] + (i % s_local);
           return pos < seg_span[seg + 1] ? perm_span[pos] : kNoValue;
         },
-        kComputeStream, copy_done[buf]);
+        lane.compute, copy_done[buf]);
 
     host_minima.resize(nsegs * s);
-    copy_done[buf] = device::copy_to_host<u64>(
-        host_minima, d_minima[buf],
-        options.async ? kCopyStream : kComputeStream, select_done);
+    copy_done[buf] = device::copy_to_host<u64>(host_minima, bufs.minima[buf],
+                                               lane.copy, select_done);
 
     // CPU consumes the trial's minima: merge split pieces, hash complete
     // lists into tuples (Figure 3, step 2 + the split-list merge).
@@ -190,21 +220,26 @@ void process_pieces_cpu(std::span<const ListPiece> pieces,
 
 void charge_retry_backoff(device::DeviceContext& ctx,
                           const fault::ResiliencePolicy& policy, int attempt,
-                          const std::string& trace_phase) {
+                          const std::string& trace_phase,
+                          device::StreamId stream) {
   obs::DevicePhaseScope scope(ctx.tracer(), trace_phase + ".retry");
+  ctx.timeline().ensure_streams(stream + 1);
   const double backoff = policy.retry_backoff_seconds *
                          static_cast<double>(u64{1} << (attempt - 1));
-  ctx.timeline().enqueue(kComputeStream, device::OpKind::Kernel, backoff);
+  ctx.timeline().enqueue(stream, device::OpKind::Kernel, backoff);
 }
 
-std::size_t default_batch_elements(const device::DeviceContext& ctx, u32 s) {
+std::size_t default_batch_elements(const device::DeviceContext& ctx, u32 s,
+                                   std::size_t lanes) {
   // Per member element: u32 member + u64 permuted image = 12 bytes. The
   // minima buffers are 2 * num_segments * s * 8 bytes; in the worst case
   // every segment holds a single element, so bound them by 16*s bytes per
   // element. Offsets add 8 bytes per segment. Use half the free memory to
-  // leave headroom for the auxiliary structures.
+  // leave headroom for the auxiliary structures, split across the lanes
+  // whose batches the pipeline keeps co-resident.
   const std::size_t per_element = 12 + 16 * static_cast<std::size_t>(s) + 8;
-  const std::size_t budget = ctx.arena().available() / 2;
+  const std::size_t budget =
+      ctx.arena().available() / (2 * std::max<std::size_t>(1, lanes));
   return std::max<std::size_t>(1, budget / per_element);
 }
 
@@ -224,10 +259,16 @@ ShingleTuples extract_shingles_device(device::DeviceContext& ctx,
   obs::Tracer* tracer = ctx.tracer();
   obs::DevicePhaseScope phase_scope(tracer, trace_phase);
 
+  const std::size_t num_streams = options.effective_streams();
+  GPCLUST_CHECK(num_streams >= 1, "need at least one device stream");
+  ctx.timeline().ensure_streams(num_streams);
+  std::vector<Lane> lanes = make_lanes(num_streams);
+
   const fault::ResiliencePolicy& policy = options.resilience;
   std::size_t cur_max =
-      options.max_batch_elements > 0 ? options.max_batch_elements
-                                     : default_batch_elements(ctx, s);
+      options.max_batch_elements > 0
+          ? options.max_batch_elements
+          : default_batch_elements(ctx, s, lanes.size());
 
   std::vector<ListPiece> pieces;
   {
@@ -242,8 +283,10 @@ ShingleTuples extract_shingles_device(device::DeviceContext& ctx,
   std::vector<u64> host_minima;
 
   DevicePassStats run_stats;
+  run_stats.num_lanes = lanes.size();
   int consecutive_failures = 0;
   bool cpu_mode = false;
+  std::size_t next_lane = 0;
 
   while (!pieces.empty() && !cpu_mode) {
     BatchPlan plan;
@@ -257,11 +300,16 @@ ShingleTuples extract_shingles_device(device::DeviceContext& ctx,
     bool replan = false;
     for (const Batch& batch : plan.batches) {
       int attempt = 0;
+      Lane& lane = lanes[next_lane];
       for (;;) {
+        // Reusing a lane retires its previous in-flight batch: the modeled
+        // schedule can no longer overlap that batch, so its device buffers
+        // return to the arena before this batch allocates.
+        lane.buffers = Lane::Buffers{};
         try {
           BatchEffects fx = process_batch_device(
-              ctx, batch, members, family, s, options, reg, cpu_metric,
-              tracer, trace_phase, pending, staging, host_minima);
+              ctx, batch, members, family, s, reg, cpu_metric, tracer,
+              trace_phase, pending, lane, staging, host_minima);
           {
             util::ScopedTimer t(reg, cpu_metric);
             commit_effects(std::move(fx), tuples, pending);
@@ -274,18 +322,41 @@ ShingleTuples extract_shingles_device(device::DeviceContext& ctx,
           ++run_stats.num_batches;
           consumed += batch.num_elements();
           consecutive_failures = 0;
+          next_lane = (next_lane + 1) % lanes.size();
           break;
         } catch (const DeviceError& e) {
+          // A fault drains the pipeline: every lane's in-flight buffers are
+          // released before the recovery ladder runs, so retries and
+          // replans see the arena exactly as a fresh pass would. With one
+          // lane nothing else is ever in flight and the ladder below is
+          // byte-for-byte the non-pipelined behavior.
+          bool others_held = false;
+          for (std::size_t l = 0; l < lanes.size(); ++l) {
+            if (l != next_lane && lanes[l].buffers.live()) others_held = true;
+            lanes[l].buffers = Lane::Buffers{};
+          }
+          if (others_held) {
+            ++run_stats.num_pipeline_drains;
+            obs::add_counter(tracer, "pipeline_drains", 1);
+          }
           if (!policy.enabled()) throw;
           const bool transient = dynamic_cast<const TransferError*>(&e) ||
                                  dynamic_cast<const KernelError*>(&e);
           if (transient && attempt < policy.max_retries) {
             // Bounded retry of the whole (uncommitted) batch, with the
-            // deterministic backoff charged to the modeled timeline.
+            // deterministic backoff charged to the faulted lane's compute
+            // stream on the modeled timeline.
             ++attempt;
-            charge_retry_backoff(ctx, policy, attempt, trace_phase);
+            charge_retry_backoff(ctx, policy, attempt, trace_phase,
+                                 lane.compute);
             ++run_stats.num_retries;
             obs::add_counter(tracer, "retries", 1);
+            continue;
+          }
+          if (!transient && others_held) {
+            // Structural OOM while other batches were co-resident: the
+            // drain just returned their memory, so retry at the same size
+            // before concluding the batch size itself is the problem.
             continue;
           }
           if (!transient && cur_max > policy.min_batch_elements) {

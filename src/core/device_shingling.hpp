@@ -11,11 +11,18 @@
 // them into <shingle, owner> tuples ("it is safe to transfer the generated
 // shingles back to the host memory after each iteration").
 //
-// In async mode the D2H copies run on a second stream with double-buffered
-// minima, modeling the CUDA-stream overlap the paper names as future work.
+// Stream pipelining (DESIGN.md §8): the pass schedules batches over
+// `num_streams` device streams organized as lanes — each lane a
+// (compute, copy) stream pair holding one batch in flight, with the
+// trial minima double-buffered inside the lane so D2H copies overlap the
+// next trial's kernels, and up to lane-count batches co-resident so batch
+// i's D2H overlaps batch i+1's H2D and kernels. num_streams=1 is the
+// paper's synchronous Thrust behavior; num_streams=2 is the legacy
+// `async` mode (one lane, dedicated copy stream).
 
 #include "core/batching.hpp"
 #include "core/minhash.hpp"
+#include "core/params.hpp"
 #include "core/shingle_graph.hpp"
 #include "device/device_context.hpp"
 #include "fault/resilience.hpp"
@@ -25,38 +32,59 @@ namespace gpclust::core {
 
 struct DevicePassOptions {
   std::size_t max_batch_elements = 0;  ///< 0: derive from device memory
-  bool async = false;                  ///< overlap D2H with compute
+
+  /// Deprecated alias for num_streams=2 (kept so existing callers keep
+  /// their meaning): overlap D2H with compute on a second stream. Ignored
+  /// when num_streams is set explicitly (> 0).
+  bool async = false;
+
+  /// Device streams available to the pipeline scheduler; 0 derives from
+  /// `async` (2 when set, else 1). See PipelineParams::num_streams.
+  std::size_t num_streams = 0;
 
   /// How the pass reacts to device faults (injected or real): adaptive
   /// batch backoff on OOM, bounded retries for transient transfer/kernel
   /// faults, and (in Fallback mode) bit-identical CPU processing of the
-  /// remaining pieces after repeated unrecoverable faults.
+  /// remaining pieces after repeated unrecoverable faults. Faults compose
+  /// with the stream pipeline by draining every in-flight batch buffer
+  /// before the recovery ladder runs (see DevicePassStats).
   fault::ResiliencePolicy resilience;
+
+  /// Streams the pass will actually use (resolves the async alias).
+  std::size_t effective_streams() const {
+    return num_streams > 0 ? num_streams : (async ? 2 : 1);
+  }
 };
 
 struct DevicePassStats {
   std::size_t num_batches = 0;
   std::size_t num_split_lists = 0;
   std::size_t num_tuples = 0;
+  std::size_t num_lanes = 0;  ///< pipeline lanes used ((streams + 1) / 2)
 
   // Recovery bookkeeping (all zero on a fault-free run).
   std::size_t num_retries = 0;       ///< transient-fault batch retries
   std::size_t num_batch_replans = 0; ///< OOM-driven batch-size halvings
+  std::size_t num_pipeline_drains = 0; ///< faults that flushed in-flight lanes
   bool cpu_fallback = false;         ///< pass finished on the CPU
 };
 
 /// Charges the deterministic retry backoff for (1-based) retry `attempt`
-/// to the context's modeled timeline, attributed to phase
-/// "<trace_phase>.retry" when a tracer is attached — so retry cost is
-/// part of modeled device time and visible in the exported trace.
+/// to the context's modeled timeline on `stream` (the faulted batch's
+/// compute stream, so the stall lands in the right lane), attributed to
+/// phase "<trace_phase>.retry" when a tracer is attached — so retry cost
+/// is part of modeled device time and visible in the exported trace.
 void charge_retry_backoff(device::DeviceContext& ctx,
                           const fault::ResiliencePolicy& policy, int attempt,
-                          const std::string& trace_phase);
+                          const std::string& trace_phase,
+                          device::StreamId stream = device::kDefaultStream);
 
 /// Derives the largest safe batch size (in member elements) from the
 /// device's free memory, accounting for the member, permutation, offset
-/// and double-buffered minima arrays.
-std::size_t default_batch_elements(const device::DeviceContext& ctx, u32 s);
+/// and double-buffered minima arrays — of `lanes` co-resident batches when
+/// the pipeline keeps several in flight.
+std::size_t default_batch_elements(const device::DeviceContext& ctx, u32 s,
+                                   std::size_t lanes = 1);
 
 /// Runs one full shingling pass on the device over CSR-style lists
 /// (left node i owns members[offsets[i]..offsets[i+1])). Produces exactly

@@ -54,6 +54,7 @@ class ScopedDeviceFault {
 BipartiteShingleGraph aggregate_resilient(device::DeviceContext& ctx,
                                           ShingleTuples&& tuples,
                                           const fault::ResiliencePolicy& policy,
+                                          u32 agg_shards,
                                           util::MetricsRegistry& reg,
                                           obs::Tracer* tracer,
                                           const std::string& trace_phase) {
@@ -80,7 +81,7 @@ BipartiteShingleGraph aggregate_resilient(device::DeviceContext& ctx,
       obs::add_counter(tracer, "cpu_fallbacks", 1);
       util::ScopedTimer t(reg, "cpu");
       obs::HostSpan span(tracer, trace_phase + ".cpu_fallback");
-      return aggregate_tuples(std::move(tuples));
+      return aggregate_tuples_sharded(std::move(tuples), agg_shards);
     }
   }
 }
@@ -118,9 +119,14 @@ Clustering GpClust::run(const graph::CsrGraph& g, GpClustReport* report,
   ScopedDeviceFault bind_fault(ctx_, options_.fault_plan);
   obs::add_counter(tracer, "sequences", g.num_vertices());
 
+  options_.pipeline.validate();
   util::MetricsRegistry reg;
   DevicePassOptions pass_options;
   pass_options.async = options_.async;
+  // An explicit stream budget (> 1) wins over the deprecated async alias;
+  // the default of 1 leaves the alias meaningful (0 = derive from async).
+  pass_options.num_streams =
+      options_.pipeline.num_streams > 1 ? options_.pipeline.num_streams : 0;
   pass_options.max_batch_elements = options_.max_batch_elements;
   pass_options.resilience = options_.resilience;
 
@@ -142,11 +148,13 @@ Clustering GpClust::run(const graph::CsrGraph& g, GpClustReport* report,
     // Host merge/group time accrues to "cpu" inside; the radix sort is
     // device work on the modeled timeline.
     gi = aggregate_resilient(ctx_, std::move(tuples1), options_.resilience,
-                             reg, tracer, "aggregate1");
+                             options_.pipeline.agg_shards, reg, tracer,
+                             "aggregate1");
   } else {
     util::ScopedTimer t(reg, "cpu");
     obs::HostSpan span(tracer, "aggregate1");
-    gi = aggregate_tuples(std::move(tuples1));
+    gi = aggregate_tuples_sharded(std::move(tuples1),
+                                  options_.pipeline.agg_shards);
   }
   obs::add_counter(tracer, "shingles", gi.num_left());
 
@@ -162,11 +170,13 @@ Clustering GpClust::run(const graph::CsrGraph& g, GpClustReport* report,
     BipartiteShingleGraph gii;
     if (options_.device_aggregation) {
       gii = aggregate_resilient(ctx_, std::move(tuples2), options_.resilience,
-                                reg, tracer, "aggregate2");
+                                options_.pipeline.agg_shards, reg, tracer,
+                                "aggregate2");
     } else {
       util::ScopedTimer t(reg, "cpu");
       obs::HostSpan span(tracer, "aggregate2");
-      gii = aggregate_tuples(std::move(tuples2));
+      gii = aggregate_tuples_sharded(std::move(tuples2),
+                                     options_.pipeline.agg_shards);
     }
     obs::add_counter(tracer, "shingles", gii.num_left());
     util::ScopedTimer t(reg, "cpu");
@@ -181,6 +191,9 @@ Clustering GpClust::run(const graph::CsrGraph& g, GpClustReport* report,
     report->d2h_seconds = ctx_.d2h_seconds();
     report->disk_seconds = disk_seconds;
     report->device_makespan = ctx_.makespan();
+    report->gpu_exposed_seconds = ctx_.gpu_exposed_seconds();
+    report->h2d_exposed_seconds = ctx_.h2d_exposed_seconds();
+    report->d2h_exposed_seconds = ctx_.d2h_exposed_seconds();
     report->pass1 = stats1;
     report->pass2 = stats2;
   }

@@ -24,10 +24,19 @@ class Tracer;
 namespace gpclust::core {
 
 struct GpClustOptions {
-  /// Overlap device->host shingle transfers with the next trial's kernels
-  /// (the asynchronous mode the paper lists as future work). Results are
-  /// identical; only the modeled device makespan changes.
+  /// Deprecated alias for pipeline.num_streams = 2 (kept so existing
+  /// callers keep their meaning): overlap device->host shingle transfers
+  /// with the next trial's kernels. Ignored when pipeline.num_streams is
+  /// set above 1.
   bool async = false;
+
+  /// Execution shape of the CPU-GPU pipeline (DESIGN.md §8): device
+  /// streams for the batch scheduler and hash-prefix shards for the
+  /// CPU-side tuple aggregation. Neither knob changes the clustering
+  /// result — only modeled device time and measured host time. The shard
+  /// count applies to the CPU aggregation path (including the resilience
+  /// fallback of device aggregation); the device radix sort is unsharded.
+  PipelineParams pipeline;
 
   /// Cap on member elements per device batch; 0 derives it from free
   /// device memory. Tests use small values to force splits.
@@ -70,6 +79,14 @@ struct GpClustReport {
   double d2h_seconds = 0.0;       ///< modeled Data_g->c
   double disk_seconds = 0.0;      ///< measured input-load time (if any)
   double device_makespan = 0.0;   ///< modeled device wall (respects overlap)
+
+  /// Critical-path decomposition of the makespan (the three sum to
+  /// device_makespan): modeled seconds each component actually added to
+  /// the device wall clock after stream overlap hid the rest. The busy
+  /// columns above ignore overlap; busy - exposed is the overlap won.
+  double gpu_exposed_seconds = 0.0;
+  double h2d_exposed_seconds = 0.0;
+  double d2h_exposed_seconds = 0.0;
 
   DevicePassStats pass1;
   DevicePassStats pass2;

@@ -18,6 +18,39 @@ enum class ReportMode {
   Partition,
 };
 
+/// Execution-shape knobs of the CPU-GPU pipeline (DESIGN.md §8): how many
+/// device streams the batch scheduler pipelines over, and how many
+/// hash-prefix shards the host-side tuple aggregation uses. Neither knob
+/// affects the clustering result — the bit-identity invariant (§5.1) holds
+/// for every combination — only modeled device time (streams) and measured
+/// host time (shards).
+struct PipelineParams {
+  /// Device streams available to the batch pipeline.
+  ///   1  — fully synchronous (the paper's Thrust behavior): every op on
+  ///        one stream, makespan == sum of all modeled durations.
+  ///   2  — one lane with a dedicated copy stream: D2H copies double-buffer
+  ///        behind the next trial's kernels (the legacy `async` mode).
+  ///   2L — L lanes, each a (compute, copy) stream pair: up to L batches
+  ///        in flight, so batch i's D2H overlaps batch i+1's H2D and
+  ///        kernels. Odd counts: the last lane shares one stream for
+  ///        compute and copies.
+  std::size_t num_streams = 1;
+
+  /// Hash-prefix shards of the CPU tuple aggregation. 1 = the flat gather
+  /// sort; >1 = shard-by-shingle-prefix (cache-sized sorts, one scatter
+  /// allocation). Values beyond the tuple count waste nothing — empty
+  /// shards are skipped.
+  u32 agg_shards = 1;
+
+  /// Lane count implied by num_streams (ceil(num_streams / 2)).
+  std::size_t num_lanes() const { return num_streams / 2 + num_streams % 2; }
+
+  void validate() const {
+    GPCLUST_CHECK(num_streams >= 1, "need at least one device stream");
+    GPCLUST_CHECK(agg_shards >= 1, "need at least one aggregation shard");
+  }
+};
+
 struct ShinglingParams {
   u32 s1 = 2;   ///< shingle size, first level
   u32 c1 = 200; ///< number of random trials, first level

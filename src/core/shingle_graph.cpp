@@ -54,4 +54,51 @@ BipartiteShingleGraph aggregate_tuples(ShingleTuples&& tuples) {
   return detail::group_packed(std::move(packed));
 }
 
+namespace {
+
+/// Monotone multiply-shift bucket map: floor(shingle * shards / 2^64).
+/// Shingle ids are (salted) hashes, so they spread uniformly over the u64
+/// range and the shards come out balanced without any sampling pass.
+inline u32 shard_of(ShingleId shingle, u32 shards) {
+  return static_cast<u32>(
+      (static_cast<__uint128_t>(shingle) * shards) >> 64);
+}
+
+}  // namespace
+
+BipartiteShingleGraph aggregate_tuples_sharded(ShingleTuples&& tuples,
+                                               u32 shards) {
+  if (shards <= 1) return aggregate_tuples(std::move(tuples));
+  const std::size_t n = tuples.size();
+  GPCLUST_CHECK(tuples.owner.size() == n, "tuple arrays out of sync");
+
+  // Counting-sort scatter: one histogram pass, a prefix sum, then every
+  // tuple placed straight into its shard's region of a single packed
+  // allocation — no per-shard vectors, no reallocation.
+  std::vector<std::size_t> bounds(static_cast<std::size_t>(shards) + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ++bounds[shard_of(tuples.shingle[i], shards) + 1];
+  }
+  for (u32 sh = 0; sh < shards; ++sh) bounds[sh + 1] += bounds[sh];
+
+  std::vector<__uint128_t> packed(n);
+  std::vector<std::size_t> cursor(bounds.begin(), bounds.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const u32 sh = shard_of(tuples.shingle[i], shards);
+    packed[cursor[sh]++] = detail::pack_tuple(tuples.shingle[i], tuples.owner[i]);
+  }
+  tuples.shingle.clear();
+  tuples.shingle.shrink_to_fit();
+  tuples.owner.clear();
+  tuples.owner.shrink_to_fit();
+
+  // Each shard sorts independently (cache-sized working sets); because the
+  // shard map is monotone, the concatenation is already globally sorted.
+  for (u32 sh = 0; sh < shards; ++sh) {
+    std::sort(packed.begin() + static_cast<std::ptrdiff_t>(bounds[sh]),
+              packed.begin() + static_cast<std::ptrdiff_t>(bounds[sh + 1]));
+  }
+  return detail::group_packed(std::move(packed));
+}
+
 }  // namespace gpclust::core

@@ -5,7 +5,10 @@ namespace gpclust::device {
 DeviceContext::DeviceContext(DeviceSpec spec, util::ThreadPool* pool)
     : spec_(std::move(spec)),
       arena_(spec_.global_memory_bytes),
-      timeline_(/*num_streams=*/4),
+      // Engine-exclusive: one compute front-end plus one DMA engine per
+      // copy direction, like the K20's — streams overlap across kinds but
+      // same-kind ops serialize (DESIGN.md §8).
+      timeline_(/*num_streams=*/4, /*engine_exclusive=*/true),
       pool_(pool ? pool : &util::default_thread_pool()) {}
 
 double DeviceContext::transform_cost(std::size_t elements) const {

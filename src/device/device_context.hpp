@@ -46,6 +46,18 @@ class DeviceContext {
   double d2h_seconds() const { return timeline_.busy(OpKind::CopyD2H); }
   /// Modeled device-side wall time respecting stream overlap.
   double makespan() const { return timeline_.makespan(); }
+  /// Critical-path (non-overlapped) seconds per component: the share of the
+  /// makespan attributable to kernels / H2D / D2H after stream overlap.
+  /// The three sum to makespan(); see SimTimeline::exposed.
+  double gpu_exposed_seconds() const {
+    return timeline_.exposed(OpKind::Kernel);
+  }
+  double h2d_exposed_seconds() const {
+    return timeline_.exposed(OpKind::CopyH2D);
+  }
+  double d2h_exposed_seconds() const {
+    return timeline_.exposed(OpKind::CopyD2H);
+  }
 
   /// Clears timing (not memory) state between runs.
   void reset_timeline() { timeline_.reset(); }

@@ -11,23 +11,37 @@ constexpr std::string_view kOpCategory[kNumOpKinds] = {"kernel", "copy_h2d",
                                                        "copy_d2h"};
 }  // namespace
 
-SimTimeline::SimTimeline(std::size_t num_streams) : cursors_(num_streams, 0.0) {
+SimTimeline::SimTimeline(std::size_t num_streams, bool engine_exclusive)
+    : cursors_(num_streams, 0.0), engine_exclusive_(engine_exclusive) {
   GPCLUST_CHECK(num_streams >= 1, "need at least one stream");
+}
+
+void SimTimeline::ensure_streams(std::size_t n) {
+  if (n > cursors_.size()) cursors_.resize(n, 0.0);
 }
 
 double SimTimeline::enqueue(StreamId stream, OpKind kind, double duration,
                             double ready_after) {
   GPCLUST_CHECK(stream < cursors_.size(), "stream id out of range");
   GPCLUST_CHECK(duration >= 0.0, "negative duration");
-  const double start = std::max(cursors_[stream], ready_after);
-  cursors_[stream] = start + duration;
-  busy_[static_cast<std::size_t>(kind)] += duration;
+  const std::size_t k = static_cast<std::size_t>(kind);
+  double start = std::max(cursors_[stream], ready_after);
+  if (engine_exclusive_) start = std::max(start, engines_[k]);
+  const double end = start + duration;
+  cursors_[stream] = end;
+  engines_[k] = std::max(engines_[k], end);
+  busy_[k] += duration;
+  // Critical-path attribution: the op "exposes" only the seconds by which
+  // it pushed the global completion frontier; time hidden behind other
+  // streams' ops is overlap. Summed over kinds this reconstructs the
+  // makespan exactly.
+  exposed_[k] += std::max(0.0, end - frontier_);
+  frontier_ = std::max(frontier_, end);
   ++num_ops_;
   if (tracer_ != nullptr) {
-    tracer_->record_modeled_op(kOpCategory[static_cast<std::size_t>(kind)],
-                               start, duration, stream);
+    tracer_->record_modeled_op(kOpCategory[k], start, duration, stream);
   }
-  return cursors_[stream];
+  return end;
 }
 
 double SimTimeline::stream_cursor(StreamId stream) const {
@@ -42,6 +56,9 @@ double SimTimeline::makespan() const {
 void SimTimeline::reset() {
   std::fill(cursors_.begin(), cursors_.end(), 0.0);
   busy_.fill(0.0);
+  engines_.fill(0.0);
+  exposed_.fill(0.0);
+  frontier_ = 0.0;
   num_ops_ = 0;
 }
 

@@ -7,8 +7,24 @@
 // an explicit dependency (completion time of a prior op). The makespan of
 // the timeline is the modeled device-side wall time — with one stream it
 // degenerates to the paper's synchronous Thrust behavior (sum of all
-// durations); with two streams it models the asynchronous copy/compute
-// overlap the paper lists as future work.
+// durations); with more streams it models the asynchronous copy/compute
+// overlap the paper lists as future work, generalized to the k-stream
+// batch pipeline of DESIGN.md §8.
+//
+// Engine exclusivity: a real board has one compute front-end and one DMA
+// engine per copy direction, so two streams can *issue* concurrently but
+// same-kind ops still serialize on their engine. When the timeline is
+// constructed engine-exclusive (DeviceContext does this), an op starts no
+// earlier than the completion of the previous op of the same kind,
+// whatever stream issued it. Cross-kind overlap (kernel vs copies) is
+// unrestricted — exactly the overlap CUDA streams expose.
+//
+// Critical-path accounting: each enqueue records how far the op pushed the
+// global completion frontier ("exposed" seconds, attributed to the op's
+// kind). Summed over kinds this equals the makespan, so
+// exposed(CopyH2D) + exposed(CopyD2H) is the modeled transfer time an
+// observer of the device wall clock actually waits for — the number the
+// stream-pipeline ablation drives toward zero.
 
 #include <array>
 #include <cstddef>
@@ -30,14 +46,21 @@ inline constexpr StreamId kDefaultStream = 0;
 
 class SimTimeline {
  public:
-  explicit SimTimeline(std::size_t num_streams = 4);
+  explicit SimTimeline(std::size_t num_streams = 4,
+                       bool engine_exclusive = false);
 
   std::size_t num_streams() const { return cursors_.size(); }
+  bool engine_exclusive() const { return engine_exclusive_; }
+
+  /// Grows the stream set to at least `n` streams (never shrinks; new
+  /// streams start idle at t=0). Used by the k-stream pipeline scheduler.
+  void ensure_streams(std::size_t n);
 
   /// Schedules an op of `duration` seconds on `stream`, starting no earlier
-  /// than the stream's cursor and `ready_after` (a completion time returned
-  /// by a previous enqueue, for cross-stream dependencies).
-  /// Returns the op's completion time.
+  /// than the stream's cursor, `ready_after` (a completion time returned
+  /// by a previous enqueue, for cross-stream dependencies) and — when the
+  /// timeline is engine-exclusive — the completion of the previous op of
+  /// the same kind. Returns the op's completion time.
   double enqueue(StreamId stream, OpKind kind, double duration,
                  double ready_after = 0.0);
 
@@ -53,6 +76,14 @@ class SimTimeline {
     return busy_[static_cast<std::size_t>(kind)];
   }
 
+  /// Critical-path seconds per op kind: how much ops of this kind advanced
+  /// the makespan frontier (busy time minus whatever other streams hid).
+  /// The three kinds sum to makespan(); busy(kind) - exposed(kind) is the
+  /// overlap the schedule achieved for that kind.
+  double exposed(OpKind kind) const {
+    return exposed_[static_cast<std::size_t>(kind)];
+  }
+
   std::size_t num_ops() const { return num_ops_; }
 
   void reset();
@@ -66,7 +97,11 @@ class SimTimeline {
  private:
   std::vector<double> cursors_;
   std::array<double, kNumOpKinds> busy_{};
+  std::array<double, kNumOpKinds> engines_{};
+  std::array<double, kNumOpKinds> exposed_{};
+  double frontier_ = 0.0;  ///< running max completion (== makespan)
   std::size_t num_ops_ = 0;
+  bool engine_exclusive_ = false;
   obs::Tracer* tracer_ = nullptr;
 };
 

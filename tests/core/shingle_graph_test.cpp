@@ -86,5 +86,53 @@ TEST(AggregateTuples, MismatchedArraysThrow) {
   EXPECT_THROW(aggregate_tuples(std::move(t)), InvalidArgument);
 }
 
+TEST(AggregateTuplesSharded, MatchesFlatAggregationForEveryShardCount) {
+  util::Xoshiro256 rng(77);
+  ShingleTuples base;
+  for (int i = 0; i < 2000; ++i) {
+    // Spread shingles over the whole u64 range, as real (hashed) ids do —
+    // the shard map keys on the top bits.
+    base.append(rng.next(), static_cast<u32>(rng.next_below(128)));
+  }
+  ShingleTuples flat_input = base;
+  const auto flat = aggregate_tuples(std::move(flat_input));
+
+  for (u32 shards : {1u, 2u, 3u, 7u, 16u, 64u}) {
+    ShingleTuples input = base;
+    const auto sharded = aggregate_tuples_sharded(std::move(input), shards);
+    EXPECT_EQ(sharded.offsets, flat.offsets) << "shards=" << shards;
+    EXPECT_EQ(sharded.members, flat.members) << "shards=" << shards;
+  }
+}
+
+TEST(AggregateTuplesSharded, MoreShardsThanTuplesIsHarmless) {
+  ShingleTuples t;
+  t.append(100, 1);
+  t.append(200, 2);
+  t.append(100, 3);
+  const auto g = aggregate_tuples_sharded(std::move(t), 4096);
+  ASSERT_EQ(g.num_left(), 2u);
+  const auto l0 = g.list(0);
+  EXPECT_EQ(std::vector<u32>(l0.begin(), l0.end()), (std::vector<u32>{1, 3}));
+}
+
+TEST(AggregateTuplesSharded, EmptyInputAndSingleShingleEdgeCases) {
+  EXPECT_EQ(aggregate_tuples_sharded(ShingleTuples{}, 16).num_left(), 0u);
+
+  // Every tuple lands in one shard; the others stay empty.
+  ShingleTuples t;
+  for (u32 o = 0; o < 10; ++o) t.append(~u64{0}, 9 - o);
+  const auto g = aggregate_tuples_sharded(std::move(t), 8);
+  ASSERT_EQ(g.num_left(), 1u);
+  EXPECT_EQ(g.list(0).size(), 10u);
+  EXPECT_EQ(g.list(0).front(), 0u);  // sorted ascending inside the group
+}
+
+TEST(AggregateTuplesSharded, MismatchedArraysThrow) {
+  ShingleTuples t;
+  t.shingle.push_back(1);
+  EXPECT_THROW(aggregate_tuples_sharded(std::move(t), 4), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace gpclust::core

@@ -60,6 +60,8 @@ TEST_P(BackendIdentity, DeviceConfigurationsMatchSerial) {
     std::size_t max_batch_elements;  // 0 = whole graph in one batch
     bool async;
     bool device_aggregation;
+    std::size_t num_streams = 1;  // 1 + async=false == the sync engine
+    u32 agg_shards = 1;
   };
   const DeviceConfig configs[] = {
       {1, false, false},   // one element per batch: every list splits
@@ -70,6 +72,13 @@ TEST_P(BackendIdentity, DeviceConfigurationsMatchSerial) {
       {97, true, true},
       {0, false, false},   // memory-derived batch size (all at once here)
       {0, true, true},
+      // DESIGN.md §8 pipeline shapes: multi-lane schedules and sharded
+      // host aggregation must not move a single vertex.
+      {1, false, false, 4, 4},   // every list splits across lanes
+      {97, false, false, 4, 16},
+      {97, false, true, 8, 4},   // device agg ignores shards; streams apply
+      {97, false, false, 3, 7},  // odd stream count: shared last lane
+      {0, false, false, 8, 16},  // memory-derived batch size, lane-split
   };
 
   for (const DeviceConfig& cfg : configs) {
@@ -78,11 +87,14 @@ TEST_P(BackendIdentity, DeviceConfigurationsMatchSerial) {
     options.max_batch_elements = cfg.max_batch_elements;
     options.async = cfg.async;
     options.device_aggregation = cfg.device_aggregation;
+    options.pipeline.num_streams = cfg.num_streams;
+    options.pipeline.agg_shards = cfg.agg_shards;
     auto result = core::GpClust(ctx, params, options).cluster(g);
     result.normalize();
     EXPECT_EQ(result.digest(), expected)
         << "batch=" << cfg.max_batch_elements << " async=" << cfg.async
-        << " devagg=" << cfg.device_aggregation;
+        << " devagg=" << cfg.device_aggregation
+        << " streams=" << cfg.num_streams << " shards=" << cfg.agg_shards;
   }
 }
 

@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# Docs tier of CI (tools/ci.sh tier 0): keeps the documentation from
+# rotting without needing a build.
+#
+#   1. Markdown link check — every relative link in the top-level and
+#      docs/ markdown files must resolve to an existing file (anchors and
+#      external URLs are skipped).
+#   2. CLI flag coverage — every flag parsed from the command line in
+#      tools/, bench/ and examples/ (util::CliArgs get_*/has calls) must
+#      appear as `--flag` in docs/cli.md, the consolidated CLI reference.
+#
+# Runnable locally from anywhere: sh tools/check_docs.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "-- markdown link check"
+for md in *.md docs/*.md; do
+  [ -f "$md" ] || continue
+  dir=$(dirname "$md")
+  # Inline links: the (target) half of ](target), minus any #anchor.
+  links=$(grep -o '](\([^)]*\))' "$md" | sed 's/^](//; s/)$//') || true
+  for link in $links; do
+    case "$link" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    target=${link%%#*}
+    [ -n "$target" ] || continue
+    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      echo "broken link in $md: $link"
+      fail=1
+    fi
+  done
+done
+
+echo "-- CLI flag coverage vs docs/cli.md"
+flags=$(grep -ho 'get_\(int\|string\|bool\|double\)("[a-z0-9-]*"\|\.has("[a-z0-9-]*"' \
+    tools/*.cpp bench/*.cpp examples/*.cpp |
+  sed 's/.*("\([a-z0-9-]*\)".*/\1/' | sort -u)
+for f in $flags; do
+  if ! grep -q -- "--$f" docs/cli.md; then
+    echo "flag --$f is parsed in the sources but missing from docs/cli.md"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs check FAILED"
+  exit 1
+fi
+echo "docs check passed"

@@ -1,8 +1,8 @@
 #!/usr/bin/env sh
-# CI entry point: tier-1 verification (configure + build + full ctest with
-# warnings-as-errors) followed by an ASan/UBSan build of the unit-test
-# binary, run directly. Mirrors what a hosted CI job would do; runnable
-# locally from the repo root:
+# CI entry point: docs checks (tier 0, no build needed), tier-1
+# verification (configure + build + full ctest with warnings-as-errors),
+# then an ASan/UBSan build of the unit-test binary, run directly. Mirrors
+# what a hosted CI job would do; runnable locally from the repo root:
 #
 #   sh tools/ci.sh
 #
@@ -10,6 +10,9 @@
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "=== tier 0: docs — markdown links + CLI flag coverage ==="
+sh tools/check_docs.sh
 
 echo "=== tier 1: configure + build + ctest (preset: ci) ==="
 cmake --preset ci

@@ -21,6 +21,12 @@
 //   --min-cluster-size=N   only write clusters of at least N members
 //   --components           decompose into connected components first
 //   --async                overlap device transfers with compute
+//                          (deprecated alias for --streams=2)
+//   --streams=K            device streams for the batch pipeline (default 1
+//                          = synchronous; 2 = the --async overlap; 2L = L
+//                          batches in flight; overrides --async when > 1)
+//   --agg-shards=N         hash-prefix shards for the CPU-side tuple
+//                          aggregation (default 1 = flat gather sort)
 //   --device-mb=N          simulated device memory (default 5120)
 //   --report               print the Table-I style component breakdown
 //   --trace-out=PATH       write a chrome://tracing JSON of the run (spans
@@ -83,6 +89,7 @@ int main(int argc, char** argv) {
           stderr,
           "usage: gpclust --graph=PATH | --demo=N [--out=PATH] "
           "[--engine=gpu|serial] [--s1 N --c1 N --s2 N --c2 N] "
+          "[--streams=K] [--agg-shards=N] "
           "[--components] [--trace-out=PATH] "
           "[--fault-plan=SPEC] [--resilience=off|retry|fallback]\n"
           "fault-plan spec: comma-separated KIND@SITE:IDX with KIND@SITE in "
@@ -124,6 +131,10 @@ int main(int argc, char** argv) {
     fault::FaultPlan fault_plan;
     core::GpClustOptions options;
     options.async = args.get_bool("async", false);
+    options.pipeline.num_streams =
+        static_cast<std::size_t>(args.get_int("streams", 1));
+    options.pipeline.agg_shards =
+        static_cast<u32>(args.get_int("agg-shards", 1));
     options.tracer = tracer_ptr;
     if (!fault_spec.empty()) {
       fault_plan = fault::FaultPlan::parse(fault_spec);
@@ -179,12 +190,17 @@ int main(int argc, char** argv) {
                   "%.2fs | device makespan %.2fs\n",
                   report.cpu_seconds, report.gpu_seconds, report.h2d_seconds,
                   report.d2h_seconds, report.device_makespan);
+      std::printf("critical path (modeled, sums to makespan): GPU %.2fs | "
+                  "c->g %.2fs | g->c %.2fs\n",
+                  report.gpu_exposed_seconds, report.h2d_exposed_seconds,
+                  report.d2h_exposed_seconds);
     }
 
     if (!fault_spec.empty()) {
       std::fprintf(stderr,
                    "fault plan \"%s\" (resilience %s): %llu faults injected, "
-                   "%llu retries, %llu batch replans, %llu cpu fallbacks\n",
+                   "%llu retries, %llu batch replans, %llu pipeline drains, "
+                   "%llu cpu fallbacks\n",
                    fault_plan.to_string().c_str(),
                    std::string(fault::resilience_mode_name(options.resilience.mode))
                        .c_str(),
@@ -192,6 +208,8 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(tracer.counter("retries")),
                    static_cast<unsigned long long>(
                        tracer.counter("batch_replans")),
+                   static_cast<unsigned long long>(
+                       tracer.counter("pipeline_drains")),
                    static_cast<unsigned long long>(
                        tracer.counter("cpu_fallbacks")));
     }
