@@ -56,12 +56,25 @@ int main(int argc, char** argv) {
   // --- 2. Homology graph (pGraph analog) --------------------------------
   util::WallTimer homology_timer;
   align::HomologyGraphConfig hcfg;
+  // Opt-in heuristic prefilter: skips pairs whose ungapped seed-diagonal
+  // score is hopeless. Changes the edge set (unlike the always-on exact
+  // filters), so it is off unless requested.
+  hcfg.prefilter.enabled = args.get_bool("xdrop-prefilter", false);
   align::HomologyGraphStats hstats;
   const auto graph = align::build_homology_graph(sequences, hcfg, &hstats);
   std::printf("homology graph: %zu candidate pairs -> %zu edges "
               "(%.1fs, Smith-Waterman verified)\n",
               hstats.num_candidate_pairs, graph.num_edges(),
               homology_timer.seconds());
+  std::printf("  filter cascade: %zu exact rejects, %zu heuristic rejects; "
+              "%zu score DPs (%llu simd-8bit / %llu simd-16bit / %llu scalar), "
+              "%zu traced\n",
+              hstats.num_exact_rejects, hstats.num_heuristic_rejects,
+              hstats.num_score_alignments,
+              static_cast<unsigned long long>(hstats.simd.runs_8bit),
+              static_cast<unsigned long long>(hstats.simd.rescues_16bit),
+              static_cast<unsigned long long>(hstats.simd.scalar_fallbacks),
+              hstats.num_traced_alignments);
 
   // --- 3. gpClust --------------------------------------------------------
   device::DeviceContext device(device::DeviceSpec::tesla_k20());

@@ -63,10 +63,17 @@ int main(int argc, char** argv) {
   hcfg.seed_mode = align::SeedMode::MaximalMatch;
   hcfg.maximal_matches.min_match_length = 12;
   hcfg.num_threads = 1;
+  // Opt-in heuristic prefilter (ungapped x-drop on the seed diagonal);
+  // off by default because it can change the edge set.
+  hcfg.prefilter.enabled = args.get_bool("xdrop-prefilter", false);
   align::HomologyGraphStats hstats;
   const auto graph = align::build_homology_graph(orfs, hcfg, &hstats);
-  std::printf("homology graph: %zu SW verifications -> %zu edges (%.1fs)\n",
-              hstats.num_alignments, graph.num_edges(), timer.seconds());
+  std::printf("homology graph: %zu SW verifications (%zu score + %zu traced, "
+              "%zu pairs prefiltered) -> %zu edges (%.1fs)\n",
+              hstats.num_alignments, hstats.num_score_alignments,
+              hstats.num_traced_alignments,
+              hstats.num_exact_rejects + hstats.num_heuristic_rejects,
+              graph.num_edges(), timer.seconds());
 
   // --- 4. gpClust ---------------------------------------------------------
   device::DeviceContext device(device::DeviceSpec::tesla_k20());

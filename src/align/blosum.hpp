@@ -17,4 +17,12 @@ int blosum62(char a, char b);
 /// Substitution score by residue index (see seq::residue_index).
 int blosum62_by_index(u8 a, u8 b);
 
+/// Largest entry of the matrix (W vs W = 11). Admissible per-column score
+/// cap used by the verification filter cascade.
+int blosum62_max_score();
+
+/// Smallest entry of the matrix (-4). Its negation is the bias the 8-bit
+/// SIMD query profile adds so all profile entries are non-negative.
+int blosum62_min_score();
+
 }  // namespace gpclust::align

@@ -1,27 +1,128 @@
 #include "align/homology_graph.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <mutex>
+
+#include "align/prefilter.hpp"
+#include "seq/alphabet.hpp"
 
 namespace gpclust::align {
+
+namespace {
+
+/// Identity traceback that reuses the score pass's end cell: only the
+/// prefix rectangle ending at (a_end, b_end) can contain the optimal
+/// alignment ending there, and a band grown from the end-cell diagonal
+/// almost always holds it. The band doubles until the banded score matches
+/// the known optimal score — guaranteed at band >= max(prefix lengths),
+/// where banded and full DP coincide.
+TracedAlignment traced_from_end(const std::string& a, const std::string& b,
+                                const AlignmentResult& scored,
+                                const AlignmentParams& params) {
+  const std::string_view pa(a.data(), scored.a_end);
+  const std::string_view pb(b.data(), scored.b_end);
+  const std::size_t full = std::max(pa.size(), pb.size());
+  const std::size_t skew = pa.size() > pb.size() ? pa.size() - pb.size()
+                                                 : pb.size() - pa.size();
+  std::size_t band = std::min(full, skew + 16);
+  for (;;) {
+    TracedAlignment traced = smith_waterman_traced_banded(pa, pb, band, params);
+    if (traced.score == scored.score) return traced;
+    GPCLUST_CHECK(band < full, "full-width banded traceback missed the score");
+    band = std::min(full, band * 2);
+  }
+}
+
+/// X-drop used when scanning a seed diagonal purely to pick the SIMD
+/// kernel's starting lane width (generous: a better floor skips more
+/// doomed 8-bit passes; any value is correct).
+constexpr int kDispatchXdrop = 1 << 20;
+
+}  // namespace
 
 graph::CsrGraph build_homology_graph(const seq::SequenceSet& sequences,
                                      const HomologyGraphConfig& config,
                                      HomologyGraphStats* stats) {
   GPCLUST_CHECK(config.min_score_per_residue >= 0.0,
                 "score threshold must be non-negative");
-  const auto pairs =
-      config.seed_mode == SeedMode::MaximalMatch
-          ? find_candidate_pairs_suffix_array(sequences, config.maximal_matches)
-          : find_candidate_pairs(sequences, config.seeds);
+  obs::Tracer* tracer = config.tracer;
 
+  std::vector<CandidatePair> pairs;
+  {
+    obs::HostSpan span(tracer, "homology.seed");
+    pairs = config.seed_mode == SeedMode::MaximalMatch
+                ? find_candidate_pairs_suffix_array(sequences,
+                                                    config.maximal_matches)
+                : find_candidate_pairs(sequences, config.seeds);
+  }
+  obs::add_counter(tracer, "homology_candidate_pairs", pairs.size());
+
+  // The SIMD kernel consumes residue indices; encode every sequence once
+  // up front instead of per pair.
+  std::vector<std::vector<u8>> encoded;
+  if (config.use_simd) {
+    encoded.resize(sequences.size());
+    for (std::size_t i = 0; i < sequences.size(); ++i) {
+      const std::string& r = sequences[i].residues;
+      encoded[i].resize(r.size());
+      for (std::size_t j = 0; j < r.size(); ++j) {
+        encoded[i][j] = seq::residue_index(r[j]);
+      }
+    }
+  }
+
+  HomologyGraphStats totals;
+  std::mutex totals_mutex;
   std::vector<u8> accepted(pairs.size(), 0);
+
   auto verify = [&](std::size_t lo, std::size_t hi) {
+    // Per-worker state: pairs arrive sorted by query id, so a single-slot
+    // profile cache serves nearly every pair in the chunk.
+    QueryProfileCache cache;
+    SimdCounters simd;
+    HomologyGraphStats local;
     for (std::size_t i = lo; i < hi; ++i) {
       const auto& p = pairs[i];
       const auto& a = sequences[p.a].residues;
       const auto& b = sequences[p.b].residues;
-      const auto result = smith_waterman(a, b, config.alignment);
+
+      // Exact tier: admissible length bounds — skipping the DP here
+      // cannot change the edge set.
+      if (exact_reject(a.size(), b.size(), config.min_score,
+                       config.min_score_per_residue)) {
+        ++local.num_exact_rejects;
+        continue;
+      }
+
+      // Heuristic tier (opt-in): seed-count floor, then an ungapped
+      // x-drop scan anchored on the pair's seed diagonal.
+      if (config.prefilter.enabled) {
+        if (p.shared_kmers < config.prefilter.min_shared_seeds) {
+          ++local.num_heuristic_rejects;
+          continue;
+        }
+        if (config.prefilter.min_ungapped_score > 0 &&
+            ungapped_xdrop_score(a, b, p.diag, config.prefilter.xdrop) <
+                config.prefilter.min_ungapped_score) {
+          ++local.num_heuristic_rejects;
+          continue;
+        }
+      }
+
+      AlignmentResult result;
+      if (config.use_simd) {
+        // The ungapped score along the pair's seed diagonal is itself a
+        // local alignment, so it lower-bounds the gapped optimum — a
+        // floor already inside the 8-bit clipping margin lets the kernel
+        // start at 16 bits instead of paying a doomed 8-bit pass.
+        const int floor =
+            ungapped_xdrop_score(a, b, p.diag, kDispatchXdrop);
+        result = smith_waterman_simd(cache.get(p.a, a), encoded[p.b],
+                                     config.alignment, &simd, floor);
+      } else {
+        result = smith_waterman(a, b, config.alignment);
+      }
+      ++local.num_score_alignments;
       const double needed = config.min_score_per_residue *
                             static_cast<double>(std::min(a.size(), b.size()));
       if (result.score < config.min_score ||
@@ -29,32 +130,54 @@ graph::CsrGraph build_homology_graph(const seq::SequenceSet& sequences,
         continue;
       }
       if (config.min_identity > 0.0) {
-        const auto traced = smith_waterman_traced(a, b, config.alignment);
+        ++local.num_traced_alignments;
+        const auto traced =
+            config.use_simd
+                ? traced_from_end(a, b, result, config.alignment)
+                : smith_waterman_traced(a, b, config.alignment);
         if (traced.identity() < config.min_identity) continue;
       }
       accepted[i] = 1;
     }
+    const std::lock_guard<std::mutex> lock(totals_mutex);
+    totals.num_score_alignments += local.num_score_alignments;
+    totals.num_traced_alignments += local.num_traced_alignments;
+    totals.num_exact_rejects += local.num_exact_rejects;
+    totals.num_heuristic_rejects += local.num_heuristic_rejects;
+    totals.simd += simd;
   };
 
-  if (config.num_threads == 1) {
-    verify(0, pairs.size());
-  } else if (config.num_threads == 0) {
-    util::default_thread_pool().parallel_for(0, pairs.size(), verify);
-  } else {
-    util::ThreadPool pool(config.num_threads);
-    pool.parallel_for(0, pairs.size(), verify);
+  {
+    obs::HostSpan span(tracer, "homology.verify");
+    if (config.num_threads == 1) {
+      verify(0, pairs.size());
+    } else if (config.num_threads == 0) {
+      util::default_thread_pool().parallel_for(0, pairs.size(), verify);
+    } else {
+      util::ThreadPool pool(config.num_threads);
+      pool.parallel_for(0, pairs.size(), verify);
+    }
   }
+  totals.num_candidate_pairs = pairs.size();
+  totals.num_alignments =
+      totals.num_score_alignments + totals.num_traced_alignments;
+  obs::add_counter(tracer, "homology_alignments", totals.num_alignments);
+  obs::add_counter(tracer, "homology_prefilter_rejects",
+                   totals.num_exact_rejects + totals.num_heuristic_rejects);
 
-  graph::EdgeList edges(sequences.size());
-  for (std::size_t i = 0; i < pairs.size(); ++i) {
-    if (accepted[i]) edges.add(pairs[i].a, pairs[i].b);
+  graph::CsrGraph result;
+  {
+    obs::HostSpan span(tracer, "homology.graph");
+    graph::EdgeList edges(sequences.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (accepted[i]) edges.add(pairs[i].a, pairs[i].b);
+    }
+    totals.num_edges = edges.raw_size();
+    result = graph::CsrGraph::from_edge_list(std::move(edges));
   }
-  if (stats != nullptr) {
-    stats->num_candidate_pairs = pairs.size();
-    stats->num_alignments = pairs.size();
-    stats->num_edges = edges.raw_size();
-  }
-  return graph::CsrGraph::from_edge_list(std::move(edges));
+  obs::add_counter(tracer, "homology_edges", totals.num_edges);
+  if (stats != nullptr) *stats = totals;
+  return result;
 }
 
 }  // namespace gpclust::align

@@ -5,9 +5,11 @@
 // its normalized alignment score clears a threshold.
 
 #include "align/kmer_index.hpp"
+#include "align/simd.hpp"
 #include "align/smith_waterman.hpp"
 #include "align/suffix_array.hpp"
 #include "graph/csr_graph.hpp"
+#include "obs/trace.hpp"
 #include "seq/sequence.hpp"
 #include "util/thread_pool.hpp"
 
@@ -19,11 +21,37 @@ enum class SeedMode {
   MaximalMatch,  ///< suffix-array maximal exact matches (pGraph's heuristic)
 };
 
+/// Heuristic prefilter tier — can reject pairs the full DP would accept
+/// (shared-seed counts and ungapped diagonal scores are NOT admissible
+/// bounds on the gapped score; see DESIGN.md §9), so it defaults OFF and
+/// the default-config edge set stays bit-identical. The exact tier
+/// (length-based admissible bounds) is always on and needs no config.
+struct HomologyPrefilterConfig {
+  bool enabled = false;
+  /// Drop pairs whose seed stage reported fewer shared seeds than this
+  /// (shared k-mers in KmerCount mode, match length in MaximalMatch mode).
+  u32 min_shared_seeds = 0;
+  /// X-drop for the ungapped scan along the pair's seed diagonal.
+  int xdrop = 20;
+  /// Drop pairs whose ungapped diagonal score falls below this.
+  int min_ungapped_score = 25;
+};
+
 struct HomologyGraphConfig {
   SeedMode seed_mode = SeedMode::KmerCount;
   KmerIndexConfig seeds;                ///< used when seed_mode == KmerCount
   MaximalMatchConfig maximal_matches;   ///< used when seed_mode == MaximalMatch
   AlignmentParams alignment;
+  HomologyPrefilterConfig prefilter;    ///< heuristic tier, default off
+
+  /// Score pairs with the striped SIMD kernel (score-exact vs the scalar
+  /// DP, so the edge set is identical either way); false forces the scalar
+  /// reference path.
+  bool use_simd = true;
+
+  /// Optional phase spans + counters ("homology.seed" / "homology.verify" /
+  /// "homology.graph"); nullptr records nothing.
+  obs::Tracer* tracer = nullptr;
 
   /// Edge criterion: score >= min_score_per_residue * min(|a|, |b|).
   /// BLOSUM62 self-alignment averages ~5 per residue; 1.2 admits roughly
@@ -44,7 +72,15 @@ struct HomologyGraphConfig {
 struct HomologyGraphStats {
   std::size_t num_candidate_pairs = 0;
   std::size_t num_edges = 0;
+  /// DP runs actually performed: num_score_alignments +
+  /// num_traced_alignments (a pair that passes the score gate and then
+  /// runs the identity traceback counts twice — it ran two DPs).
   std::size_t num_alignments = 0;
+  std::size_t num_score_alignments = 0;   ///< score-only passes (SIMD or scalar)
+  std::size_t num_traced_alignments = 0;  ///< traceback passes (min_identity)
+  std::size_t num_exact_rejects = 0;      ///< skipped by the admissible bounds
+  std::size_t num_heuristic_rejects = 0;  ///< skipped by the opt-in tier
+  SimdCounters simd;                      ///< how SIMD score passes resolved
 };
 
 /// Builds the undirected similarity graph over `sequences` (vertex i is

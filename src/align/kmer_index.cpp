@@ -9,22 +9,18 @@ namespace gpclust::align {
 
 namespace {
 
-/// Rolling 64-bit encodings of each distinct k-mer in a sequence.
-std::vector<u64> distinct_kmers(const std::string& residues, std::size_t k) {
-  std::vector<u64> kmers;
-  if (residues.size() < k) return kmers;
-  kmers.reserve(residues.size() - k + 1);
-  for (std::size_t pos = 0; pos + k <= residues.size(); ++pos) {
-    u64 code = 0;
-    for (std::size_t i = 0; i < k; ++i) {
-      code = code * seq::kNumResidues + seq::residue_index(residues[pos + i]);
-    }
-    kmers.push_back(code);
-  }
-  std::sort(kmers.begin(), kmers.end());
-  kmers.erase(std::unique(kmers.begin(), kmers.end()), kmers.end());
-  return kmers;
-}
+/// One (k-mer, sequence) occurrence, flat for sort-based indexing.
+struct KmerPosting {
+  u64 code;
+  u32 seq;
+  u32 pos;  ///< first occurrence of the k-mer in the sequence
+};
+
+/// One shared seed between a pair, packed for sort-based aggregation.
+struct PairSeed {
+  u64 key;   ///< (a << 32) | b, a < b
+  i32 diag;  ///< pos_in_a - pos_in_b of the seed's first occurrences
+};
 
 }  // namespace
 
@@ -34,35 +30,94 @@ std::vector<CandidatePair> find_candidate_pairs(
   GPCLUST_CHECK(config.min_shared_kmers >= 1,
                 "min_shared_kmers must be positive");
 
-  // k-mer -> sequences containing it.
-  std::unordered_map<u64, std::vector<u32>> postings;
+  // Flat sort-based index — replaces a hash map of postings vectors that
+  // was the hot spot here (per-bucket allocations, rehashing, scattered
+  // access): every structure below is one contiguous array the sorts
+  // touch sequentially. First, all (k-mer, sequence) occurrences, made
+  // distinct per sequence in place (sort the sequence's subrange by
+  // (code, pos), keep each code's first occurrence).
+  std::vector<KmerPosting> postings;
   for (std::size_t i = 0; i < sequences.size(); ++i) {
-    for (u64 kmer : distinct_kmers(sequences[i].residues, config.k)) {
-      postings[kmer].push_back(static_cast<u32>(i));
+    const std::string& r = sequences[i].residues;
+    if (r.size() < config.k) continue;
+    const auto start = static_cast<std::ptrdiff_t>(postings.size());
+    for (std::size_t pos = 0; pos + config.k <= r.size(); ++pos) {
+      u64 code = 0;
+      for (std::size_t j = 0; j < config.k; ++j) {
+        code = code * seq::kNumResidues + seq::residue_index(r[pos + j]);
+      }
+      postings.push_back({code, static_cast<u32>(i), static_cast<u32>(pos)});
     }
+    std::sort(postings.begin() + start, postings.end(),
+              [](const KmerPosting& x, const KmerPosting& y) {
+                return std::pair(x.code, x.pos) < std::pair(y.code, y.pos);
+              });
+    postings.erase(std::unique(postings.begin() + start, postings.end(),
+                               [](const KmerPosting& x, const KmerPosting& y) {
+                                 return x.code == y.code;
+                               }),
+                   postings.end());
   }
 
-  // Count shared k-mers per pair, skipping overly common k-mers.
-  std::unordered_map<u64, u32> pair_counts;
-  for (const auto& [kmer, seqs] : postings) {
-    if (seqs.size() < 2 || seqs.size() > config.max_kmer_occurrences) continue;
-    for (std::size_t x = 0; x < seqs.size(); ++x) {
-      for (std::size_t y = x + 1; y < seqs.size(); ++y) {
-        const u64 key = (static_cast<u64>(seqs[x]) << 32) | seqs[y];
-        ++pair_counts[key];
+  // Group occurrences by k-mer: one global sort by (code, seq) — seq
+  // ascending within a code run keeps pair keys (a << 32 | b) ordered.
+  std::sort(postings.begin(), postings.end(),
+            [](const KmerPosting& x, const KmerPosting& y) {
+              return std::pair(x.code, x.seq) < std::pair(y.code, y.seq);
+            });
+
+  // Emit one flat (pair-key, diagonal) record per shared seed.
+  std::vector<PairSeed> seeds;
+  for (std::size_t lo = 0; lo < postings.size();) {
+    std::size_t hi = lo;
+    while (hi < postings.size() && postings[hi].code == postings[lo].code) {
+      ++hi;
+    }
+    const std::size_t occurrences = hi - lo;
+    if (occurrences >= 2 && occurrences <= config.max_kmer_occurrences) {
+      for (std::size_t x = lo; x < hi; ++x) {
+        for (std::size_t y = x + 1; y < hi; ++y) {
+          seeds.push_back(
+              {(static_cast<u64>(postings[x].seq) << 32) | postings[y].seq,
+               static_cast<i32>(postings[x].pos) -
+                   static_cast<i32>(postings[y].pos)});
+        }
       }
     }
+    lo = hi;
   }
+  std::sort(seeds.begin(), seeds.end(),
+            [](const PairSeed& x, const PairSeed& y) {
+              return std::pair(x.key, x.diag) < std::pair(y.key, y.diag);
+            });
 
+  // Scan runs of equal key: run length = shared-seed count; the pair's
+  // representative diagonal is the mode (smallest diagonal on ties, which
+  // the ascending sort yields for free).
   std::vector<CandidatePair> pairs;
-  for (const auto& [key, count] : pair_counts) {
-    if (count < config.min_shared_kmers) continue;
-    pairs.push_back({static_cast<u32>(key >> 32),
-                     static_cast<u32>(key & 0xffffffffu), count});
+  for (std::size_t lo = 0; lo < seeds.size();) {
+    std::size_t hi = lo;
+    while (hi < seeds.size() && seeds[hi].key == seeds[lo].key) ++hi;
+    const u32 count = static_cast<u32>(hi - lo);
+    if (count >= config.min_shared_kmers) {
+      i32 mode_diag = seeds[lo].diag;
+      std::size_t mode_len = 0;
+      for (std::size_t i = lo; i < hi;) {
+        std::size_t j = i;
+        while (j < hi && seeds[j].diag == seeds[i].diag) ++j;
+        if (j - i > mode_len) {
+          mode_len = j - i;
+          mode_diag = seeds[i].diag;
+        }
+        i = j;
+      }
+      pairs.push_back({static_cast<u32>(seeds[lo].key >> 32),
+                       static_cast<u32>(seeds[lo].key & 0xffffffffu), count,
+                       mode_diag});
+    }
+    lo = hi;
   }
-  std::sort(pairs.begin(), pairs.end(), [](const auto& p, const auto& q) {
-    return std::pair(p.a, p.b) < std::pair(q.a, q.b);
-  });
+  // seeds are sorted by key, so `pairs` is already (a, b)-ordered.
   return pairs;
 }
 

@@ -26,6 +26,10 @@ struct CandidatePair {
   u32 a;
   u32 b;
   u32 shared_kmers;
+  /// Representative seed diagonal (first occurrence of a shared seed:
+  /// pos_in_a - pos_in_b); the mode over shared seeds, smallest on ties.
+  /// Anchors the optional ungapped x-drop prefilter; 0 when unknown.
+  i32 diag = 0;
 
   friend bool operator==(const CandidatePair&, const CandidatePair&) = default;
 };

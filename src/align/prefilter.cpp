@@ -1,0 +1,48 @@
+#include "align/prefilter.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "align/blosum.hpp"
+
+namespace gpclust::align {
+
+int alignment_score_upper_bound(std::size_t len_a, std::size_t len_b) {
+  const u64 cap = static_cast<u64>(blosum62_max_score()) *
+                  static_cast<u64>(std::min(len_a, len_b));
+  return static_cast<int>(
+      std::min<u64>(cap, std::numeric_limits<int>::max()));
+}
+
+bool exact_reject(std::size_t len_a, std::size_t len_b, int min_score,
+                  double min_score_per_residue) {
+  const int upper = alignment_score_upper_bound(len_a, len_b);
+  if (upper < min_score) return true;
+  const double needed = min_score_per_residue *
+                        static_cast<double>(std::min(len_a, len_b));
+  return static_cast<double>(upper) < needed;
+}
+
+int ungapped_xdrop_score(std::string_view a, std::string_view b, i32 diag,
+                         int xdrop) {
+  GPCLUST_CHECK(xdrop >= 0, "xdrop must be non-negative");
+  const i64 i_begin = std::max<i64>(0, diag);
+  const i64 i_end = std::min<i64>(static_cast<i64>(a.size()),
+                                  static_cast<i64>(b.size()) + diag);
+  int best = 0;
+  int run = 0;
+  int run_best = 0;
+  for (i64 i = i_begin; i < i_end; ++i) {
+    run += blosum62(a[static_cast<std::size_t>(i)],
+                    b[static_cast<std::size_t>(i - diag)]);
+    run_best = std::max(run_best, run);
+    best = std::max(best, run_best);
+    if (run < 0 || run <= run_best - xdrop) {
+      run = 0;
+      run_best = 0;
+    }
+  }
+  return best;
+}
+
+}  // namespace gpclust::align

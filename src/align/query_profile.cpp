@@ -1,0 +1,51 @@
+#include "align/query_profile.hpp"
+
+#include "align/blosum.hpp"
+#include "seq/alphabet.hpp"
+
+namespace gpclust::align {
+
+QueryProfile::QueryProfile(std::string_view query) : query_(query) {
+  GPCLUST_CHECK(kBias == -blosum62_min_score(),
+                "profile bias must equal -min(BLOSUM62)");
+  encoded_.resize(query.size());
+  for (std::size_t i = 0; i < query.size(); ++i) {
+    encoded_[i] = seq::residue_index(query[i]);
+  }
+
+  const std::size_t n = encoded_.size();
+  seg8_ = std::max<std::size_t>(1, (n + kLanes8 - 1) / kLanes8);
+  seg16_ = std::max<std::size_t>(1, (n + kLanes16 - 1) / kLanes16);
+  prof8_.assign(seq::kNumResidues * seg8_ * kLanes8, 0);
+  prof16_.assign(seq::kNumResidues * seg16_ * kLanes16, 0);
+
+  for (std::size_t r = 0; r < seq::kNumResidues; ++r) {
+    u8* row8p = prof8_.data() + r * seg8_ * kLanes8;
+    u16* row16p = prof16_.data() + r * seg16_ * kLanes16;
+    for (std::size_t stripe = 0; stripe < seg8_; ++stripe) {
+      for (std::size_t lane = 0; lane < kLanes8; ++lane) {
+        const std::size_t pos = lane * seg8_ + stripe;
+        // Positions past the query end score 0; after the kernel subtracts
+        // the bias, padding lanes only ever decay toward zero and can
+        // never raise the maximum.
+        const int s = pos < n
+                          ? blosum62_by_index(encoded_[pos],
+                                              static_cast<u8>(r)) + kBias
+                          : 0;
+        row8p[stripe * kLanes8 + lane] = static_cast<u8>(s);
+      }
+    }
+    for (std::size_t stripe = 0; stripe < seg16_; ++stripe) {
+      for (std::size_t lane = 0; lane < kLanes16; ++lane) {
+        const std::size_t pos = lane * seg16_ + stripe;
+        const int s = pos < n
+                          ? blosum62_by_index(encoded_[pos],
+                                              static_cast<u8>(r)) + kBias
+                          : 0;
+        row16p[stripe * kLanes16 + lane] = static_cast<u16>(s);
+      }
+    }
+  }
+}
+
+}  // namespace gpclust::align

@@ -1,0 +1,77 @@
+#pragma once
+// Striped query profiles for the SIMD Smith-Waterman fast path (Farrar,
+// Bioinformatics 2007). The profile pre-resolves the BLOSUM62 row lookups
+// of one query sequence into the striped lane layout the kernel consumes,
+// so the inner loop is a single vector load per stripe instead of a
+// scatter of matrix lookups. One profile serves every candidate pair that
+// shares the query, which is why the homology-graph verifier sorts its
+// pairs by query id and runs them through a single-slot cache.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gpclust::align {
+
+class QueryProfile {
+ public:
+  /// 8-bit lanes per 128-bit vector, and 16-bit lanes for the rescue pass.
+  static constexpr std::size_t kLanes8 = 16;
+  static constexpr std::size_t kLanes16 = 8;
+  /// Added to every 8/16-bit profile entry so stored scores are
+  /// non-negative: -blosum62_min_score() (checked at construction).
+  static constexpr int kBias = 4;
+
+  explicit QueryProfile(std::string_view query);
+
+  std::size_t length() const { return encoded_.size(); }
+  const std::string& query() const { return query_; }
+  const std::vector<u8>& encoded() const { return encoded_; }
+
+  /// Stripe counts: ceil(length / lanes), at least 1.
+  std::size_t segments8() const { return seg8_; }
+  std::size_t segments16() const { return seg16_; }
+
+  /// Profile row for one target residue index: segments8() * kLanes8
+  /// biased scores, entry [stripe * kLanes8 + lane] scoring query position
+  /// lane * segments8() + stripe (0 past the query end).
+  const u8* row8(u8 residue) const { return prof8_.data() + residue * seg8_ * kLanes8; }
+  const u16* row16(u8 residue) const { return prof16_.data() + residue * seg16_ * kLanes16; }
+
+ private:
+  std::string query_;
+  std::vector<u8> encoded_;
+  std::size_t seg8_ = 1;
+  std::size_t seg16_ = 1;
+  std::vector<u8> prof8_;
+  std::vector<u16> prof16_;
+};
+
+/// Single-slot profile cache. Candidate pairs arrive sorted by query id,
+/// so consecutive verifications overwhelmingly share one query; a deeper
+/// cache would only add bookkeeping. Not thread-safe by design — each
+/// verification worker owns one.
+class QueryProfileCache {
+ public:
+  const QueryProfile& get(u32 query_id, std::string_view query) {
+    if (!slot_.has_value() || id_ != query_id) {
+      slot_.emplace(query);
+      id_ = query_id;
+      ++builds_;
+    }
+    return *slot_;
+  }
+
+  /// Number of profile constructions (cache misses) so far.
+  u64 builds() const { return builds_; }
+
+ private:
+  u32 id_ = 0;
+  u64 builds_ = 0;
+  std::optional<QueryProfile> slot_;
+};
+
+}  // namespace gpclust::align

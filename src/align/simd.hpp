@@ -1,0 +1,68 @@
+#pragma once
+// Striped SIMD Smith-Waterman (Farrar, Bioinformatics 2007) — the
+// verification fast path of the homology-graph builder. The kernel runs
+// 16 unsigned 8-bit lanes per 128-bit vector and rescues high-scoring
+// pairs with an 8-lane 16-bit pass; pathological inputs (either pass
+// saturated, or sequences long enough that 16 bits could not hold the
+// self-alignment score) fall back to the scalar Gotoh reference. Every
+// path returns the exact smith_waterman() score.
+//
+// The vector layer picks the best available backend at compile time:
+// SSE2 intrinsics (native saturating ops) where the target has them,
+// otherwise portable compiler vector extensions. Build with
+// -DGPCLUST_SIMD_SCALAR=ON to force scalar lane arrays instead — same
+// algorithm, same results, no SIMD codegen (the portability build).
+
+#include <span>
+#include <string_view>
+
+#include "align/query_profile.hpp"
+#include "align/smith_waterman.hpp"
+
+namespace gpclust::align {
+
+/// True when the kernel was compiled with compiler vector extensions,
+/// false in the scalar-lane fallback build (GPCLUST_SIMD_SCALAR).
+bool simd_vectorized();
+
+/// Where each smith_waterman_simd call was ultimately resolved.
+struct SimdCounters {
+  u64 runs_8bit = 0;          ///< pairs fully scored by the 8-bit kernel
+  u64 rescues_16bit = 0;      ///< 8-bit saturation -> 16-bit rerun
+  u64 scalar_fallbacks = 0;   ///< 16-bit unsafe/saturated -> scalar Gotoh
+
+  SimdCounters& operator+=(const SimdCounters& o) {
+    runs_8bit += o.runs_8bit;
+    rescues_16bit += o.rescues_16bit;
+    scalar_fallbacks += o.scalar_fallbacks;
+    return *this;
+  }
+};
+
+/// Score-exact striped Smith-Waterman of the profiled query against an
+/// encoded target (seq::residue_index values). Returns the same score as
+/// smith_waterman(profile.query(), target). End coordinates name a cell
+/// attaining the optimal score (first such target position, then first
+/// such query position — a co-optimal end, not necessarily the scalar
+/// scan-order one).
+///
+/// score_floor is an optional PROVEN lower bound on the optimal score
+/// (e.g. an ungapped seed-diagonal score — any concrete local alignment
+/// qualifies). It only steers width dispatch: a floor already inside the
+/// 8-bit clipping margin proves the 8-bit pass would saturate, so the
+/// kernel starts at 16 bits and skips the doomed pass. Results are
+/// identical for any valid floor; an invalid (too-high) floor may cost
+/// exactness.
+AlignmentResult smith_waterman_simd(const QueryProfile& profile,
+                                    std::span<const u8> target_encoded,
+                                    const AlignmentParams& params = {},
+                                    SimdCounters* counters = nullptr,
+                                    int score_floor = 0);
+
+/// Convenience overload: builds a one-shot profile and encodes the target.
+AlignmentResult smith_waterman_simd(std::string_view query,
+                                    std::string_view target,
+                                    const AlignmentParams& params = {},
+                                    SimdCounters* counters = nullptr);
+
+}  // namespace gpclust::align

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <map>
 #include <numeric>
-#include <set>
 #include <unordered_map>
 
 namespace gpclust::align {
@@ -68,12 +67,15 @@ std::vector<CandidatePair> find_candidate_pairs_suffix_array(
   for (const auto& seq : sequences) total += seq.residues.size() + 1;
   text.reserve(total);
   std::vector<u32> seq_of;
+  std::vector<u32> local_of;  // offset within the owning sequence
   seq_of.reserve(total);
+  local_of.reserve(total);
   for (std::size_t i = 0; i < sequences.size(); ++i) {
     text += sequences[i].residues;
     text.push_back('\x01');
     for (std::size_t j = 0; j <= sequences[i].residues.size(); ++j) {
       seq_of.push_back(static_cast<u32>(i));
+      local_of.push_back(static_cast<u32>(j));
     }
   }
   const std::size_t n = text.size();
@@ -94,8 +96,12 @@ std::vector<CandidatePair> find_candidate_pairs_suffix_array(
   // Sweep maximal runs of adjacent suffixes with effective LCP >= tau and
   // emit pairs of the distinct sequences present in each run.
   const u32 tau = static_cast<u32>(config.min_match_length);
-  std::unordered_map<u64, u32> best;  // packed pair -> longest match
-  std::set<u32> run_seqs;
+  struct BestMatch {
+    u32 length;
+    i32 diag;  ///< local_pos_in_a - local_pos_in_b of the longest match
+  };
+  std::unordered_map<u64, BestMatch> best;  // packed pair -> longest match
+  std::map<u32, u32> run_seqs;  // seq id -> first local position in the run
   u32 run_min_lcp = 0;
 
   auto flush_run = [&](std::size_t first_rank, std::size_t last_rank) {
@@ -106,9 +112,14 @@ std::vector<CandidatePair> find_candidate_pairs_suffix_array(
     (void)last_rank;
     for (auto it_a = run_seqs.begin(); it_a != run_seqs.end(); ++it_a) {
       for (auto it_b = std::next(it_a); it_b != run_seqs.end(); ++it_b) {
-        const u64 key = (static_cast<u64>(*it_a) << 32) | *it_b;
-        auto [entry, inserted] = best.try_emplace(key, run_min_lcp);
-        if (!inserted) entry->second = std::max(entry->second, run_min_lcp);
+        const u64 key = (static_cast<u64>(it_a->first) << 32) | it_b->first;
+        const i32 diag = static_cast<i32>(it_a->second) -
+                         static_cast<i32>(it_b->second);
+        auto [entry, inserted] =
+            best.try_emplace(key, BestMatch{run_min_lcp, diag});
+        if (!inserted && run_min_lcp > entry->second.length) {
+          entry->second = {run_min_lcp, diag};
+        }
       }
     }
   };
@@ -122,10 +133,10 @@ std::vector<CandidatePair> find_candidate_pairs_suffix_array(
         in_run = true;
         run_start = r - 1;
         run_seqs.clear();
-        run_seqs.insert(seq_of[sa.sa()[r - 1]]);
+        run_seqs.emplace(seq_of[sa.sa()[r - 1]], local_of[sa.sa()[r - 1]]);
         run_min_lcp = e;
       }
-      run_seqs.insert(seq_of[sa.sa()[r]]);
+      run_seqs.emplace(seq_of[sa.sa()[r]], local_of[sa.sa()[r]]);
       run_min_lcp = std::min(run_min_lcp, e);
     } else if (in_run) {
       flush_run(run_start, r - 1);
@@ -136,9 +147,10 @@ std::vector<CandidatePair> find_candidate_pairs_suffix_array(
 
   std::vector<CandidatePair> pairs;
   pairs.reserve(best.size());
-  for (const auto& [key, length] : best) {
+  for (const auto& [key, match] : best) {
     pairs.push_back({static_cast<u32>(key >> 32),
-                     static_cast<u32>(key & 0xffffffffu), length});
+                     static_cast<u32>(key & 0xffffffffu), match.length,
+                     match.diag});
   }
   std::sort(pairs.begin(), pairs.end(), [](const auto& p, const auto& q) {
     return std::pair(p.a, p.b) < std::pair(q.a, q.b);

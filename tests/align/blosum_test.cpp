@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace gpclust::align {
 namespace {
 
@@ -34,6 +36,40 @@ TEST(Blosum62, DiagonalDominates) {
       if (i == j) continue;
       EXPECT_GE(blosum62(a, a), blosum62(a, seq::kResidues[j]));
     }
+  }
+}
+
+TEST(Blosum62, StandardDiagonalIsStrictlyPositive) {
+  // Every standard residue rewards a self-match — the property the
+  // score-per-residue edge threshold and the SIMD bias both lean on.
+  for (std::size_t i = 0; i < seq::kNumStandardResidues; ++i) {
+    const char a = seq::kResidues[i];
+    EXPECT_GT(blosum62(a, a), 0) << a;
+  }
+}
+
+TEST(Blosum62, ExtremeHelpersScanTheWholeMatrix) {
+  int lo = blosum62_by_index(0, 0), hi = lo;
+  for (u8 a = 0; a < seq::kNumResidues; ++a) {
+    for (u8 b = 0; b < seq::kNumResidues; ++b) {
+      lo = std::min(lo, blosum62_by_index(a, b));
+      hi = std::max(hi, blosum62_by_index(a, b));
+    }
+  }
+  EXPECT_EQ(blosum62_max_score(), hi);
+  EXPECT_EQ(blosum62_min_score(), lo);
+  EXPECT_EQ(blosum62_max_score(), 11);  // W vs W
+  EXPECT_EQ(blosum62_min_score(), -4);
+}
+
+TEST(Blosum62, ResidueIndexRoundTrips) {
+  for (std::size_t i = 0; i < seq::kNumResidues; ++i) {
+    const char c = seq::kResidues[i];
+    EXPECT_EQ(seq::residue_index(c), static_cast<u8>(i));
+    EXPECT_EQ(seq::residue_char(seq::residue_index(c)), c);
+    // Index-based and character-based lookups agree.
+    EXPECT_EQ(blosum62_by_index(seq::residue_index(c), seq::residue_index('A')),
+              blosum62(c, 'A'));
   }
 }
 

@@ -121,5 +121,128 @@ TEST(HomologyGraph, EmptyInput) {
   EXPECT_EQ(g.num_edges(), 0u);
 }
 
+TEST(HomologyGraph, SimdAndScalarPathsProduceIdenticalGraphs) {
+  // The acceptance bar for the fast path: flipping use_simd must not move
+  // a single edge, in either seed mode.
+  seq::FamilyModelConfig cfg;
+  cfg.num_families = 6;
+  cfg.min_members = 4;
+  cfg.max_members = 7;
+  cfg.substitution_rate = 0.12;
+  cfg.indel_rate = 0.02;
+  cfg.seed = 44;
+  const auto mg = seq::generate_metagenome(cfg);
+
+  for (SeedMode mode : {SeedMode::KmerCount, SeedMode::MaximalMatch}) {
+    HomologyGraphConfig simd_cfg;
+    simd_cfg.seed_mode = mode;
+    simd_cfg.num_threads = 1;
+    simd_cfg.use_simd = true;
+    HomologyGraphConfig scalar_cfg = simd_cfg;
+    scalar_cfg.use_simd = false;
+
+    HomologyGraphStats simd_stats, scalar_stats;
+    const auto g_simd = build_homology_graph(mg.sequences, simd_cfg, &simd_stats);
+    const auto g_scalar =
+        build_homology_graph(mg.sequences, scalar_cfg, &scalar_stats);
+    EXPECT_EQ(g_simd.adjacency(), g_scalar.adjacency());
+    EXPECT_EQ(g_simd.offsets(), g_scalar.offsets());
+    EXPECT_EQ(simd_stats.num_score_alignments,
+              scalar_stats.num_score_alignments);
+    EXPECT_EQ(simd_stats.num_edges, scalar_stats.num_edges);
+  }
+}
+
+TEST(HomologyGraph, SimdAndScalarAgreeWithIdentityThreshold) {
+  seq::FamilyModelConfig cfg;
+  cfg.num_families = 4;
+  cfg.min_members = 4;
+  cfg.max_members = 6;
+  cfg.substitution_rate = 0.2;
+  cfg.seed = 63;
+  const auto mg = seq::generate_metagenome(cfg);
+
+  HomologyGraphConfig simd_cfg;
+  simd_cfg.num_threads = 1;
+  simd_cfg.min_identity = 0.7;
+  simd_cfg.min_score_per_residue = 0.5;
+  simd_cfg.min_score = 20;
+  HomologyGraphConfig scalar_cfg = simd_cfg;
+  scalar_cfg.use_simd = false;
+
+  const auto g_simd = build_homology_graph(mg.sequences, simd_cfg);
+  const auto g_scalar = build_homology_graph(mg.sequences, scalar_cfg);
+  EXPECT_EQ(g_simd.adjacency(), g_scalar.adjacency());
+  EXPECT_EQ(g_simd.offsets(), g_scalar.offsets());
+}
+
+TEST(HomologyGraph, StatsSeparateScoreAndTracedRuns) {
+  seq::FamilyModelConfig cfg;
+  cfg.num_families = 4;
+  cfg.min_members = 4;
+  cfg.max_members = 6;
+  cfg.substitution_rate = 0.1;
+  cfg.seed = 91;
+  const auto mg = seq::generate_metagenome(cfg);
+
+  // Without an identity threshold no traceback ever runs, and every
+  // candidate either hits the exact filter or one score DP.
+  HomologyGraphConfig plain;
+  plain.num_threads = 1;
+  HomologyGraphStats s0;
+  build_homology_graph(mg.sequences, plain, &s0);
+  EXPECT_EQ(s0.num_traced_alignments, 0u);
+  EXPECT_EQ(s0.num_alignments, s0.num_score_alignments);
+  EXPECT_EQ(s0.num_score_alignments + s0.num_exact_rejects,
+            s0.num_candidate_pairs);
+  EXPECT_EQ(s0.simd.runs_8bit + s0.simd.rescues_16bit +
+                s0.simd.scalar_fallbacks,
+            s0.num_score_alignments);
+
+  // With an identity threshold, traced DP runs add on top of score runs —
+  // the former num_alignments = pairs.size() undercounted this work.
+  HomologyGraphConfig with_identity = plain;
+  with_identity.min_identity = 0.1;
+  HomologyGraphStats s1;
+  build_homology_graph(mg.sequences, with_identity, &s1);
+  EXPECT_GT(s1.num_traced_alignments, 0u);
+  EXPECT_EQ(s1.num_alignments,
+            s1.num_score_alignments + s1.num_traced_alignments);
+  EXPECT_GT(s1.num_alignments, s1.num_candidate_pairs - s1.num_exact_rejects);
+}
+
+TEST(HomologyGraph, TracerRecordsPhaseSpansAndCounters) {
+  seq::FamilyModelConfig cfg;
+  cfg.num_families = 3;
+  cfg.min_members = 3;
+  cfg.max_members = 4;
+  cfg.seed = 7;
+  const auto mg = seq::generate_metagenome(cfg);
+
+  obs::Tracer tracer;
+  HomologyGraphConfig hcfg;
+  hcfg.num_threads = 1;
+  hcfg.tracer = &tracer;
+  HomologyGraphStats stats;
+  build_homology_graph(mg.sequences, hcfg, &stats);
+
+  EXPECT_EQ(tracer.counter("homology_candidate_pairs"),
+            stats.num_candidate_pairs);
+  EXPECT_EQ(tracer.counter("homology_alignments"), stats.num_alignments);
+  EXPECT_EQ(tracer.counter("homology_edges"), stats.num_edges);
+  // All three phase spans present, all host-measured.
+  for (const char* phase : {"homology.seed", "homology.verify",
+                            "homology.graph"}) {
+    bool found = false;
+    for (const auto& e : tracer.events()) {
+      if (e.name == phase) {
+        found = true;
+        EXPECT_EQ(e.domain, obs::Domain::HostMeasured);
+      }
+    }
+    EXPECT_TRUE(found) << phase;
+  }
+}
+
 }  // namespace
 }  // namespace gpclust::align

@@ -2,6 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "seq/alphabet.hpp"
+#include "util/rng.hpp"
+
 namespace gpclust::align {
 namespace {
 
@@ -90,6 +99,105 @@ TEST(KmerIndex, PairsAreOrderedAndUnique) {
                                return std::pair(p.a, p.b) <
                                       std::pair(q.a, q.b);
                              }));
+}
+
+TEST(KmerIndex, SortBasedCountingMatchesMapReference) {
+  // The production path counts shared seeds by sorting flat packed keys;
+  // this in-test reference keeps the old hash-map formulation. The two
+  // must agree on pair set, order, and counts for any input.
+  util::Xoshiro256 rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::string> residues;
+    const std::size_t count = 3 + rng.next_below(12);
+    std::string motif;
+    for (int i = 0; i < 8; ++i) {
+      motif += seq::kResidues[rng.next_below(seq::kNumStandardResidues)];
+    }
+    for (std::size_t s = 0; s < count; ++s) {
+      std::string r;
+      const std::size_t len = 6 + rng.next_below(30);
+      for (std::size_t i = 0; i < len; ++i) {
+        r += seq::kResidues[rng.next_below(6)];  // small alphabet: collisions
+      }
+      if (s % 2 == 0) r.insert(rng.next_below(r.size()), motif);
+      residues.push_back(std::move(r));
+    }
+    const auto set = make_set(std::move(residues));
+    KmerIndexConfig cfg;
+    cfg.k = 4;
+    cfg.min_shared_kmers = 1 + rng.next_below(2);
+    cfg.max_kmer_occurrences = 4 + rng.next_below(10);
+    const auto pairs = find_candidate_pairs(set, cfg);
+
+    // Reference: distinct k-mers per sequence, hash-map pair counting.
+    auto distinct = [&](const std::string& s) {
+      std::set<std::string> out;
+      for (std::size_t p = 0; p + cfg.k <= s.size(); ++p) {
+        out.insert(s.substr(p, cfg.k));
+      }
+      return out;
+    };
+    std::map<std::string, std::vector<u32>> postings;
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      for (const auto& kmer : distinct(set[i].residues)) {
+        postings[kmer].push_back(static_cast<u32>(i));
+      }
+    }
+    std::map<std::pair<u32, u32>, u32> counts;
+    for (const auto& [kmer, seqs] : postings) {
+      if (seqs.size() < 2 || seqs.size() > cfg.max_kmer_occurrences) continue;
+      for (std::size_t x = 0; x < seqs.size(); ++x) {
+        for (std::size_t y = x + 1; y < seqs.size(); ++y) {
+          ++counts[{seqs[x], seqs[y]}];
+        }
+      }
+    }
+    std::vector<CandidatePair> expected;
+    for (const auto& [key, c] : counts) {
+      if (c >= cfg.min_shared_kmers) {
+        expected.push_back({key.first, key.second, c, 0});
+      }
+    }
+    ASSERT_EQ(pairs.size(), expected.size()) << "trial=" << trial;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      EXPECT_EQ(pairs[i].a, expected[i].a);
+      EXPECT_EQ(pairs[i].b, expected[i].b);
+      EXPECT_EQ(pairs[i].shared_kmers, expected[i].shared_kmers);
+    }
+  }
+}
+
+TEST(KmerIndex, SeedDiagonalTracksOffset) {
+  // b is a by 4 residues shifted: every shared seed sits on diagonal +4.
+  const std::string core = "WWHHKKFFRRMMNNQQEE";
+  const auto set = make_set({"ACDE" + core, core});
+  KmerIndexConfig cfg;
+  cfg.k = 5;
+  cfg.min_shared_kmers = 1;
+  const auto pairs = find_candidate_pairs(set, cfg);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].diag, 4);
+
+  // Identical sequences share every seed on the main diagonal.
+  const auto same = make_set({core, core});
+  const auto self_pairs = find_candidate_pairs(same, cfg);
+  ASSERT_EQ(self_pairs.size(), 1u);
+  EXPECT_EQ(self_pairs[0].diag, 0);
+}
+
+TEST(KmerIndex, SeedDiagonalIsTheModeOverSharedSeeds) {
+  // Two shared blocks: a long one on diagonal 0 (more seeds) and a short
+  // one on diagonal +6; the mode must pick the long block's diagonal.
+  const std::string long_block = "WWHHKKFFRRMMNN";  // 10 distinct 5-mers
+  const std::string short_block = "QQEEYY";         // 2 distinct 5-mers
+  const auto set = make_set({long_block + "AAAAAA" + short_block,
+                             long_block + short_block});
+  KmerIndexConfig cfg;
+  cfg.k = 5;
+  cfg.min_shared_kmers = 1;
+  const auto pairs = find_candidate_pairs(set, cfg);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].diag, 0);
 }
 
 TEST(KmerIndex, Validation) {

@@ -1,0 +1,200 @@
+#include "align/prefilter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "align/blosum.hpp"
+#include "align/homology_graph.hpp"
+#include "align/smith_waterman.hpp"
+#include "seq/alphabet.hpp"
+#include "seq/family_model.hpp"
+#include "util/rng.hpp"
+
+namespace gpclust::align {
+namespace {
+
+std::string random_protein(util::Xoshiro256& rng, std::size_t len) {
+  std::string s(len, 'A');
+  for (auto& c : s) {
+    c = seq::kResidues[rng.next_below(seq::kNumStandardResidues)];
+  }
+  return s;
+}
+
+/// Reference for the x-drop scan with an unbounded drop: the best-scoring
+/// contiguous segment on the diagonal (Kadane).
+int kadane_diagonal(std::string_view a, std::string_view b, i32 diag) {
+  const i64 i_begin = std::max<i64>(0, diag);
+  const i64 i_end =
+      std::min<i64>(static_cast<i64>(a.size()), static_cast<i64>(b.size()) + diag);
+  int best = 0, run = 0;
+  for (i64 i = i_begin; i < i_end; ++i) {
+    run += blosum62(a[static_cast<std::size_t>(i)],
+                    b[static_cast<std::size_t>(i - diag)]);
+    best = std::max(best, run);
+    if (run < 0) run = 0;
+  }
+  return best;
+}
+
+TEST(Prefilter, UpperBoundHoldsOnFuzzedPairs) {
+  util::Xoshiro256 rng(11);
+  for (int iter = 0; iter < 500; ++iter) {
+    const auto a = random_protein(rng, rng.next_below(80));
+    const auto b = random_protein(rng, rng.next_below(80));
+    EXPECT_LE(smith_waterman(a, b).score,
+              alignment_score_upper_bound(a.size(), b.size()));
+  }
+  // Self-alignment of tryptophans attains the bound exactly.
+  EXPECT_EQ(smith_waterman("WWWW", "WWWW").score,
+            alignment_score_upper_bound(4, 4));
+}
+
+TEST(Prefilter, ExactRejectIsAdmissible) {
+  // A rejected pair must genuinely fail the thresholds under the full DP —
+  // this is the property that makes skipping its DP edge-set-preserving.
+  util::Xoshiro256 rng(23);
+  std::size_t rejects = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    const auto a = random_protein(rng, rng.next_below(30));
+    const auto b = random_protein(rng, rng.next_below(30));
+    const int min_score = static_cast<int>(rng.next_below(200));
+    const double per_residue = static_cast<double>(rng.next_below(160)) / 10.0;
+    if (!exact_reject(a.size(), b.size(), min_score, per_residue)) continue;
+    ++rejects;
+    const int score = smith_waterman(a, b).score;
+    const double needed =
+        per_residue * static_cast<double>(std::min(a.size(), b.size()));
+    EXPECT_TRUE(score < min_score || static_cast<double>(score) < needed)
+        << "a=" << a << " b=" << b << " score=" << score;
+  }
+  EXPECT_GT(rejects, 0u);
+}
+
+TEST(Prefilter, ExactRejectTriggersOnHopelessLengths) {
+  // 5 residues * 11 max = 55 < 100.
+  EXPECT_TRUE(exact_reject(5, 500, 100, 0.0));
+  EXPECT_FALSE(exact_reject(10, 500, 100, 0.0));
+  // Per-residue demand above the matrix maximum is unsatisfiable.
+  EXPECT_TRUE(exact_reject(50, 50, 0, 11.5));
+  EXPECT_FALSE(exact_reject(50, 50, 0, 11.0));
+  EXPECT_FALSE(exact_reject(0, 10, 0, 0.0));  // thresholds at zero
+}
+
+TEST(Prefilter, UngappedXdropMatchesKadaneWithUnboundedDrop) {
+  util::Xoshiro256 rng(37);
+  for (int iter = 0; iter < 400; ++iter) {
+    const auto a = random_protein(rng, rng.next_below(60));
+    const auto b = random_protein(rng, rng.next_below(60));
+    const i32 diag = static_cast<i32>(rng.next_below(41)) - 20;
+    EXPECT_EQ(ungapped_xdrop_score(a, b, diag,
+                                   std::numeric_limits<int>::max() / 2),
+              kadane_diagonal(a, b, diag))
+        << "a=" << a << " b=" << b << " diag=" << diag;
+  }
+}
+
+TEST(Prefilter, UngappedScoreLowerBoundsFullAlignment) {
+  // An ungapped diagonal segment is one feasible local alignment, so its
+  // score can never exceed the gapped optimum.
+  util::Xoshiro256 rng(41);
+  for (int iter = 0; iter < 300; ++iter) {
+    const auto a = random_protein(rng, rng.next_below(60));
+    const auto b = random_protein(rng, rng.next_below(60));
+    const i32 diag = static_cast<i32>(rng.next_below(21)) - 10;
+    for (int xdrop : {0, 5, 20, 1 << 20}) {
+      const int u = ungapped_xdrop_score(a, b, diag, xdrop);
+      EXPECT_GE(u, 0);
+      EXPECT_LE(u, smith_waterman(a, b).score);
+    }
+  }
+}
+
+TEST(Prefilter, UngappedFindsPlantedDiagonalCore) {
+  const std::string core = "WWWHHHKKKFFFMMM";
+  const std::string a = "AAAAAAA" + core;      // core at offset 7
+  const std::string b = "PP" + core + "LLLLL";  // core at offset 2
+  int core_score = 0;
+  for (char c : core) core_score += blosum62(c, c);
+  EXPECT_GE(ungapped_xdrop_score(a, b, 5, 30), core_score);
+  // A far-off diagonal has no overlap with the core.
+  EXPECT_LT(ungapped_xdrop_score(a, b, -12, 30), core_score);
+  // No overlap at all -> 0.
+  EXPECT_EQ(ungapped_xdrop_score(a, b, 1000, 30), 0);
+  EXPECT_EQ(ungapped_xdrop_score("", "MKV", 0, 30), 0);
+}
+
+TEST(Prefilter, NegativeXdropRejected) {
+  EXPECT_THROW(ungapped_xdrop_score("MKV", "MKV", 0, -1), InvalidArgument);
+}
+
+TEST(Prefilter, HeuristicTierOffByDefaultAndNeutralAtZeroThresholds) {
+  seq::FamilyModelConfig cfg;
+  cfg.num_families = 5;
+  cfg.min_members = 4;
+  cfg.max_members = 6;
+  cfg.substitution_rate = 0.1;
+  cfg.seed = 17;
+  const auto mg = seq::generate_metagenome(cfg);
+
+  HomologyGraphConfig base;
+  base.num_threads = 1;
+  EXPECT_FALSE(base.prefilter.enabled);
+
+  HomologyGraphConfig neutral = base;
+  neutral.prefilter.enabled = true;
+  neutral.prefilter.min_shared_seeds = 0;
+  neutral.prefilter.min_ungapped_score = 0;
+
+  HomologyGraphStats base_stats, neutral_stats;
+  const auto g0 = build_homology_graph(mg.sequences, base, &base_stats);
+  const auto g1 = build_homology_graph(mg.sequences, neutral, &neutral_stats);
+  EXPECT_EQ(g0.adjacency(), g1.adjacency());
+  EXPECT_EQ(g0.offsets(), g1.offsets());
+  EXPECT_EQ(neutral_stats.num_heuristic_rejects, 0u);
+}
+
+TEST(Prefilter, HeuristicTierProducesEdgeSubset) {
+  seq::FamilyModelConfig cfg;
+  cfg.num_families = 5;
+  cfg.min_members = 4;
+  cfg.max_members = 6;
+  cfg.substitution_rate = 0.15;
+  cfg.seed = 29;
+  const auto mg = seq::generate_metagenome(cfg);
+
+  HomologyGraphConfig base;
+  base.num_threads = 1;
+  HomologyGraphConfig filtered = base;
+  // Aggressive thresholds so the tier demonstrably fires on this workload
+  // (the defaults are gentler; any setting must still yield a subset).
+  filtered.prefilter.enabled = true;
+  filtered.prefilter.min_shared_seeds = 10;
+  filtered.prefilter.xdrop = 15;
+  filtered.prefilter.min_ungapped_score = 90;
+
+  HomologyGraphStats fstats;
+  const auto g_base = build_homology_graph(mg.sequences, base);
+  const auto g_filt = build_homology_graph(mg.sequences, filtered, &fstats);
+
+  // Every filtered edge must exist in the unfiltered graph.
+  ASSERT_EQ(g_base.num_vertices(), g_filt.num_vertices());
+  for (std::size_t u = 0; u < g_filt.num_vertices(); ++u) {
+    const auto base_nbrs = g_base.neighbors(static_cast<VertexId>(u));
+    for (VertexId v : g_filt.neighbors(static_cast<VertexId>(u))) {
+      EXPECT_TRUE(std::find(base_nbrs.begin(), base_nbrs.end(), v) !=
+                  base_nbrs.end())
+          << "edge " << u << "-" << v << " not in the unfiltered graph";
+    }
+  }
+  // The heuristic tier actually skipped DP work on this workload.
+  EXPECT_GT(fstats.num_heuristic_rejects, 0u);
+  EXPECT_LT(fstats.num_score_alignments,
+            fstats.num_candidate_pairs - fstats.num_exact_rejects);
+}
+
+}  // namespace
+}  // namespace gpclust::align

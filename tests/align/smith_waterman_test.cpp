@@ -235,5 +235,68 @@ TEST(SmithWatermanBanded, DiagonalCoreFoundWithNarrowBand) {
   EXPECT_EQ(banded.score, full.score);  // perfect diagonal needs band 0
 }
 
+TEST(SmithWatermanTracedBanded, WideBandMatchesFullTraceback) {
+  util::Xoshiro256 rng(71);
+  for (int iter = 0; iter < 30; ++iter) {
+    const auto a = random_protein(rng, 10 + rng.next_below(50));
+    const auto b = random_protein(rng, 10 + rng.next_below(50));
+    const auto full = smith_waterman_traced(a, b);
+    const auto banded =
+        smith_waterman_traced_banded(a, b, std::max(a.size(), b.size()));
+    EXPECT_EQ(banded.score, full.score);
+    // Same optimum and same deterministic tie-breaks -> identical trace.
+    EXPECT_EQ(banded.a_begin, full.a_begin);
+    EXPECT_EQ(banded.a_end, full.a_end);
+    EXPECT_EQ(banded.b_begin, full.b_begin);
+    EXPECT_EQ(banded.b_end, full.b_end);
+    EXPECT_EQ(banded.ops, full.ops);
+    EXPECT_EQ(banded.matches, full.matches);
+  }
+}
+
+TEST(SmithWatermanTracedBanded, ScoreMonotoneNonIncreasingAsBandShrinks) {
+  util::Xoshiro256 rng(83);
+  for (int iter = 0; iter < 25; ++iter) {
+    const auto a = random_protein(rng, 20 + rng.next_below(40));
+    const auto b = random_protein(rng, 20 + rng.next_below(40));
+    int prev = smith_waterman_traced_banded(a, b, std::max(a.size(), b.size()))
+                   .score;
+    EXPECT_EQ(prev, smith_waterman(a, b).score);
+    for (std::size_t band : {32u, 16u, 8u, 4u, 2u, 1u, 0u}) {
+      const auto t = smith_waterman_traced_banded(a, b, band);
+      EXPECT_LE(t.score, prev) << "band=" << band;
+      prev = t.score;
+    }
+  }
+}
+
+TEST(SmithWatermanTracedBanded, ColumnAccountingHoldsInsideTheBand) {
+  util::Xoshiro256 rng(97);
+  for (int iter = 0; iter < 20; ++iter) {
+    const auto a = random_protein(rng, 15 + rng.next_below(40));
+    const auto b = random_protein(rng, 15 + rng.next_below(40));
+    const auto t = smith_waterman_traced_banded(a, b, 6);
+    std::size_t matches = 0, a_cols = 0, b_cols = 0;
+    for (char op : t.ops) {
+      if (op == '|') ++matches;
+      if (op != 'b') ++a_cols;
+      if (op != 'a') ++b_cols;
+    }
+    EXPECT_EQ(matches, t.matches);
+    EXPECT_EQ(a_cols, t.a_end - t.a_begin);
+    EXPECT_EQ(b_cols, t.b_end - t.b_begin);
+    EXPECT_EQ(t.alignment_length, t.ops.size());
+  }
+}
+
+TEST(SmithWatermanTracedBanded, EmptyAndBandZero) {
+  EXPECT_EQ(smith_waterman_traced_banded("", "MKV", 4).score, 0);
+  EXPECT_EQ(smith_waterman_traced_banded("MKV", "", 4).score, 0);
+  const std::string s = "MKVLAAGGHTREQW";
+  const auto t = smith_waterman_traced_banded(s, s, 0);
+  EXPECT_EQ(t.score, smith_waterman(s, s).score);
+  EXPECT_EQ(t.ops, std::string(s.size(), '|'));
+}
+
 }  // namespace
 }  // namespace gpclust::align

@@ -19,11 +19,18 @@ cmake --preset ci
 cmake --build --preset ci
 ctest --preset ci
 
-echo "=== tier 2: ASan/UBSan gpclust_tests (preset: asan) ==="
+echo "=== tier 1b: alignment bench smoke (SIMD vs scalar edge identity) ==="
+# --quick keeps it to seconds; the bench asserts the SIMD and scalar
+# verification paths emit identical edges before reporting throughput.
+./build-ci/bench/bench_alignment --quick
+
+echo "=== tier 2: ASan/UBSan gpclust_tests + gpclust_align_tests (preset: asan) ==="
 cmake --preset asan
 cmake --build --preset asan
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
   ./build-asan/tests/gpclust_tests
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ./build-asan/tests/gpclust_align_tests
 
 echo "=== tier 3: chaos — randomized fault schedules under ASan ==="
 # Reuses the asan preset build; the chaos suite is the ctest label
