@@ -38,21 +38,21 @@ int main(int argc, char** argv) {
   for (double scale : scales) {
     const auto pg = bench::make_2m_analog(scale);
 
-    auto run = [&](bool async) {
+    auto run = [&](std::size_t num_streams) {
       device::DeviceSpec spec = device::DeviceSpec::tesla_k20();
       spec.global_memory_bytes = device_mb << 20;
       device::DeviceContext ctx(spec);
       core::ShinglingParams params;
       core::GpClustOptions options;
-      options.async = async;
+      options.pipeline.num_streams = num_streams;
       core::GpClust gp(ctx, params, options);
       core::GpClustReport report;
       auto c = gp.cluster(pg.graph, &report);
       return report;
     };
 
-    const auto sync_report = run(false);
-    const auto async_report = run(true);
+    const auto sync_report = run(1);
+    const auto async_report = run(2);  // single-lane transfer overlap
     const double saved =
         sync_report.device_makespan - async_report.device_makespan;
     // Fraction of the D2H busy time hidden by overlap.

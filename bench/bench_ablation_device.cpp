@@ -4,7 +4,7 @@
 // (Fermi), and a memory-starved K20, comparing modeled device makespans
 // and batching behavior. Output identity is asserted via digests.
 //
-// Flags: --scale (default 0.25), --async.
+// Flags: --scale (default 0.25), --streams (default 1).
 
 #include <cstdio>
 
@@ -42,7 +42,8 @@ int main(int argc, char** argv) {
   params.c1 = 100;
   params.c2 = 50;
   core::GpClustOptions options;
-  options.async = args.get_bool("async", false);
+  options.pipeline.num_streams =
+      static_cast<std::size_t>(args.get_int("streams", 1));
 
   util::AsciiTable table({"device", "GPU", "Data c->g", "Data g->c",
                           "makespan", "batches", "digest"});

@@ -13,15 +13,18 @@
 // Flags: --quick (tiny run for CI smoke), --families=N (workload scale),
 //        --seed=N (family-model seed), --reps=N (verify best-of-N),
 //        --prefilter (add an opt-in heuristic-prefilter row; its edge
-//        set may differ — labeled).
+//        set may differ — labeled),
+//        --json=PATH (machine-readable results, docs/bench_json.md).
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "align/homology_graph.hpp"
+#include "obs/json.hpp"
 #include "obs/trace.hpp"
 #include "seq/alphabet.hpp"
 #include "seq/family_model.hpp"
@@ -189,6 +192,51 @@ int main(int argc, char** argv) {
                 "%zu pairs skipped\n",
                 pf.verify_s, pf.edges, simd.edges,
                 pf.stats.num_heuristic_rejects);
+  }
+
+  const auto json_path = args.get_string("json", "");
+  if (!json_path.empty()) {
+    const auto doc = obs::json::object({
+        {"bench", obs::json::string("alignment")},
+        {"time_domain", obs::json::string("host_measured")},
+        {"workload",
+         obs::json::object({
+             {"sequences",
+              obs::json::number(static_cast<double>(mg.sequences.size()))},
+             {"residues", obs::json::number(static_cast<double>(residues))},
+             {"seed", obs::json::number(static_cast<double>(mcfg.seed))},
+         })},
+        {"verify",
+         obs::json::object({
+             {"surviving_pairs", obs::json::number(pairs)},
+             {"edges", obs::json::number(static_cast<double>(simd.edges))},
+             {"scalar_s", obs::json::number(scalar.verify_s)},
+             {"simd_s", obs::json::number(simd.verify_s)},
+             {"simd_speedup",
+              obs::json::number(scalar.verify_s / simd.verify_s)},
+             {"runs_8bit",
+              obs::json::number(
+                  static_cast<double>(simd.stats.simd.runs_8bit))},
+             {"rescues_16bit",
+              obs::json::number(
+                  static_cast<double>(simd.stats.simd.rescues_16bit))},
+             {"scalar_fallbacks",
+              obs::json::number(
+                  static_cast<double>(simd.stats.simd.scalar_fallbacks))},
+         })},
+        {"seed_pairs",
+         obs::json::object({
+             {"promoted_pairs",
+              obs::json::number(static_cast<double>(map_pairs))},
+             {"hash_map_s", obs::json::number(map_s)},
+             {"sort_based_s", obs::json::number(sort_s)},
+             {"sort_speedup", obs::json::number(map_s / sort_s)},
+         })},
+    });
+    std::ofstream out(json_path);
+    GPCLUST_CHECK(out.good(), "cannot open --json file");
+    out << obs::json::dump(doc) << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
   }
   return 0;
 }

@@ -7,7 +7,7 @@
 //
 // Flags: --vertices (default 200000), --avg-degree (default 12),
 //        --device-mb (default 16: small on purpose, to force many batches),
-//        --c1/--c2 (default 200/100), --async.
+//        --c1/--c2 (default 200/100), --streams (default 1).
 
 #include <cstdio>
 
@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
   params.c1 = static_cast<u32>(args.get_int("c1", 200));
   params.c2 = static_cast<u32>(args.get_int("c2", 100));
   core::GpClustOptions options;
-  options.async = args.get_bool("async", false);
+  options.pipeline.num_streams =
+      static_cast<std::size_t>(args.get_int("streams", 1));
 
   util::WallTimer wall;
   core::GpClust gp(ctx, params, options);

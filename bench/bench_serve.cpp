@@ -1,0 +1,225 @@
+// Query-service throughput and latency: classifies a synthetic metagenome
+// back against its own family-index snapshot across worker-pool sizes and
+// representative-profile cache capacities, then demonstrates bounded-queue
+// backpressure under deliberate overload. Every number printed here is
+// HOST-MEASURED wall time on this machine (the serving path never touches
+// the modeled device); latency quantiles come from the service's merged
+// log2 histogram.
+//
+// Note the build host has one CPU core: extra workers buy concurrency
+// bookkeeping, not parallel speedup — the interesting columns are the
+// latency distribution and the cache hit rate, not cross-row throughput.
+//
+// Flags: --quick (tiny run for CI smoke), --families=N (workload scale),
+//        --seed=N (family-model seed), --queries=N (batch size per row,
+//        default = whole workload), --json=PATH (machine-readable results,
+//        schema in docs/bench_json.md).
+
+#include <cstdio>
+#include <fstream>
+
+#include "align/homology_graph.hpp"
+#include "core/serial_pclust.hpp"
+#include "obs/json.hpp"
+#include "seq/family_model.hpp"
+#include "serve/query_service.hpp"
+#include "store/snapshot.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace gpclust {
+namespace {
+
+struct SweepRow {
+  std::size_t workers = 0;
+  std::size_t cache = 0;
+  std::size_t queries = 0;
+  std::size_t assigned = 0;
+  double wall_s = 0;
+  obs::Histogram latency;
+  serve::ServiceStats stats;
+};
+
+SweepRow run_sweep(const store::FamilyStore& store,
+                   const std::vector<std::string>& queries,
+                   std::size_t workers, std::size_t cache) {
+  SweepRow row;
+  row.workers = workers;
+  row.cache = cache;
+  row.queries = queries.size();
+  serve::ServiceConfig config;
+  config.num_workers = workers;
+  config.queue_capacity = queries.size() + 1;  // admission never the limiter
+  config.profile_cache_capacity = cache;
+  serve::QueryService service(store, config);
+  util::WallTimer timer;
+  const auto outcomes = service.classify_batch(queries);
+  row.wall_s = timer.seconds();
+  for (const auto& outcome : outcomes) {
+    if (outcome.rejected == serve::RejectReason::None &&
+        outcome.result.outcome == serve::ClassifyOutcome::Assigned) {
+      ++row.assigned;
+    }
+  }
+  row.latency = service.latency_histogram();
+  row.stats = service.stats();
+  return row;
+}
+
+}  // namespace
+}  // namespace gpclust
+
+int main(int argc, char** argv) {
+  using namespace gpclust;
+  const util::CliArgs args(argc, argv);
+  const bool quick = args.get_bool("quick", false);
+
+  // --- Workload: demo metagenome -> families -> snapshot-shaped store ----
+  seq::FamilyModelConfig mcfg;
+  mcfg.num_families =
+      static_cast<std::size_t>(args.get_int("families", quick ? 12 : 40));
+  mcfg.min_members = 4;
+  mcfg.max_members = 16;
+  mcfg.substitution_rate = 0.08;
+  mcfg.fragment_min_fraction = 0.8;
+  mcfg.seed = static_cast<u64>(args.get_int("seed", 42));
+  const auto mg = seq::generate_metagenome(mcfg);
+  const auto graph = align::build_homology_graph(mg.sequences);
+  core::ShinglingParams params;
+  params.c1 = 80;
+  params.c2 = 40;
+  const auto clustering = core::SerialShingler(params).cluster(graph);
+  const auto store =
+      store::build_family_store(mg.sequences, clustering.labels());
+
+  std::vector<std::string> queries;
+  for (const auto& s : mg.sequences) queries.push_back(s.residues);
+  const auto num_queries = static_cast<std::size_t>(
+      args.get_int("queries", static_cast<i64>(queries.size())));
+  if (num_queries < queries.size()) queries.resize(num_queries);
+
+  std::printf("workload: %zu sequences, %llu families, %zu representatives "
+              "(k=%llu); %zu queries per row\n",
+              store.num_sequences(),
+              static_cast<unsigned long long>(store.num_families),
+              store.representatives.size(),
+              static_cast<unsigned long long>(store.kmer_k), queries.size());
+  std::printf("all times below are host-measured wall seconds\n\n");
+
+  // --- Sweep: workers x profile-cache capacity ---------------------------
+  obs::json::Array json_rows;
+  std::printf("%8s %6s %10s %10s %10s %10s %10s %8s\n", "workers", "cache",
+              "wall", "queries/s", "p50", "p95", "p99", "hit%");
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    for (const std::size_t cache : {std::size_t{4}, std::size_t{64}}) {
+      const auto row = run_sweep(store, queries, workers, cache);
+      const double lookups = static_cast<double>(row.stats.profile_hits +
+                                                 row.stats.profile_builds);
+      const double hit_rate =
+          lookups > 0
+              ? static_cast<double>(row.stats.profile_hits) / lookups
+              : 0.0;
+      std::printf("%8zu %6zu %9.3fs %10.0f %9.2fms %9.2fms %9.2fms %7.1f%%\n",
+                  row.workers, row.cache, row.wall_s,
+                  static_cast<double>(row.queries) / row.wall_s,
+                  1e3 * row.latency.p50(), 1e3 * row.latency.p95(),
+                  1e3 * row.latency.p99(), 100.0 * hit_rate);
+      json_rows.push_back(obs::json::object({
+          {"workers", obs::json::number(static_cast<double>(row.workers))},
+          {"profile_cache", obs::json::number(static_cast<double>(row.cache))},
+          {"queries", obs::json::number(static_cast<double>(row.queries))},
+          {"assigned", obs::json::number(static_cast<double>(row.assigned))},
+          {"wall_s", obs::json::number(row.wall_s)},
+          {"queries_per_s",
+           obs::json::number(static_cast<double>(row.queries) / row.wall_s)},
+          {"latency_p50_s", obs::json::number(row.latency.p50())},
+          {"latency_p95_s", obs::json::number(row.latency.p95())},
+          {"latency_p99_s", obs::json::number(row.latency.p99())},
+          {"latency_mean_s", obs::json::number(row.latency.mean_seconds())},
+          {"latency_max_s", obs::json::number(row.latency.max_seconds())},
+          {"profile_hits",
+           obs::json::number(static_cast<double>(row.stats.profile_hits))},
+          {"profile_builds",
+           obs::json::number(static_cast<double>(row.stats.profile_builds))},
+      }));
+    }
+  }
+
+  // --- Overload: bounded queue + paused workers => counted rejects -------
+  // start_paused fills the queue deterministically; with admission Off the
+  // (queries - capacity) overflow submissions reject immediately instead
+  // of queueing unbounded latency. resume() then drains every admitted
+  // query — backpressure sheds load, it never loses accepted work.
+  serve::ServiceConfig overload;
+  overload.num_workers = 1;
+  overload.queue_capacity = std::max<std::size_t>(4, queries.size() / 8);
+  overload.start_paused = true;
+  std::size_t completed = 0;
+  serve::ServiceStats ostats;
+  {
+    serve::QueryService service(store, overload);
+    std::vector<std::future<serve::QueryOutcome>> futures;
+    for (const auto& query : queries)
+      futures.push_back(service.submit(query));
+    service.resume();
+    for (auto& future : futures) {
+      if (future.get().rejected == serve::RejectReason::None) ++completed;
+    }
+    ostats = service.stats();
+  }
+  std::printf("\noverload (queue=%zu, admission=off, workers paused during "
+              "submission):\n  %llu submitted, %llu accepted, %llu rejected "
+              "queue-full, %zu completed\n",
+              overload.queue_capacity,
+              static_cast<unsigned long long>(ostats.submitted),
+              static_cast<unsigned long long>(ostats.accepted),
+              static_cast<unsigned long long>(ostats.rejected_queue_full),
+              completed);
+  GPCLUST_CHECK(ostats.rejected_queue_full > 0,
+                "overload run failed to engage backpressure");
+  GPCLUST_CHECK(ostats.accepted == completed,
+                "an admitted query did not complete");
+
+  const auto json_path = args.get_string("json", "");
+  if (!json_path.empty()) {
+    const auto doc = obs::json::object({
+        {"bench", obs::json::string("serve")},
+        {"time_domain", obs::json::string("host_measured")},
+        {"workload",
+         obs::json::object({
+             {"sequences",
+              obs::json::number(static_cast<double>(store.num_sequences()))},
+             {"families",
+              obs::json::number(static_cast<double>(store.num_families))},
+             {"representatives",
+              obs::json::number(
+                  static_cast<double>(store.representatives.size()))},
+             {"kmer_k",
+              obs::json::number(static_cast<double>(store.kmer_k))},
+             {"queries",
+              obs::json::number(static_cast<double>(queries.size()))},
+         })},
+        {"rows", obs::json::array(json_rows)},
+        {"overload",
+         obs::json::object({
+             {"queue_capacity",
+              obs::json::number(
+                  static_cast<double>(overload.queue_capacity))},
+             {"submitted",
+              obs::json::number(static_cast<double>(ostats.submitted))},
+             {"accepted",
+              obs::json::number(static_cast<double>(ostats.accepted))},
+             {"rejected_queue_full",
+              obs::json::number(
+                  static_cast<double>(ostats.rejected_queue_full))},
+             {"completed", obs::json::number(static_cast<double>(completed))},
+         })},
+    });
+    std::ofstream out(json_path);
+    GPCLUST_CHECK(out.good(), "cannot open --json file");
+    out << obs::json::dump(doc) << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

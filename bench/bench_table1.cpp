@@ -19,15 +19,18 @@
 //
 // Flags: --scale20k, --scale2m (workload scale), --quick (tiny run),
 //        --devagg=false (skip the device-aggregation extension row),
-//        --trace-out=PREFIX (write PREFIX<row>.json chrome traces).
+//        --trace-out=PREFIX (write PREFIX<row>.json chrome traces),
+//        --json=PATH (machine-readable rows, schema in docs/bench_json.md).
 
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "core/gpclust.hpp"
 #include "core/serial_pclust.hpp"
 #include "graph/graph_io.hpp"
+#include "obs/json.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -183,5 +186,45 @@ int main(int argc, char** argv) {
   std::printf("paper reference: 20K -> total 5.88x, GPU part 44.86x; "
               "2M -> total 7.18x (GPU column modeled from the K20-calibrated "
               "cost model; CPU/serial measured on this host).\n");
+
+  const auto json_path = args.get_string("json", "");
+  if (!json_path.empty()) {
+    obs::json::Array json_rows;
+    for (const auto& r : rows) {
+      // The `_modeled_s` suffix marks simulated-device seconds; everything
+      // else is host-measured — the two domains never share a field.
+      json_rows.push_back(obs::json::object({
+          {"graph", obs::json::string(r.name)},
+          {"non_singleton",
+           obs::json::number(static_cast<double>(r.non_singleton))},
+          {"edges", obs::json::number(static_cast<double>(r.edges))},
+          {"cpu_s", obs::json::number(r.cpu)},
+          {"gpu_modeled_s", obs::json::number(r.gpu)},
+          {"h2d_modeled_s", obs::json::number(r.h2d)},
+          {"d2h_modeled_s", obs::json::number(r.d2h)},
+          {"disk_s", obs::json::number(r.disk)},
+          {"total_s", obs::json::number(r.total)},
+          {"serial_s", obs::json::number(r.serial_total)},
+          {"serial_shingling_s", obs::json::number(r.serial_shingling)},
+          {"total_speedup", obs::json::number(r.serial_total / r.total)},
+          {"gpu_speedup", obs::json::number(r.serial_shingling / r.gpu)},
+      }));
+    }
+    const auto doc = obs::json::object({
+        {"bench", obs::json::string("table1")},
+        {"time_domain", obs::json::string("mixed_labeled")},
+        {"params", obs::json::object({
+                       {"s1", obs::json::number(params.s1)},
+                       {"c1", obs::json::number(params.c1)},
+                       {"s2", obs::json::number(params.s2)},
+                       {"c2", obs::json::number(params.c2)},
+                   })},
+        {"rows", obs::json::array(json_rows)},
+    });
+    std::ofstream out(json_path);
+    GPCLUST_CHECK(out.good(), "cannot open --json file");
+    out << obs::json::dump(doc) << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

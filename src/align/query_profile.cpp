@@ -48,4 +48,27 @@ QueryProfile::QueryProfile(std::string_view query) : query_(query) {
   }
 }
 
+LruQueryProfileCache::LruQueryProfileCache(std::size_t capacity)
+    : capacity_(capacity) {
+  GPCLUST_CHECK(capacity >= 1, "profile cache needs capacity >= 1");
+}
+
+const QueryProfile& LruQueryProfileCache::get(u32 id,
+                                              std::string_view sequence) {
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    ++hits_;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return entries_.front().second;
+  }
+  if (entries_.size() >= capacity_) {
+    index_.erase(entries_.back().first);
+    entries_.pop_back();
+  }
+  ++builds_;
+  entries_.emplace_front(id, QueryProfile(sequence));
+  index_.emplace(id, entries_.begin());
+  return entries_.front().second;
+}
+
 }  // namespace gpclust::align

@@ -7,9 +7,11 @@
 // shares the query, which is why the homology-graph verifier sorts its
 // pairs by query id and runs them through a single-slot cache.
 
+#include <list>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "util/common.hpp"
@@ -72,6 +74,40 @@ class QueryProfileCache {
   u32 id_ = 0;
   u64 builds_ = 0;
   std::optional<QueryProfile> slot_;
+};
+
+/// Capacity-bounded LRU profile cache keyed by sequence id — the serving
+/// layer's counterpart of the single-slot cache above. Batch verification
+/// sees one query many times in a row (single slot suffices); a query
+/// service sees arbitrary queries that keep re-hitting the same small set
+/// of family representatives, so profiles are built for the
+/// *representatives* and an LRU over them turns the per-alignment profile
+/// build into a hit after warm-up. Not thread-safe — each serve worker
+/// owns one (same ownership rule as QueryProfileCache).
+class LruQueryProfileCache {
+ public:
+  /// `capacity` >= 1 profiles are retained (checked).
+  explicit LruQueryProfileCache(std::size_t capacity = 64);
+
+  /// Profile for sequence `id`, building from `sequence` on a miss and
+  /// evicting the least recently used entry when full. The reference stays
+  /// valid until `id` is evicted (i.e. at least `capacity - 1` distinct
+  /// intervening gets).
+  const QueryProfile& get(u32 id, std::string_view sequence);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  u64 builds() const { return builds_; }  ///< misses (profile constructions)
+  u64 hits() const { return hits_; }
+
+ private:
+  using Entry = std::pair<u32, QueryProfile>;
+
+  std::size_t capacity_;
+  std::list<Entry> entries_;  ///< front = most recently used
+  std::unordered_map<u32, std::list<Entry>::iterator> index_;
+  u64 builds_ = 0;
+  u64 hits_ = 0;
 };
 
 }  // namespace gpclust::align

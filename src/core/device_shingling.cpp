@@ -259,7 +259,7 @@ ShingleTuples extract_shingles_device(device::DeviceContext& ctx,
   obs::Tracer* tracer = ctx.tracer();
   obs::DevicePhaseScope phase_scope(tracer, trace_phase);
 
-  const std::size_t num_streams = options.effective_streams();
+  const std::size_t num_streams = options.num_streams;
   GPCLUST_CHECK(num_streams >= 1, "need at least one device stream");
   ctx.timeline().ensure_streams(num_streams);
   std::vector<Lane> lanes = make_lanes(num_streams);

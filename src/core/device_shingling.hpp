@@ -17,8 +17,8 @@
 // trial minima double-buffered inside the lane so D2H copies overlap the
 // next trial's kernels, and up to lane-count batches co-resident so batch
 // i's D2H overlaps batch i+1's H2D and kernels. num_streams=1 is the
-// paper's synchronous Thrust behavior; num_streams=2 is the legacy
-// `async` mode (one lane, dedicated copy stream).
+// paper's synchronous Thrust behavior; num_streams=2 is one lane with a
+// dedicated copy stream (the single-lane overlap engine).
 
 #include "core/batching.hpp"
 #include "core/minhash.hpp"
@@ -33,14 +33,9 @@ namespace gpclust::core {
 struct DevicePassOptions {
   std::size_t max_batch_elements = 0;  ///< 0: derive from device memory
 
-  /// Deprecated alias for num_streams=2 (kept so existing callers keep
-  /// their meaning): overlap D2H with compute on a second stream. Ignored
-  /// when num_streams is set explicitly (> 0).
-  bool async = false;
-
-  /// Device streams available to the pipeline scheduler; 0 derives from
-  /// `async` (2 when set, else 1). See PipelineParams::num_streams.
-  std::size_t num_streams = 0;
+  /// Device streams available to the pipeline scheduler (1 = the paper's
+  /// synchronous behavior). See PipelineParams::num_streams.
+  std::size_t num_streams = 1;
 
   /// How the pass reacts to device faults (injected or real): adaptive
   /// batch backoff on OOM, bounded retries for transient transfer/kernel
@@ -49,11 +44,6 @@ struct DevicePassOptions {
   /// with the stream pipeline by draining every in-flight batch buffer
   /// before the recovery ladder runs (see DevicePassStats).
   fault::ResiliencePolicy resilience;
-
-  /// Streams the pass will actually use (resolves the async alias).
-  std::size_t effective_streams() const {
-    return num_streams > 0 ? num_streams : (async ? 2 : 1);
-  }
 };
 
 struct DevicePassStats {

@@ -122,11 +122,7 @@ Clustering GpClust::run(const graph::CsrGraph& g, GpClustReport* report,
   options_.pipeline.validate();
   util::MetricsRegistry reg;
   DevicePassOptions pass_options;
-  pass_options.async = options_.async;
-  // An explicit stream budget (> 1) wins over the deprecated async alias;
-  // the default of 1 leaves the alias meaningful (0 = derive from async).
-  pass_options.num_streams =
-      options_.pipeline.num_streams > 1 ? options_.pipeline.num_streams : 0;
+  pass_options.num_streams = options_.pipeline.num_streams;
   pass_options.max_batch_elements = options_.max_batch_elements;
   pass_options.resilience = options_.resilience;
 

@@ -24,12 +24,6 @@ class Tracer;
 namespace gpclust::core {
 
 struct GpClustOptions {
-  /// Deprecated alias for pipeline.num_streams = 2 (kept so existing
-  /// callers keep their meaning): overlap device->host shingle transfers
-  /// with the next trial's kernels. Ignored when pipeline.num_streams is
-  /// set above 1.
-  bool async = false;
-
   /// Execution shape of the CPU-GPU pipeline (DESIGN.md §8): device
   /// streams for the batch scheduler and hash-prefix shards for the
   /// CPU-side tuple aggregation. Neither knob changes the clustering

@@ -1,0 +1,91 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace gpclust::obs {
+
+namespace {
+
+/// Bucket index of a latency: floor(log2(nanoseconds)), clamped.
+std::size_t bucket_of(double seconds) {
+  const double ns = seconds * 1e9;
+  if (!(ns >= 1.0)) return 0;  // sub-nanosecond, negative, or NaN
+  const u64 n = static_cast<u64>(std::min(ns, 1.8e18));
+  return static_cast<std::size_t>(std::bit_width(n) - 1);
+}
+
+/// Lower edge of a bucket, in seconds.
+double bucket_lo(std::size_t bucket) {
+  return static_cast<double>(u64{1} << bucket) * 1e-9;
+}
+
+}  // namespace
+
+void Histogram::record(double seconds) {
+  const double v = seconds > 0.0 ? seconds : 0.0;
+  ++buckets_[bucket_of(v)];
+  if (count_ == 0) {
+    min_seconds_ = max_seconds_ = v;
+  } else {
+    min_seconds_ = std::min(min_seconds_, v);
+    max_seconds_ = std::max(max_seconds_, v);
+  }
+  ++count_;
+  total_seconds_ += v;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  // Rank in [1, count]: the smallest bucket whose cumulative count reaches
+  // it holds the quantile.
+  const u64 rank = std::max<u64>(
+      1, static_cast<u64>(std::ceil(clamped * static_cast<double>(count_))));
+  u64 cumulative = 0;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    if (cumulative + buckets_[b] >= rank) {
+      // Linear interpolation across the bucket's width by intra-bucket
+      // rank; clamp to the observed extremes so tiny samples don't report
+      // a quantile outside [min, max].
+      const double lo = bucket_lo(b);
+      const double width = lo;  // [2^b, 2^(b+1)) ns is one lo wide
+      const double frac = buckets_[b] == 1
+                              ? 0.5
+                              : static_cast<double>(rank - cumulative - 1) /
+                                    static_cast<double>(buckets_[b] - 1);
+      return std::clamp(lo + frac * width, min_seconds_, max_seconds_);
+    }
+    cumulative += buckets_[b];
+  }
+  return max_seconds_;
+}
+
+Histogram& Histogram::operator+=(const Histogram& other) {
+  if (other.count_ == 0) return *this;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) buckets_[b] += other.buckets_[b];
+  if (count_ == 0) {
+    min_seconds_ = other.min_seconds_;
+    max_seconds_ = other.max_seconds_;
+  } else {
+    min_seconds_ = std::min(min_seconds_, other.min_seconds_);
+    max_seconds_ = std::max(max_seconds_, other.max_seconds_);
+  }
+  count_ += other.count_;
+  total_seconds_ += other.total_seconds_;
+  return *this;
+}
+
+std::string Histogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.6fs p50=%.6fs p95=%.6fs p99=%.6fs max=%.6fs",
+                static_cast<unsigned long long>(count_), mean_seconds(), p50(),
+                p95(), p99(), max_seconds());
+  return buf;
+}
+
+}  // namespace gpclust::obs

@@ -1,0 +1,62 @@
+#pragma once
+// Fixed-bucket latency histogram for the serving layer (DESIGN.md §10):
+// 64 log2 buckets over nanoseconds, so one cache line of counters covers
+// sub-microsecond spins to hour-long stalls with bounded relative error.
+// Recording is O(1) and allocation-free; quantiles interpolate linearly
+// inside the winning bucket. Merging worker-local histograms is exact
+// (bucket-wise addition), which is how QueryService keeps its hot path
+// off any shared lock: each worker records into its own histogram and the
+// service merges on read.
+//
+// Not thread-safe by itself — share one per thread, or guard externally
+// (Tracer::record_latency does the latter).
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace gpclust::obs {
+
+class Histogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 64;
+
+  /// Records one latency. Negative values clamp to 0; values are bucketed
+  /// by floor(log2(nanoseconds)).
+  void record(double seconds);
+
+  u64 count() const { return count_; }
+  double total_seconds() const { return total_seconds_; }
+  double mean_seconds() const {
+    return count_ == 0 ? 0.0 : total_seconds_ / static_cast<double>(count_);
+  }
+  double min_seconds() const { return count_ == 0 ? 0.0 : min_seconds_; }
+  double max_seconds() const { return count_ == 0 ? 0.0 : max_seconds_; }
+  u64 bucket_count(std::size_t bucket) const { return buckets_.at(bucket); }
+
+  /// Quantile estimate in seconds, q in [0, 1]: walks the cumulative
+  /// counts to the winning bucket, then interpolates linearly between the
+  /// bucket's edges (clamped to the observed min/max). 0 when empty.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+  /// Exact merge: bucket-wise addition (quantiles of the merged histogram
+  /// equal quantiles of the concatenated streams up to bucket resolution).
+  Histogram& operator+=(const Histogram& other);
+
+  /// One-line rendering: count, mean, p50/p95/p99, max (seconds).
+  std::string summary() const;
+
+ private:
+  std::array<u64, kNumBuckets> buckets_{};
+  u64 count_ = 0;
+  double total_seconds_ = 0.0;
+  double min_seconds_ = 0.0;
+  double max_seconds_ = 0.0;
+};
+
+}  // namespace gpclust::obs

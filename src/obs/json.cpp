@@ -1,7 +1,17 @@
 #include "obs/json.hpp"
 
 #include <cctype>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+
+// GCC 12 false-fires -Wmaybe-uninitialized on inlined std::variant copies
+// at -O2. Value's special members are defined out-of-line so the noise is
+// confined to this one TU, where it can be suppressed without hiding real
+// diagnostics anywhere else.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
 
 namespace gpclust::obs::json {
 
@@ -196,6 +206,12 @@ class Parser {
 
 }  // namespace
 
+Value::Value(const Value& other) = default;
+Value::Value(Value&& other) noexcept = default;
+Value& Value::operator=(const Value& other) = default;
+Value& Value::operator=(Value&& other) noexcept = default;
+Value::~Value() = default;
+
 bool Value::boolean() const {
   if (!is_bool()) wrong_kind("a bool");
   return std::get<bool>(storage_);
@@ -235,5 +251,90 @@ bool Value::contains(std::string_view key) const {
 }
 
 Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+Value number(double v) { return Value(Value::Storage(v)); }
+Value string(std::string v) { return Value(Value::Storage(std::move(v))); }
+Value boolean(bool v) { return Value(Value::Storage(v)); }
+Value array(Array items) { return Value(Value::Storage(std::move(items))); }
+Value object(Object members) {
+  return Value(Value::Storage(std::move(members)));
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  // Integers (the common case for counts) print exactly; everything else
+  // gets 12 significant digits — enough for timing data, and stable.
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 9.0e15) {
+    out += std::to_string(static_cast<long long>(v));
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out += buf;
+}
+
+void append_value(std::string& out, const Value& value) {
+  if (value.is_null()) {
+    out += "null";
+  } else if (value.is_bool()) {
+    out += value.boolean() ? "true" : "false";
+  } else if (value.is_number()) {
+    append_number(out, value.number());
+  } else if (value.is_string()) {
+    append_escaped(out, value.string());
+  } else if (value.is_array()) {
+    out += '[';
+    bool first = true;
+    for (const Value& v : value.array()) {
+      if (!first) out += ',';
+      first = false;
+      append_value(out, v);
+    }
+    out += ']';
+  } else {
+    out += '{';
+    bool first = true;
+    for (const auto& [key, v] : value.object()) {
+      if (!first) out += ',';
+      first = false;
+      append_escaped(out, key);
+      out += ':';
+      append_value(out, v);
+    }
+    out += '}';
+  }
+}
+
+}  // namespace
+
+std::string dump(const Value& value) {
+  std::string out;
+  append_value(out, value);
+  return out;
+}
 
 }  // namespace gpclust::obs::json

@@ -26,6 +26,16 @@ class Value {
   Value() : storage_(nullptr) {}
   explicit Value(Storage s) : storage_(std::move(s)) {}
 
+  // Out-of-line special members: GCC 12's -Wmaybe-uninitialized false-fires
+  // on inlined variant copies inside nested Object/Array initializer lists
+  // (the writers in bench/*). Keeping the copy opaque sidesteps that
+  // without suppressing the warning globally.
+  Value(const Value& other);
+  Value(Value&& other) noexcept;
+  Value& operator=(const Value& other);
+  Value& operator=(Value&& other) noexcept;
+  ~Value();
+
   bool is_null() const { return std::holds_alternative<std::nullptr_t>(storage_); }
   bool is_bool() const { return std::holds_alternative<bool>(storage_); }
   bool is_number() const { return std::holds_alternative<double>(storage_); }
@@ -51,5 +61,22 @@ class Value {
 /// Parses one JSON document (trailing whitespace allowed, nothing else).
 /// Throws ParseError with a byte offset on malformed input.
 Value parse(std::string_view text);
+
+/// Serializes a Value back to JSON text. Deterministic: object members
+/// come out in the map's key order, numbers via shortest round-trip-ish
+/// "%.12g" (integers print without a decimal point). parse(dump(v))
+/// reproduces v for every value this writer emits — the bench drivers'
+/// `--json` outputs go through here so their schema tests can reparse
+/// them.
+std::string dump(const Value& value);
+
+/// Convenience constructors for writers (the Value(Storage) ctor is
+/// explicit so readers never build values by accident). Out-of-line for
+/// the same -Wmaybe-uninitialized reason as the special members above.
+Value number(double v);
+Value string(std::string v);
+Value boolean(bool v);
+Value array(Array items);
+Value object(Object members);
 
 }  // namespace gpclust::obs::json

@@ -90,6 +90,35 @@ std::map<std::string, u64> Tracer::counters() const {
   return {counters_.begin(), counters_.end()};
 }
 
+void Tracer::record_latency(std::string_view name, double seconds) {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  it->second.record(seconds);
+}
+
+void Tracer::merge_latency(std::string_view name, const Histogram& samples) {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  it->second += samples;
+}
+
+Histogram Tracer::latency_histogram(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? Histogram{} : it->second;
+}
+
+std::map<std::string, Histogram> Tracer::latency_histograms() const {
+  std::lock_guard lock(mu_);
+  return {histograms_.begin(), histograms_.end()};
+}
+
 double Tracer::host_now() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        epoch_)
@@ -231,6 +260,13 @@ std::string Tracer::summary() const {
       out += "  " + name + " = " + std::to_string(value) + "\n";
     }
   }
+  const auto hists = latency_histograms();
+  if (!hists.empty()) {
+    out += "latency histograms (host-measured):\n";
+    for (const auto& [name, hist] : hists) {
+      out += "  " + name + ": " + hist.summary() + "\n";
+    }
+  }
   return out;
 }
 
@@ -295,6 +331,16 @@ std::string chrome_trace_json(const Tracer& tracer) {
     out += ",{\"ph\":\"C\",\"name\":\"" + escape_json(name) +
            "\",\"pid\":0,\"tid\":0,\"ts\":" + fmt_double(max_end * 1e6) +
            ",\"args\":{\"value\":" + std::to_string(value) + "}}";
+  }
+  for (const auto& [name, hist] : tracer.latency_histograms()) {
+    // Histograms are host-measured by definition (record_latency takes
+    // wall seconds), so they live on the host pid like the counters.
+    out += ",{\"ph\":\"C\",\"name\":\"latency:" + escape_json(name) +
+           "\",\"pid\":0,\"tid\":0,\"ts\":" + fmt_double(max_end * 1e6) +
+           ",\"args\":{\"count\":" + std::to_string(hist.count()) +
+           ",\"p50_us\":" + fmt_double(hist.p50() * 1e6) +
+           ",\"p95_us\":" + fmt_double(hist.p95() * 1e6) +
+           ",\"p99_us\":" + fmt_double(hist.p99() * 1e6) + "}}";
   }
   out += "]}";
   return out;

@@ -23,6 +23,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "util/common.hpp"
 
 namespace gpclust::obs {
@@ -109,6 +110,17 @@ class Tracer {
   u64 counter(std::string_view name) const;
   std::map<std::string, u64> counters() const;
 
+  // --- latency histograms -------------------------------------------------
+  /// Records one host-measured latency sample into the named log2
+  /// histogram (created on first use). Thread-safe, like the counters.
+  void record_latency(std::string_view name, double seconds);
+  /// Merges `samples` into the named histogram in one lock acquisition —
+  /// how QueryService folds worker-local histograms in.
+  void merge_latency(std::string_view name, const Histogram& samples);
+  /// Copy of one histogram (empty when never recorded) / of all of them.
+  Histogram latency_histogram(std::string_view name) const;
+  std::map<std::string, Histogram> latency_histograms() const;
+
   // --- spans ---------------------------------------------------------------
   /// Seconds since this tracer was constructed (host wall clock).
   double host_now() const;
@@ -158,6 +170,7 @@ class Tracer {
   std::chrono::steady_clock::time_point epoch_;
   std::vector<TraceEvent> events_;
   std::map<std::string, u64, std::less<>> counters_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
   std::string device_phase_;
   int open_host_spans_ = 0;
 };
@@ -206,7 +219,9 @@ inline void raise_counter(Tracer* tracer, std::string_view name, u64 value) {
 /// Serializes the trace in the chrome://tracing "traceEvents" format:
 /// complete ("X") events carrying args.domain = host_measured |
 /// device_modeled, pid 0 = host (measured), pid 1 = device (modeled), one
-/// tid per device stream, and one counter ("C") event per counter.
+/// tid per device stream, one counter ("C") event per counter, and one
+/// "C" event per latency histogram (name "latency:<name>", args carrying
+/// count and p50/p95/p99 microseconds — host-measured by definition).
 /// Timestamps are microseconds, host and device clocks each starting at 0.
 std::string chrome_trace_json(const Tracer& tracer);
 

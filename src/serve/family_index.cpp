@@ -1,0 +1,152 @@
+#include "serve/family_index.hpp"
+
+#include <algorithm>
+
+#include "seq/alphabet.hpp"
+
+namespace gpclust::serve {
+
+std::string_view classify_outcome_name(ClassifyOutcome outcome) {
+  switch (outcome) {
+    case ClassifyOutcome::Assigned: return "assigned";
+    case ClassifyOutcome::NoSeeds: return "no_seeds";
+    case ClassifyOutcome::BelowThreshold: return "below_threshold";
+    case ClassifyOutcome::InvalidQuery: return "invalid_query";
+  }
+  return "unknown";
+}
+
+FamilyIndex::FamilyIndex(const store::FamilyStore& store) : store_(store) {
+  GPCLUST_CHECK(store.kmer_k >= 2 && store.kmer_k <= 12,
+                "store has no valid k-mer index");
+}
+
+ClassifyResult FamilyIndex::classify(std::string_view query,
+                                     const ClassifyParams& params,
+                                     ClassifyScratch& scratch) const {
+  params.validate();
+  ClassifyResult result;
+  if (query.empty() || !seq::is_valid_protein(query)) {
+    result.outcome = ClassifyOutcome::InvalidQuery;
+    return result;
+  }
+
+  // 1. Distinct k-mer codes of the query (same packing as the store's
+  // builder and align/kmer_index).
+  const std::size_t k = store_.kmer_k;
+  auto& codes = scratch.query_codes_;
+  codes.clear();
+  if (query.size() >= k) {
+    for (std::size_t pos = 0; pos + k <= query.size(); ++pos) {
+      u64 code = 0;
+      for (std::size_t j = 0; j < k; ++j) {
+        code = code * seq::kNumResidues + seq::residue_index(query[pos + j]);
+      }
+      codes.push_back(code);
+    }
+    std::sort(codes.begin(), codes.end());
+    codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
+  }
+
+  // 2. Seed counting: one lower_bound per distinct query k-mer into the
+  // sorted postings, collecting matching reps; a sort + run-length scan
+  // turns the hits into per-representative shared-k-mer counts. The
+  // postings are distinct per (code, rep), so each hit is one shared
+  // distinct k-mer.
+  auto& hits = scratch.seed_counts_;
+  hits.clear();
+  const auto& postings = store_.postings;
+  auto it = postings.begin();
+  for (u64 code : codes) {
+    it = std::lower_bound(it, postings.end(), code,
+                          [](const store::RepPosting& p, u64 c) {
+                            return p.code < c;
+                          });
+    for (auto run = it; run != postings.end() && run->code == code; ++run) {
+      hits.emplace_back(run->rep, 1);
+    }
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const std::pair<u32, u32>& a, const std::pair<u32, u32>& b) {
+              return a.first < b.first;
+            });
+
+  // (rep, shared count) per candidate that clears the seed floor.
+  std::vector<std::pair<u32, u32>> candidates;
+  for (std::size_t lo = 0; lo < hits.size();) {
+    std::size_t hi = lo;
+    while (hi < hits.size() && hits[hi].first == hits[lo].first) ++hi;
+    const u32 shared = static_cast<u32>(hi - lo);
+    if (shared >= params.min_shared_kmers) {
+      candidates.emplace_back(hits[lo].first, shared);
+    }
+    lo = hi;
+  }
+  result.num_candidates = static_cast<u32>(candidates.size());
+  if (candidates.empty()) {
+    result.outcome = ClassifyOutcome::NoSeeds;
+    return result;
+  }
+
+  // 3. Best-seeded first, deterministically: (shared desc, rep asc).
+  std::sort(candidates.begin(), candidates.end(),
+            [](const std::pair<u32, u32>& a, const std::pair<u32, u32>& b) {
+              return std::pair(b.second, a.first) < std::pair(a.second, b.first);
+            });
+  if (candidates.size() > params.max_candidates) {
+    candidates.resize(params.max_candidates);
+  }
+
+  // 4. Exact scoring: the representative's cached striped profile against
+  // the encoded query. The SW score is symmetric in its arguments, so
+  // profiling the rep (the reusable side) and streaming the query through
+  // it gives the same score as the reverse orientation.
+  auto& encoded = scratch.encoded_query_;
+  encoded.clear();
+  encoded.reserve(query.size());
+  for (char c : query) encoded.push_back(seq::residue_index(c));
+
+  // The score floor depends on the representative's length, so whether a
+  // candidate qualifies is judged per candidate; the winner is the best
+  // *qualifying* candidate, falling back to the best raw score (reported
+  // as BelowThreshold) when none qualifies. Winner order is deterministic:
+  // (qualifies desc, score desc, family asc, rep asc).
+  bool have_best = false;
+  bool best_qualifies = false;
+  u32 best_family = kNoFamily;
+  for (const auto& [rep, shared] : candidates) {
+    const u32 rep_seq = store_.representatives[rep];
+    const std::string_view rep_residues = store_.sequence(rep_seq);
+    const align::QueryProfile& profile =
+        scratch.profiles_.get(rep_seq, rep_residues);
+    const align::AlignmentResult aligned = align::smith_waterman_simd(
+        profile, encoded, params.alignment, &scratch.simd_);
+    ++result.num_alignments;
+    const u32 family = store_.family_of[rep_seq];
+    const double floor =
+        params.min_score_per_residue *
+        static_cast<double>(std::min(query.size(), rep_residues.size()));
+    const bool qualifies = aligned.score >= params.min_score &&
+                           static_cast<double>(aligned.score) >= floor;
+    const auto key = std::tuple(!qualifies, -aligned.score, family, rep_seq);
+    if (!have_best || key < std::tuple(!best_qualifies, -result.score,
+                                       best_family, result.best_rep)) {
+      have_best = true;
+      best_qualifies = qualifies;
+      result.score = aligned.score;
+      result.best_rep = rep_seq;
+      result.shared_kmers = shared;
+      best_family = family;
+    }
+  }
+
+  if (best_qualifies) {
+    result.outcome = ClassifyOutcome::Assigned;
+    result.family = best_family;
+  } else {
+    result.outcome = ClassifyOutcome::BelowThreshold;
+  }
+  return result;
+}
+
+}  // namespace gpclust::serve

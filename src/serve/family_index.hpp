@@ -1,0 +1,107 @@
+#pragma once
+// FamilyIndex — the query engine of the serving layer (DESIGN.md §10):
+// classifies one ORF against a persisted family store by k-mer seeding
+// against the family representatives (the store's sorted postings index)
+// followed by exact striped SIMD Smith-Waterman scoring of the
+// best-seeded representatives. The whole path is host-only and
+// deterministic: a query's result depends on nothing but the query and
+// the store, which is what makes QueryService's answers bit-identical
+// across worker-pool sizes.
+
+#include <string_view>
+#include <vector>
+
+#include "align/query_profile.hpp"
+#include "align/simd.hpp"
+#include "align/smith_waterman.hpp"
+#include "store/snapshot.hpp"
+#include "util/common.hpp"
+
+namespace gpclust::serve {
+
+struct ClassifyParams {
+  /// Representatives sharing at least this many distinct query k-mers are
+  /// candidates (same role as align::KmerIndexConfig::min_shared_kmers).
+  u32 min_shared_kmers = 2;
+
+  /// Smith-Waterman is run against at most this many candidates, best
+  /// seeded first ((shared k-mers desc, rep asc) — deterministic).
+  std::size_t max_candidates = 8;
+
+  /// Assignment criterion, mirroring the homology-graph edge criterion:
+  /// score >= max(min_score, min_score_per_residue * min(|query|, |rep|)).
+  int min_score = 40;
+  double min_score_per_residue = 1.2;
+
+  align::AlignmentParams alignment;
+
+  void validate() const {
+    GPCLUST_CHECK(min_shared_kmers >= 1, "min_shared_kmers must be >= 1");
+    GPCLUST_CHECK(max_candidates >= 1, "max_candidates must be >= 1");
+    alignment.validate();
+  }
+};
+
+/// Why a query did or did not get a family.
+enum class ClassifyOutcome {
+  Assigned,        ///< best alignment cleared the score criterion
+  NoSeeds,         ///< no representative shared enough k-mers
+  BelowThreshold,  ///< aligned, but no candidate cleared the criterion
+  InvalidQuery,    ///< empty or non-protein residues
+};
+std::string_view classify_outcome_name(ClassifyOutcome outcome);
+
+constexpr u32 kNoFamily = 0xFFFFFFFFu;
+
+struct ClassifyResult {
+  ClassifyOutcome outcome = ClassifyOutcome::NoSeeds;
+  u32 family = kNoFamily;      ///< assigned family (kNoFamily unless Assigned)
+  u32 best_rep = kNoFamily;    ///< sequence index of the winning representative
+  int score = 0;               ///< its Smith-Waterman score
+  u32 shared_kmers = 0;        ///< its seed count
+  u32 num_candidates = 0;      ///< representatives that met the seed floor
+  u32 num_alignments = 0;      ///< Smith-Waterman score passes run
+
+  friend bool operator==(const ClassifyResult&,
+                         const ClassifyResult&) = default;
+};
+
+/// Per-call scratch a caller thread owns: the LRU over representative
+/// profiles (the expensive reusable artifact) plus flat buffers reused
+/// across queries. One per worker; never shared.
+class ClassifyScratch {
+ public:
+  explicit ClassifyScratch(std::size_t profile_cache_capacity = 64)
+      : profiles_(profile_cache_capacity) {}
+
+  const align::LruQueryProfileCache& profiles() const { return profiles_; }
+  const align::SimdCounters& simd() const { return simd_; }
+
+ private:
+  friend class FamilyIndex;
+  align::LruQueryProfileCache profiles_;
+  align::SimdCounters simd_;
+  std::vector<u64> query_codes_;
+  std::vector<std::pair<u32, u32>> seed_counts_;  ///< (rep, shared kmers)
+  std::vector<u8> encoded_query_;
+};
+
+/// Read-only view over a loaded FamilyStore. Thread-safe for concurrent
+/// classify() calls as long as each caller passes its own scratch.
+class FamilyIndex {
+ public:
+  /// The store must outlive the index (the index keeps a reference).
+  explicit FamilyIndex(const store::FamilyStore& store);
+
+  const store::FamilyStore& store() const { return store_; }
+
+  /// Classifies one query ORF. Deterministic: equal queries yield equal
+  /// results regardless of scratch state or thread.
+  ClassifyResult classify(std::string_view query, const ClassifyParams& params,
+                          ClassifyScratch& scratch) const;
+
+ private:
+  const store::FamilyStore& store_;
+};
+
+}  // namespace gpclust::serve

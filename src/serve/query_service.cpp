@@ -1,0 +1,200 @@
+#include "serve/query_service.hpp"
+
+#include <algorithm>
+
+namespace gpclust::serve {
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+std::string_view reject_reason_name(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::None: return "none";
+    case RejectReason::QueueFull: return "queue_full";
+    case RejectReason::Expired: return "expired";
+  }
+  return "unknown";
+}
+
+QueryService::QueryService(const store::FamilyStore& store,
+                           ServiceConfig config)
+    : index_(store), config_(std::move(config)) {
+  config_.validate();
+  paused_ = config_.start_paused;
+  workers_.reserve(config_.num_workers);
+  for (std::size_t i = 0; i < config_.num_workers; ++i) {
+    workers_.push_back(
+        std::make_unique<Worker>(config_.profile_cache_capacity));
+  }
+  for (auto& worker : workers_) {
+    worker->thread = std::thread([this, w = worker.get()] { worker_loop(*w); });
+  }
+}
+
+QueryService::~QueryService() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;  // workers drain the queue, then exit
+    paused_ = false;
+  }
+  queue_nonempty_.notify_all();
+  for (auto& worker : workers_) worker->thread.join();
+}
+
+std::future<QueryOutcome> QueryService::submit(std::string query) {
+  std::promise<QueryOutcome> promise;
+  std::future<QueryOutcome> future = promise.get_future();
+
+  std::unique_lock lock(mu_);
+  ++submitted_;
+  obs::add_counter(config_.tracer, "serve.submitted", 1);
+
+  // Admission: explicit backpressure on a full queue, per the shared
+  // resilience vocabulary. Retry waits are bounded and deterministic in
+  // count and spacing (retry_backoff_seconds * 2^(attempt-1), the same
+  // ladder the device layer charges to its modeled timeline — here it is
+  // real host time, since admission happens on the measured side).
+  if (queue_.size() >= config_.queue_capacity &&
+      config_.admission.enabled()) {
+    for (int attempt = 1; attempt <= config_.admission.max_retries &&
+                          queue_.size() >= config_.queue_capacity;
+         ++attempt) {
+      ++admission_retries_;
+      obs::add_counter(config_.tracer, "serve.admission_retries", 1);
+      const auto backoff = std::chrono::duration<double>(
+          config_.admission.retry_backoff_seconds *
+          static_cast<double>(1 << (attempt - 1)));
+      queue_has_space_.wait_for(lock, backoff, [&] {
+        return queue_.size() < config_.queue_capacity;
+      });
+    }
+  }
+  if (queue_.size() >= config_.queue_capacity) {
+    ++rejected_queue_full_;
+    obs::add_counter(config_.tracer, "serve.rejected_queue_full", 1);
+    lock.unlock();
+    promise.set_value(QueryOutcome{RejectReason::QueueFull, {}, 0.0});
+    return future;
+  }
+
+  ++accepted_;
+  obs::add_counter(config_.tracer, "serve.accepted", 1);
+  queue_.push_back(
+      Job{std::move(query), std::move(promise), std::chrono::steady_clock::now()});
+  lock.unlock();
+  queue_nonempty_.notify_one();
+  return future;
+}
+
+std::vector<QueryOutcome> QueryService::classify_batch(
+    const std::vector<std::string>& queries) {
+  std::vector<std::future<QueryOutcome>> futures;
+  futures.reserve(queries.size());
+  for (const std::string& query : queries) futures.push_back(submit(query));
+  std::vector<QueryOutcome> outcomes;
+  outcomes.reserve(queries.size());
+  for (auto& future : futures) outcomes.push_back(future.get());
+  return outcomes;
+}
+
+void QueryService::resume() {
+  {
+    std::lock_guard lock(mu_);
+    paused_ = false;
+  }
+  queue_nonempty_.notify_all();
+}
+
+void QueryService::worker_loop(Worker& worker) {
+  for (;;) {
+    std::unique_lock lock(mu_);
+    queue_nonempty_.wait(lock, [&] {
+      return (!paused_ && !queue_.empty()) || (stopping_ && !paused_);
+    });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    queue_has_space_.notify_one();
+    finish(worker, std::move(job));
+  }
+}
+
+void QueryService::finish(Worker& worker, Job job) {
+  const auto dequeued_at = std::chrono::steady_clock::now();
+  const double waited = seconds_between(job.submitted_at, dequeued_at);
+  obs::Tracer* tracer = config_.tracer;
+  if (tracer != nullptr) {
+    // Worker threads position their spans explicitly at depth 1 (depth 0
+    // is the calling thread's domain — host_busy() must not double count
+    // concurrent per-query work).
+    tracer->record_host_span("serve.wait", tracer->host_now() - waited, waited,
+                             /*depth=*/1);
+  }
+
+  QueryOutcome outcome;
+  if (config_.queue_timeout_seconds > 0.0 &&
+      waited > config_.queue_timeout_seconds) {
+    outcome.rejected = RejectReason::Expired;
+    outcome.latency_seconds = waited;
+    obs::add_counter(tracer, "serve.rejected_expired", 1);
+    std::lock_guard worker_lock(worker.mu);
+    ++worker.expired;
+  } else {
+    const double classify_start =
+        tracer != nullptr ? tracer->host_now() : 0.0;
+    outcome.result =
+        index_.classify(job.query, config_.classify, worker.scratch);
+    const auto done = std::chrono::steady_clock::now();
+    outcome.latency_seconds = seconds_between(job.submitted_at, done);
+    if (tracer != nullptr) {
+      tracer->record_host_span("serve.classify", classify_start,
+                               seconds_between(dequeued_at, done), /*depth=*/1);
+      tracer->record_latency("serve.latency", outcome.latency_seconds);
+      obs::add_counter(tracer, "serve.completed", 1);
+    }
+    std::lock_guard worker_lock(worker.mu);
+    worker.latency.record(outcome.latency_seconds);
+    ++worker.completed;
+  }
+  job.promise.set_value(std::move(outcome));
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats out;
+  {
+    std::lock_guard lock(mu_);
+    out.submitted = submitted_;
+    out.accepted = accepted_;
+    out.rejected_queue_full = rejected_queue_full_;
+    out.admission_retries = admission_retries_;
+  }
+  for (const auto& worker : workers_) {
+    std::lock_guard lock(worker->mu);
+    out.completed += worker->completed;
+    out.rejected_expired += worker->expired;
+    out.profile_builds += worker->scratch.profiles().builds();
+    out.profile_hits += worker->scratch.profiles().hits();
+  }
+  return out;
+}
+
+obs::Histogram QueryService::latency_histogram() const {
+  obs::Histogram merged;
+  for (const auto& worker : workers_) {
+    std::lock_guard lock(worker->mu);
+    merged += worker->latency;
+  }
+  return merged;
+}
+
+}  // namespace gpclust::serve

@@ -1,0 +1,390 @@
+#include "store/snapshot.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "seq/alphabet.hpp"
+#include "util/crc32.hpp"
+
+namespace gpclust::store {
+
+namespace {
+
+// On-disk layout (all integers little-endian host order; the snapshot is
+// a same-architecture artifact like the binary CSR graphs).
+constexpr char kMagic[8] = {'G', 'P', 'C', 'L', 'F', 'I', 'D', 'X'};
+constexpr u32 kFormatVersion = 1;
+constexpr std::size_t kAlignment = 8;
+
+struct Header {
+  char magic[8];
+  u32 version;
+  u32 section_count;
+};
+static_assert(sizeof(Header) == 16);
+
+struct SectionDesc {
+  u32 id;
+  u32 crc;
+  u64 offset;      ///< from file start, kAlignment-aligned
+  u64 size_bytes;  ///< payload bytes (before padding)
+};
+static_assert(sizeof(SectionDesc) == 24);
+
+// Section ids, in file order. META holds the scalar fields plus the
+// element counts the loader uses to size-check every other section.
+enum SectionId : u32 {
+  kMeta = 1,
+  kSeqOffsets = 2,
+  kResidues = 3,
+  kIdOffsets = 4,
+  kIds = 5,
+  kFamilyOf = 6,
+  kRepOffsets = 7,
+  kRepresentatives = 8,
+  kPostings = 9,
+};
+constexpr u32 kNumSections = 9;
+
+struct Meta {
+  u64 kmer_k;
+  u64 num_sequences;
+  u64 num_families;
+  u64 num_representatives;
+  u64 num_postings;
+  u64 residue_bytes;
+  u64 id_bytes;
+};
+static_assert(sizeof(Meta) == 56);
+
+std::size_t aligned(std::size_t n) {
+  return (n + kAlignment - 1) / kAlignment * kAlignment;
+}
+
+[[noreturn]] void corrupt(const std::string& what) {
+  throw SnapshotError("snapshot: " + what);
+}
+
+/// Bounds- and CRC-checked view of one section of the raw buffer.
+struct SectionReader {
+  const std::vector<char>* bytes;
+  std::vector<SectionDesc> sections;  // indexed by SectionId - 1
+
+  const SectionDesc& desc(SectionId id) const {
+    return sections[static_cast<std::size_t>(id) - 1];
+  }
+
+  /// Size-checks the section against `count` elements of the container's
+  /// value type, then resizes and copies — the check precedes the
+  /// allocation so an inconsistent META can never trigger a huge resize.
+  template <typename Vec>
+  void read_into(SectionId id, u64 count, Vec& out) const {
+    using T = typename Vec::value_type;
+    const SectionDesc& s = desc(id);
+    if (count > s.size_bytes / sizeof(T) || s.size_bytes != count * sizeof(T)) {
+      corrupt("section " + std::to_string(id) + " holds " +
+              std::to_string(s.size_bytes) + " bytes, expected " +
+              std::to_string(count) + " x " + std::to_string(sizeof(T)));
+    }
+    out.resize(count);
+    if (count > 0) {
+      std::memcpy(out.data(), bytes->data() + s.offset, s.size_bytes);
+    }
+  }
+};
+
+}  // namespace
+
+FamilyStore build_family_store(const seq::SequenceSet& sequences,
+                               const std::vector<u32>& labels,
+                               const StoreBuildConfig& config) {
+  GPCLUST_CHECK(sequences.size() == labels.size(),
+                "one family label per sequence required");
+  GPCLUST_CHECK(config.k >= 2 && config.k <= 12, "k must be in [2, 12]");
+  GPCLUST_CHECK(config.reps_per_family >= 1,
+                "need at least one representative per family");
+
+  FamilyStore out;
+  out.kmer_k = config.k;
+
+  // Flat sequence + id storage.
+  out.seq_offsets.reserve(sequences.size() + 1);
+  out.id_offsets.reserve(sequences.size() + 1);
+  out.seq_offsets.push_back(0);
+  out.id_offsets.push_back(0);
+  for (const seq::ProteinSequence& s : sequences) {
+    out.residues += s.residues;
+    out.ids += s.id;
+    out.seq_offsets.push_back(out.residues.size());
+    out.id_offsets.push_back(out.ids.size());
+  }
+  out.family_of = labels;
+
+  u32 num_families = 0;
+  for (u32 label : labels) num_families = std::max(num_families, label + 1);
+  out.num_families = num_families;
+
+  // Representatives: per family the longest members (smallest index on
+  // ties), capped at reps_per_family — deterministic for a given input.
+  std::vector<std::vector<u32>> members(num_families);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    members[labels[i]].push_back(static_cast<u32>(i));
+  }
+  out.rep_offsets.push_back(0);
+  for (auto& family : members) {
+    std::sort(family.begin(), family.end(), [&](u32 a, u32 b) {
+      return std::pair(sequences[a].length(), b) >
+             std::pair(sequences[b].length(), a);
+    });
+    const std::size_t keep = std::min(family.size(), config.reps_per_family);
+    // Ascending rep ids within the family keep the postings sort stable
+    // across rebuilds regardless of length ties.
+    std::sort(family.begin(), family.begin() + static_cast<std::ptrdiff_t>(keep));
+    out.representatives.insert(out.representatives.end(), family.begin(),
+                               family.begin() + static_cast<std::ptrdiff_t>(keep));
+    out.rep_offsets.push_back(out.representatives.size());
+  }
+
+  // Family-level k-mer postings over the representatives — the sort-based
+  // layout of align/kmer_index: emit every occurrence, sort per rep by
+  // (code, pos), keep each code's first occurrence, then one global sort
+  // by (code, rep).
+  for (std::size_t r = 0; r < out.representatives.size(); ++r) {
+    const std::string_view residues = out.sequence(out.representatives[r]);
+    if (residues.size() < config.k) continue;
+    const auto start = static_cast<std::ptrdiff_t>(out.postings.size());
+    for (std::size_t pos = 0; pos + config.k <= residues.size(); ++pos) {
+      u64 code = 0;
+      for (std::size_t j = 0; j < config.k; ++j) {
+        code = code * seq::kNumResidues + seq::residue_index(residues[pos + j]);
+      }
+      out.postings.push_back(
+          {code, static_cast<u32>(r), static_cast<u32>(pos)});
+    }
+    std::sort(out.postings.begin() + start, out.postings.end(),
+              [](const RepPosting& x, const RepPosting& y) {
+                return std::pair(x.code, x.pos) < std::pair(y.code, y.pos);
+              });
+    out.postings.erase(
+        std::unique(out.postings.begin() + start, out.postings.end(),
+                    [](const RepPosting& x, const RepPosting& y) {
+                      return x.code == y.code;
+                    }),
+        out.postings.end());
+  }
+  std::sort(out.postings.begin(), out.postings.end(),
+            [](const RepPosting& x, const RepPosting& y) {
+              return std::pair(x.code, x.rep) < std::pair(y.code, y.rep);
+            });
+  return out;
+}
+
+std::vector<char> serialize_snapshot(const FamilyStore& store) {
+  const Meta meta{store.kmer_k,
+                  store.num_sequences(),
+                  store.num_families,
+                  store.representatives.size(),
+                  store.postings.size(),
+                  store.residues.size(),
+                  store.ids.size()};
+
+  struct Payload {
+    u32 id;
+    const void* data;
+    std::size_t size;
+  };
+  const Payload payloads[kNumSections] = {
+      {kMeta, &meta, sizeof(meta)},
+      {kSeqOffsets, store.seq_offsets.data(),
+       store.seq_offsets.size() * sizeof(u64)},
+      {kResidues, store.residues.data(), store.residues.size()},
+      {kIdOffsets, store.id_offsets.data(),
+       store.id_offsets.size() * sizeof(u64)},
+      {kIds, store.ids.data(), store.ids.size()},
+      {kFamilyOf, store.family_of.data(),
+       store.family_of.size() * sizeof(u32)},
+      {kRepOffsets, store.rep_offsets.data(),
+       store.rep_offsets.size() * sizeof(u64)},
+      {kRepresentatives, store.representatives.data(),
+       store.representatives.size() * sizeof(u32)},
+      {kPostings, store.postings.data(),
+       store.postings.size() * sizeof(RepPosting)},
+  };
+
+  std::size_t offset =
+      aligned(sizeof(Header) + kNumSections * sizeof(SectionDesc));
+  std::vector<SectionDesc> table;
+  table.reserve(kNumSections);
+  std::size_t total = offset;
+  for (const Payload& p : payloads) {
+    table.push_back({p.id, util::crc32(p.data, p.size),
+                     static_cast<u64>(total), static_cast<u64>(p.size)});
+    total += aligned(p.size);
+  }
+
+  // Zero-initialized buffer: all alignment padding is deterministic.
+  std::vector<char> out(total, 0);
+  Header header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kFormatVersion;
+  header.section_count = kNumSections;
+  std::memcpy(out.data(), &header, sizeof(header));
+  std::memcpy(out.data() + sizeof(header), table.data(),
+              table.size() * sizeof(SectionDesc));
+  for (std::size_t i = 0; i < kNumSections; ++i) {
+    if (payloads[i].size > 0) {
+      std::memcpy(out.data() + table[i].offset, payloads[i].data,
+                  payloads[i].size);
+    }
+  }
+  return out;
+}
+
+FamilyStore deserialize_snapshot(const std::vector<char>& bytes) {
+  // 1. Header: magic, version, section count.
+  if (bytes.size() < sizeof(Header)) corrupt("file shorter than the header");
+  Header header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    corrupt("bad magic (not a gpclust family-index snapshot)");
+  }
+  if (header.version != kFormatVersion) {
+    corrupt("unsupported format version " + std::to_string(header.version) +
+            " (this build reads version " + std::to_string(kFormatVersion) +
+            ")");
+  }
+  if (header.section_count != kNumSections) {
+    corrupt("expected " + std::to_string(kNumSections) + " sections, found " +
+            std::to_string(header.section_count));
+  }
+
+  // 2. Section table: bounds first, then payload CRCs.
+  const std::size_t table_end =
+      sizeof(Header) + kNumSections * sizeof(SectionDesc);
+  if (bytes.size() < table_end) corrupt("truncated section table");
+  SectionReader reader{&bytes, std::vector<SectionDesc>(kNumSections)};
+  std::memcpy(reader.sections.data(), bytes.data() + sizeof(Header),
+              kNumSections * sizeof(SectionDesc));
+  for (std::size_t i = 0; i < kNumSections; ++i) {
+    const SectionDesc& s = reader.sections[i];
+    if (s.id != i + 1) corrupt("section table out of order");
+    if (s.offset % kAlignment != 0 || s.offset < table_end ||
+        s.offset > bytes.size() || s.size_bytes > bytes.size() - s.offset) {
+      corrupt("section " + std::to_string(s.id) + " out of bounds");
+    }
+    if (util::crc32(bytes.data() + s.offset, s.size_bytes) != s.crc) {
+      corrupt("CRC mismatch in section " + std::to_string(s.id));
+    }
+  }
+
+  // 2b. Canonical layout: sections contiguous in id order, alignment
+  // padding zeroed, nothing after the last section. This pins one byte
+  // stream per store (the byte-identity guarantee) and makes a flip
+  // anywhere in the file — payload or padding — detectable.
+  std::size_t expected_offset = aligned(table_end);
+  for (const SectionDesc& s : reader.sections) {
+    if (s.offset != expected_offset) {
+      corrupt("section " + std::to_string(s.id) + " not contiguous");
+    }
+    for (std::size_t pos = s.offset + s.size_bytes;
+         pos < s.offset + aligned(s.size_bytes); ++pos) {
+      if (bytes[pos] != 0) corrupt("nonzero alignment padding");
+    }
+    expected_offset += aligned(s.size_bytes);
+  }
+  if (bytes.size() != expected_offset) {
+    corrupt("trailing bytes after the last section");
+  }
+
+  // 3. Payloads, sized by META.
+  const SectionDesc& meta_desc = reader.desc(kMeta);
+  if (meta_desc.size_bytes != sizeof(Meta)) corrupt("META section malformed");
+  Meta meta;
+  std::memcpy(&meta, bytes.data() + meta_desc.offset, sizeof(Meta));
+  if (meta.kmer_k < 2 || meta.kmer_k > 12) corrupt("k out of domain");
+  if (meta.num_sequences + 1 == 0 || meta.num_families + 1 == 0) {
+    corrupt("element counts overflow");
+  }
+
+  FamilyStore store;
+  store.kmer_k = meta.kmer_k;
+  store.num_families = meta.num_families;
+  reader.read_into(kSeqOffsets, meta.num_sequences + 1, store.seq_offsets);
+  reader.read_into(kResidues, meta.residue_bytes, store.residues);
+  reader.read_into(kIdOffsets, meta.num_sequences + 1, store.id_offsets);
+  reader.read_into(kIds, meta.id_bytes, store.ids);
+  reader.read_into(kFamilyOf, meta.num_sequences, store.family_of);
+  reader.read_into(kRepOffsets, meta.num_families + 1, store.rep_offsets);
+  reader.read_into(kRepresentatives, meta.num_representatives,
+                   store.representatives);
+  reader.read_into(kPostings, meta.num_postings, store.postings);
+
+  // 4. Cross-section invariants, so a loaded store can be indexed without
+  // bounds checks downstream. (CRCs catch random corruption; these catch a
+  // snapshot that was valid CRC-wise but written by a buggy builder.)
+  auto check_offsets = [&](const std::vector<u64>& offsets, u64 limit,
+                           const char* what) {
+    if (offsets.front() != 0 || offsets.back() != limit) {
+      corrupt(std::string(what) + " offsets do not span the blob");
+    }
+    if (!std::is_sorted(offsets.begin(), offsets.end())) {
+      corrupt(std::string(what) + " offsets not monotonic");
+    }
+  };
+  check_offsets(store.seq_offsets, meta.residue_bytes, "sequence");
+  check_offsets(store.id_offsets, meta.id_bytes, "id");
+  check_offsets(store.rep_offsets, meta.num_representatives, "representative");
+  for (u32 family : store.family_of) {
+    if (family >= meta.num_families) corrupt("family label out of range");
+  }
+  for (u32 rep : store.representatives) {
+    if (rep >= meta.num_sequences) corrupt("representative out of range");
+  }
+  for (const RepPosting& p : store.postings) {
+    if (p.rep >= meta.num_representatives) corrupt("posting rep out of range");
+  }
+  if (!std::is_sorted(store.postings.begin(), store.postings.end(),
+                      [](const RepPosting& x, const RepPosting& y) {
+                        return std::pair(x.code, x.rep) <
+                               std::pair(y.code, y.rep);
+                      })) {
+    corrupt("postings not sorted by (code, rep)");
+  }
+  return store;
+}
+
+void write_snapshot(const FamilyStore& store, const std::string& path) {
+  const std::vector<char> bytes = serialize_snapshot(store);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open snapshot for writing: " + path);
+  }
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size()) {
+    throw std::runtime_error("short write to snapshot: " + path);
+  }
+}
+
+FamilyStore load_snapshot(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw SnapshotError("snapshot: cannot open " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<char> bytes(size > 0 ? static_cast<std::size_t>(size) : 0);
+  // The whole file in one read; sections are memcpy'd out of this buffer.
+  const std::size_t got = bytes.empty()
+                              ? 0
+                              : std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (got != bytes.size()) {
+    throw SnapshotError("snapshot: short read from " + path);
+  }
+  return deserialize_snapshot(bytes);
+}
+
+}  // namespace gpclust::store

@@ -1,0 +1,136 @@
+#pragma once
+// Persistent family-index store (DESIGN.md §10) — the artifact boundary
+// between the one-shot clustering pipeline and the query-serving layer:
+// cluster once with gpClust, persist the families with
+// `gpclust-build-index`, then classify streams of new ORFs against them
+// with `gpclust-query` / serve::QueryService without ever reclustering.
+//
+// The snapshot is a versioned, checksummed flat binary file:
+//
+//   header     magic "GPCLFIDX", format version, section count
+//   section    one descriptor per section: id, byte offset, byte size,
+//   table      CRC-32 of the payload bytes
+//   payloads   8-byte-aligned flat arrays, zero padding between sections
+//
+// Properties the tests enforce:
+//   * deterministic — writing the same FamilyStore twice produces
+//     byte-identical files (no timestamps, no pointers, map-ordered
+//     sections, zeroed padding);
+//   * self-validating — magic, version, bounds and every section CRC are
+//     checked on load; any corruption (truncation, bit flip, wrong
+//     magic/version) yields a typed SnapshotError, never a crash or a
+//     partially-initialized index;
+//   * load is cheap — one fread of the whole file, then one bounds-checked
+//     memcpy per section into flat arrays (no per-record allocation or
+//     parsing).
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "seq/sequence.hpp"
+#include "util/common.hpp"
+
+namespace gpclust::store {
+
+/// Typed load/validation failure: wrong magic or version, truncated file,
+/// CRC mismatch, inconsistent section table or cross-section invariants.
+/// A ParseError subtype so generic "malformed input" handlers still catch
+/// it.
+class SnapshotError : public ParseError {
+ public:
+  using ParseError::ParseError;
+};
+
+/// One (k-mer, representative) posting of the family-level seed index.
+/// Sorted by (code, rep); `pos` is the k-mer's first occurrence in the
+/// representative (seed diagonals, mirroring align::CandidatePair::diag).
+struct RepPosting {
+  u64 code = 0;  ///< base-kNumResidues packed k-mer
+  u32 rep = 0;   ///< index into FamilyStore::representatives
+  u32 pos = 0;   ///< first occurrence in the representative's residues
+
+  friend bool operator==(const RepPosting&, const RepPosting&) = default;
+};
+static_assert(sizeof(RepPosting) == 16, "snapshot layout is fixed");
+
+struct StoreBuildConfig {
+  /// Seed k-mer length of the family-level postings index; queries must
+  /// use the same k (recorded in the snapshot). Same [2, 12] domain as
+  /// align::KmerIndexConfig.
+  std::size_t k = 5;
+
+  /// Representatives kept per family: the longest members (ties broken by
+  /// smallest sequence index — deterministic). Singleton families keep
+  /// their only member.
+  std::size_t reps_per_family = 2;
+};
+
+/// The in-memory image of one snapshot: flat arrays only, loadable with
+/// one memcpy per section. Sequence `i`'s residues are
+/// `residues[seq_offsets[i] .. seq_offsets[i+1])`, its FASTA id
+/// `ids[id_offsets[i] .. id_offsets[i+1])`, its family `family_of[i]`.
+/// Family `f`'s representatives are
+/// `representatives[rep_offsets[f] .. rep_offsets[f+1])` (sequence
+/// indices).
+struct FamilyStore {
+  u64 kmer_k = 0;
+  u64 num_families = 0;
+
+  std::vector<u64> seq_offsets;         ///< num_sequences + 1
+  std::string residues;                 ///< concatenated residue letters
+  std::vector<u64> id_offsets;          ///< num_sequences + 1
+  std::string ids;                      ///< concatenated FASTA ids
+  std::vector<u32> family_of;           ///< per sequence
+  std::vector<u64> rep_offsets;         ///< num_families + 1
+  std::vector<u32> representatives;     ///< sequence indices
+  std::vector<RepPosting> postings;     ///< sorted by (code, rep)
+
+  std::size_t num_sequences() const {
+    return seq_offsets.empty() ? 0 : seq_offsets.size() - 1;
+  }
+  std::string_view sequence(std::size_t i) const {
+    return std::string_view(residues).substr(
+        seq_offsets[i], seq_offsets[i + 1] - seq_offsets[i]);
+  }
+  std::string_view id(std::size_t i) const {
+    return std::string_view(ids).substr(id_offsets[i],
+                                        id_offsets[i + 1] - id_offsets[i]);
+  }
+  /// Representative sequence indices of family `f`.
+  std::span<const u32> family_reps(std::size_t f) const {
+    return std::span<const u32>(representatives)
+        .subspan(rep_offsets[f], rep_offsets[f + 1] - rep_offsets[f]);
+  }
+
+  friend bool operator==(const FamilyStore&, const FamilyStore&) = default;
+};
+
+/// Builds the store from clustered sequences. `labels[i]` is the family of
+/// `sequences[i]` (e.g. core::Clustering::labels()); families are label
+/// values `0 .. max(labels)`. Throws InvalidArgument on size mismatch or
+/// an out-of-domain k.
+FamilyStore build_family_store(const seq::SequenceSet& sequences,
+                               const std::vector<u32>& labels,
+                               const StoreBuildConfig& config = {});
+
+/// Serializes the store. Deterministic: equal stores produce byte-equal
+/// buffers.
+std::vector<char> serialize_snapshot(const FamilyStore& store);
+
+/// Parses and fully validates a serialized snapshot; throws SnapshotError
+/// on any corruption. `serialize(deserialize(bytes)) == bytes` for every
+/// valid buffer.
+FamilyStore deserialize_snapshot(const std::vector<char>& bytes);
+
+/// serialize_snapshot + one fwrite. Throws std::runtime_error on I/O
+/// failure.
+void write_snapshot(const FamilyStore& store, const std::string& path);
+
+/// One fread of the whole file + deserialize_snapshot. Throws
+/// SnapshotError for anything malformed, std::runtime_error when the file
+/// cannot be opened.
+FamilyStore load_snapshot(const std::string& path);
+
+}  // namespace gpclust::store

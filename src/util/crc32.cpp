@@ -1,0 +1,34 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace gpclust::util {
+
+namespace {
+
+constexpr std::array<u32, 256> make_table() {
+  std::array<u32, 256> table{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+u32 crc32(const void* data, std::size_t size, u32 seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  u32 c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = kTable[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace gpclust::util

@@ -1,0 +1,17 @@
+#pragma once
+// CRC-32 (ISO-HDLC / zlib polynomial 0xEDB88320) — the per-section
+// checksum of the family-index snapshot format (DESIGN.md §10). Table
+// driven, byte-at-a-time; fast enough for load-time validation of
+// multi-megabyte sections and has well-known test vectors.
+
+#include <cstddef>
+
+#include "util/common.hpp"
+
+namespace gpclust::util {
+
+/// CRC of `size` bytes starting at `data`. `seed` allows incremental
+/// computation: crc32(b, nb, crc32(a, na)) == crc32(concat(a, b)).
+u32 crc32(const void* data, std::size_t size, u32 seed = 0);
+
+}  // namespace gpclust::util

@@ -64,7 +64,7 @@ INSTANTIATE_TEST_SUITE_P(BatchSizes, BatchSizeSweep,
 TEST_F(DeviceShinglingTest, AsyncTuplesIdenticalToSync) {
   const auto g = graph::generate_erdos_renyi(150, 0.1, 6);
   DevicePassOptions sync_opt, async_opt;
-  async_opt.async = true;
+  async_opt.num_streams = 2;  // single-lane transfer overlap
   auto sync_tuples = extract_shingles_device(ctx_, g.offsets(), g.adjacency(),
                                              family_, 2, sync_opt);
   auto async_tuples = extract_shingles_device(ctx_, g.offsets(), g.adjacency(),

@@ -129,21 +129,16 @@ TEST(StreamOverlap, OneStreamMatchesSynchronousEngine) {
   EXPECT_NEAR(report.d2h_exposed_seconds, report.d2h_seconds, 1e-12);
 }
 
-TEST(StreamOverlap, TwoStreamsMatchTheLegacyAsyncEngine) {
+TEST(StreamOverlap, TwoStreamsHideTransfersBehindCompute) {
   const auto g = overlap_test_graph();
-  const auto params = overlap_test_params();
-
-  device::DeviceContext ctx(device::DeviceSpec::small_test_device(8 << 20));
-  core::GpClustOptions legacy;
-  legacy.max_batch_elements = 97;
-  legacy.async = true;  // deprecated alias
-  core::GpClustReport legacy_report;
-  core::GpClust(ctx, params, legacy).cluster(g, &legacy_report);
-
-  const auto report = run_with_streams(g, 2);
-  EXPECT_DOUBLE_EQ(report.device_makespan, legacy_report.device_makespan);
-  EXPECT_DOUBLE_EQ(report.gpu_seconds, legacy_report.gpu_seconds);
-  EXPECT_DOUBLE_EQ(report.d2h_seconds, legacy_report.d2h_seconds);
+  const auto one = run_with_streams(g, 1);
+  const auto two = run_with_streams(g, 2);
+  // Same modeled work, overlapped: busy totals match the synchronous
+  // engine exactly while the dedicated copy stream shrinks the makespan.
+  EXPECT_DOUBLE_EQ(two.gpu_seconds, one.gpu_seconds);
+  EXPECT_DOUBLE_EQ(two.d2h_seconds, one.d2h_seconds);
+  EXPECT_LT(two.device_makespan, one.device_makespan);
+  EXPECT_LT(two.d2h_exposed_seconds, one.d2h_exposed_seconds);
 }
 
 TEST(StreamOverlap, FourStreamsBeatTwoByHidingBatchUploads) {

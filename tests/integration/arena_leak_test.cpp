@@ -36,29 +36,25 @@ TEST(ArenaLeak, EmptyAfterEveryPipelineConfiguration) {
   const auto params = leak_test_params();
 
   struct Config {
-    bool async;
+    std::size_t num_streams;
     bool device_aggregation;
-    std::size_t num_streams = 1;
   };
   for (const Config& cfg :
-       {Config{false, false}, Config{true, false}, Config{false, true},
-        Config{true, true},
+       {Config{1, false}, Config{2, false}, Config{1, true}, Config{2, true},
         // Multi-lane pipelines keep several batches' buffers co-resident
         // mid-run; they too must all be back in the arena at the end.
-        Config{false, false, 4}, Config{false, true, 8},
-        Config{false, false, 3}}) {
+        Config{4, false}, Config{8, true}, Config{3, false}}) {
     device::DeviceContext ctx(device::DeviceSpec::small_test_device(4 << 20));
     obs::Tracer tracer;
     core::GpClustOptions options;
     options.max_batch_elements = 73;  // several batches per pass
-    options.async = cfg.async;
     options.device_aggregation = cfg.device_aggregation;
     options.pipeline.num_streams = cfg.num_streams;
     options.tracer = &tracer;
     core::GpClust(ctx, params, options).cluster(g);
 
     EXPECT_EQ(ctx.arena().used(), 0u)
-        << "async=" << cfg.async << " devagg=" << cfg.device_aggregation
+        << "devagg=" << cfg.device_aggregation
         << " streams=" << cfg.num_streams;
     EXPECT_EQ(ctx.arena().num_allocations(), 0u);
     EXPECT_GT(ctx.arena().peak(), 0u);

@@ -1,0 +1,189 @@
+// obs::Histogram: log2 bucketing, quantile interpolation and clamping,
+// exact merge, and the Tracer latency-histogram surface (including the
+// chrome://tracing counter-event export).
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace gpclust::obs {
+namespace {
+
+TEST(Histogram, EmptyIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.total_seconds(), 0.0);
+  EXPECT_EQ(h.mean_seconds(), 0.0);
+  EXPECT_EQ(h.min_seconds(), 0.0);
+  EXPECT_EQ(h.max_seconds(), 0.0);
+  EXPECT_EQ(h.p50(), 0.0);
+  EXPECT_EQ(h.p99(), 0.0);
+}
+
+TEST(Histogram, SingleSampleQuantilesAreTheSample) {
+  Histogram h;
+  h.record(0.0035);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min_seconds(), 0.0035);
+  EXPECT_DOUBLE_EQ(h.max_seconds(), 0.0035);
+  // Interpolation is clamped to [min, max], so every quantile of a
+  // one-sample histogram is that sample exactly.
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0035);
+  EXPECT_DOUBLE_EQ(h.p95(), 0.0035);
+  EXPECT_DOUBLE_EQ(h.p99(), 0.0035);
+}
+
+TEST(Histogram, CountMeanAndBounds) {
+  Histogram h;
+  h.record(0.001);
+  h.record(0.002);
+  h.record(0.003);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.total_seconds(), 0.006);
+  EXPECT_DOUBLE_EQ(h.mean_seconds(), 0.002);
+  EXPECT_DOUBLE_EQ(h.min_seconds(), 0.001);
+  EXPECT_DOUBLE_EQ(h.max_seconds(), 0.003);
+}
+
+TEST(Histogram, NegativeAndZeroClampToFirstBucket) {
+  Histogram h;
+  h.record(-1.0);
+  h.record(0.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.min_seconds(), 0.0);
+  EXPECT_EQ(h.p99(), 0.0);
+}
+
+TEST(Histogram, QuantilesOrderedAndWithinBounds) {
+  Histogram h;
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(1e-6, 1e-1);
+  for (int i = 0; i < 10000; ++i) h.record(dist(rng));
+  const double p50 = h.p50(), p95 = h.p95(), p99 = h.p99();
+  EXPECT_LE(h.min_seconds(), p50);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.max_seconds());
+  // Bounded relative error: the winning bucket's edges are within 2x of
+  // the true quantile, and interpolation stays inside the bucket.
+  EXPECT_NEAR(p50, 0.05, 0.05 * 0.5);  // uniform median ~0.05
+}
+
+TEST(Histogram, QuantileRankMatchesExactOnPowerOfTwoSamples) {
+  // Samples placed exactly on bucket boundaries: quantile() must walk to
+  // the right bucket. 2^k nanoseconds land at the lower edge of bucket k.
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.record(1e-6);  // ~bucket 10 (1024ns ~ 2^10)
+  h.record(1.0);                                // ~bucket 30
+  EXPECT_LT(h.p50(), 1e-5);
+  // The 1.0s outlier lands in the [2^29, 2^30) ns bucket; the top
+  // quantile must come from that bucket (bounded 2x relative error).
+  EXPECT_GT(h.quantile(1.0), 0.5);
+  EXPECT_LE(h.quantile(1.0), 1.0);
+}
+
+TEST(Histogram, MergeIsExactBucketwiseAddition) {
+  Histogram a, b, both;
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> dist(1e-6, 1.0);
+  for (int i = 0; i < 500; ++i) {
+    const double x = dist(rng);
+    a.record(x);
+    both.record(x);
+  }
+  for (int i = 0; i < 300; ++i) {
+    const double y = dist(rng);
+    b.record(y);
+    both.record(y);
+  }
+  a += b;
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_DOUBLE_EQ(a.total_seconds(), both.total_seconds());
+  EXPECT_DOUBLE_EQ(a.min_seconds(), both.min_seconds());
+  EXPECT_DOUBLE_EQ(a.max_seconds(), both.max_seconds());
+  for (std::size_t bucket = 0; bucket < Histogram::kNumBuckets; ++bucket) {
+    EXPECT_EQ(a.bucket_count(bucket), both.bucket_count(bucket));
+  }
+  EXPECT_DOUBLE_EQ(a.p50(), both.p50());
+  EXPECT_DOUBLE_EQ(a.p99(), both.p99());
+}
+
+TEST(Histogram, SummaryMentionsCountAndQuantiles) {
+  Histogram h;
+  h.record(0.002);
+  const auto s = h.summary();
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+  EXPECT_NE(s.find("p50"), std::string::npos);
+  EXPECT_NE(s.find("p99"), std::string::npos);
+}
+
+TEST(TracerLatency, RecordAndReadBack) {
+  Tracer tracer;
+  tracer.record_latency("serve.latency", 0.001);
+  tracer.record_latency("serve.latency", 0.004);
+  tracer.record_latency("other", 0.5);
+  const auto h = tracer.latency_histogram("serve.latency");
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min_seconds(), 0.001);
+  const auto all = tracer.latency_histograms();
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_EQ(all.at("other").count(), 1u);
+  // Unknown name reads as empty, not as an error.
+  EXPECT_EQ(tracer.latency_histogram("missing").count(), 0u);
+}
+
+TEST(TracerLatency, MergeLatencyFoldsWorkerLocalHistograms) {
+  Tracer tracer;
+  Histogram worker1, worker2;
+  worker1.record(0.001);
+  worker1.record(0.002);
+  worker2.record(0.003);
+  tracer.merge_latency("serve.latency", worker1);
+  tracer.merge_latency("serve.latency", worker2);
+  EXPECT_EQ(tracer.latency_histogram("serve.latency").count(), 3u);
+}
+
+TEST(TracerLatency, ChromeTraceExportsHistogramCounters) {
+  Tracer tracer;
+  for (int i = 0; i < 100; ++i) tracer.record_latency("serve.latency", 0.001);
+  const auto doc = json::parse(chrome_trace_json(tracer));
+  bool found = false;
+  for (const auto& event : doc.at("traceEvents").array()) {
+    if (event.at("name").string() != "latency:serve.latency") continue;
+    found = true;
+    EXPECT_EQ(event.at("ph").string(), "C");
+    EXPECT_EQ(event.at("args").at("count").number(), 100.0);
+    EXPECT_GT(event.at("args").at("p50_us").number(), 0.0);
+    EXPECT_GE(event.at("args").at("p99_us").number(),
+              event.at("args").at("p50_us").number());
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(JsonDump, RoundTripsThroughParse) {
+  const auto doc = json::object({
+      {"name", json::string("x\"y\n")},
+      {"count", json::number(123)},
+      {"ratio", json::number(0.25)},
+      {"flag", json::boolean(true)},
+      {"items", json::array({json::number(1), json::number(2)})},
+  });
+  const auto text = json::dump(doc);
+  const auto back = json::parse(text);
+  EXPECT_EQ(back.at("name").string(), "x\"y\n");
+  EXPECT_EQ(back.at("count").number(), 123.0);
+  EXPECT_EQ(back.at("ratio").number(), 0.25);
+  EXPECT_TRUE(back.at("flag").boolean());
+  EXPECT_EQ(back.at("items").array().size(), 2u);
+  // Integers print without a decimal point (stable, diff-friendly files).
+  EXPECT_NE(text.find("\"count\":123"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpclust::obs

@@ -1,0 +1,144 @@
+// serve::FamilyIndex — round-trip identity (planted family members
+// classify back to their own family), determinism across scratch and
+// cache states, and the outcome taxonomy (InvalidQuery / NoSeeds /
+// BelowThreshold / Assigned).
+
+#include <gtest/gtest.h>
+
+#include "seq/family_model.hpp"
+#include "serve/family_index.hpp"
+#include "store/snapshot.hpp"
+
+namespace gpclust::serve {
+namespace {
+
+seq::SyntheticMetagenome make_workload() {
+  seq::FamilyModelConfig config;
+  config.num_families = 8;
+  config.min_members = 3;
+  config.max_members = 10;
+  config.num_background_orfs = 4;
+  config.seed = 17;
+  return seq::generate_metagenome(config);
+}
+
+struct Fixture {
+  seq::SyntheticMetagenome mg = make_workload();
+  store::FamilyStore store =
+      store::build_family_store(mg.sequences, mg.family);
+  FamilyIndex index{store};
+  ClassifyParams params;
+};
+
+TEST(FamilyIndex, MembersClassifyBackToTheirOwnFamily) {
+  Fixture fx;
+  ClassifyScratch scratch;
+  std::size_t assigned_home = 0;
+  for (std::size_t i = 0; i < fx.store.num_sequences(); ++i) {
+    const auto result =
+        fx.index.classify(fx.store.sequence(i), fx.params, scratch);
+    if (result.outcome != ClassifyOutcome::Assigned) continue;
+    ASSERT_LT(result.family, fx.store.num_families);
+    ASSERT_LT(result.best_rep, fx.store.num_sequences());
+    EXPECT_EQ(fx.store.family_of[result.best_rep], result.family);
+    if (result.family == fx.store.family_of[i]) ++assigned_home;
+  }
+  // The round-trip identity floor the serving layer documents: at least
+  // 70% of source ORFs classify back to the family they came from (in
+  // practice ~100% on this workload — the floor leaves seed headroom).
+  const double fraction = static_cast<double>(assigned_home) /
+                          static_cast<double>(fx.store.num_sequences());
+  EXPECT_GE(fraction, 0.7) << assigned_home << " of "
+                           << fx.store.num_sequences();
+}
+
+TEST(FamilyIndex, RepresentativesClassifyToTheirOwnFamily) {
+  Fixture fx;
+  ClassifyScratch scratch;
+  for (u32 rep_seq : fx.store.representatives) {
+    const auto result =
+        fx.index.classify(fx.store.sequence(rep_seq), fx.params, scratch);
+    ASSERT_EQ(result.outcome, ClassifyOutcome::Assigned)
+        << "representative " << rep_seq;
+    EXPECT_EQ(result.family, fx.store.family_of[rep_seq]);
+  }
+}
+
+TEST(FamilyIndex, DeterministicAcrossScratchAndCacheStates) {
+  Fixture fx;
+  ClassifyScratch warm;  // reused across all queries (stateful LRU)
+  ClassifyScratch tiny(1);  // capacity-1 cache: every query evicts
+  for (std::size_t i = 0; i < fx.store.num_sequences(); i += 3) {
+    const std::string_view query = fx.store.sequence(i);
+    ClassifyScratch fresh;
+    const auto a = fx.index.classify(query, fx.params, fresh);
+    const auto b = fx.index.classify(query, fx.params, warm);
+    const auto c = fx.index.classify(query, fx.params, tiny);
+    const auto d = fx.index.classify(query, fx.params, warm);  // re-ask
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, c);
+    EXPECT_EQ(a, d);
+  }
+}
+
+TEST(FamilyIndex, InvalidQueriesAreTyped) {
+  Fixture fx;
+  ClassifyScratch scratch;
+  for (const char* bad : {"", "PROTE1N", "acgt nope"}) {
+    const auto result = fx.index.classify(bad, fx.params, scratch);
+    EXPECT_EQ(result.outcome, ClassifyOutcome::InvalidQuery) << bad;
+    EXPECT_EQ(result.family, kNoFamily);
+    EXPECT_EQ(result.num_alignments, 0u);
+  }
+}
+
+TEST(FamilyIndex, QueryShorterThanKHasNoSeeds) {
+  Fixture fx;
+  ASSERT_GE(fx.store.kmer_k, 2u);
+  const std::string query(fx.store.kmer_k - 1, 'A');  // valid but seedless
+  ClassifyScratch scratch;
+  const auto result = fx.index.classify(query, fx.params, scratch);
+  EXPECT_EQ(result.outcome, ClassifyOutcome::NoSeeds);
+  EXPECT_EQ(result.family, kNoFamily);
+  EXPECT_EQ(result.num_candidates, 0u);
+}
+
+TEST(FamilyIndex, UnreachableSeedFloorMeansNoSeeds) {
+  Fixture fx;
+  fx.params.min_shared_kmers = 1u << 20;
+  ClassifyScratch scratch;
+  const auto result =
+      fx.index.classify(fx.store.sequence(0), fx.params, scratch);
+  EXPECT_EQ(result.outcome, ClassifyOutcome::NoSeeds);
+  EXPECT_EQ(result.num_alignments, 0u);
+}
+
+TEST(FamilyIndex, BelowThresholdReportsBestScoreWithoutAFamily) {
+  Fixture fx;
+  fx.params.min_score = 1 << 24;  // no alignment can clear this
+  ClassifyScratch scratch;
+  const auto result =
+      fx.index.classify(fx.store.sequence(0), fx.params, scratch);
+  EXPECT_EQ(result.outcome, ClassifyOutcome::BelowThreshold);
+  EXPECT_EQ(result.family, kNoFamily);
+  EXPECT_GE(result.num_alignments, 1u);
+  EXPECT_GT(result.score, 0);  // best raw score still reported
+  EXPECT_LT(result.best_rep, fx.store.num_sequences());
+}
+
+TEST(FamilyIndex, MaxCandidatesBoundsAlignmentWork) {
+  Fixture fx;
+  const std::string_view query = fx.store.sequence(0);
+  ClassifyScratch scratch;
+  const auto wide = fx.index.classify(query, fx.params, scratch);
+  fx.params.max_candidates = 1;
+  const auto narrow = fx.index.classify(query, fx.params, scratch);
+  EXPECT_EQ(narrow.num_alignments, 1u);
+  EXPECT_GE(wide.num_alignments, narrow.num_alignments);
+  // Truncation keeps the best-seeded candidate, and the candidate count
+  // (pre-truncation) is unchanged.
+  EXPECT_EQ(wide.num_candidates, narrow.num_candidates);
+}
+
+}  // namespace
+}  // namespace gpclust::serve

@@ -1,0 +1,213 @@
+// store layer: build determinism, serialize/deserialize round trips,
+// byte-identity of repeated builds, and the corruption contract — every
+// truncation, bit flip, or header lie must surface as a typed
+// SnapshotError, never a crash or a silently partial index.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "seq/family_model.hpp"
+#include "store/snapshot.hpp"
+
+namespace gpclust::store {
+namespace {
+
+seq::SyntheticMetagenome make_workload(u64 seed = 5) {
+  seq::FamilyModelConfig config;
+  config.num_families = 8;
+  config.min_members = 3;
+  config.max_members = 10;
+  config.num_background_orfs = 4;  // singleton families exercise rep logic
+  config.seed = seed;
+  return seq::generate_metagenome(config);
+}
+
+FamilyStore make_store(u64 seed = 5) {
+  const auto mg = make_workload(seed);
+  return build_family_store(mg.sequences, mg.family);
+}
+
+// ---------------------------------------------------------------------------
+// Build semantics
+// ---------------------------------------------------------------------------
+
+TEST(StoreBuild, IndexesEverySequenceAndFamily) {
+  const auto mg = make_workload();
+  const auto store = build_family_store(mg.sequences, mg.family);
+  ASSERT_EQ(store.num_sequences(), mg.sequences.size());
+  for (std::size_t i = 0; i < mg.sequences.size(); ++i) {
+    EXPECT_EQ(store.sequence(i), mg.sequences[i].residues);
+    EXPECT_EQ(store.id(i), mg.sequences[i].id);
+    EXPECT_EQ(store.family_of[i], mg.family[i]);
+  }
+  // Every family has at least one representative; every representative
+  // belongs to the family it represents.
+  for (u32 f = 0; f < store.num_families; ++f) {
+    const auto reps = store.family_reps(f);
+    ASSERT_GE(reps.size(), 1u) << "family " << f;
+    for (u32 rep : reps) EXPECT_EQ(store.family_of[rep], f);
+  }
+}
+
+TEST(StoreBuild, KeepsLongestMembersAsRepresentatives) {
+  const auto mg = make_workload();
+  StoreBuildConfig config;
+  config.reps_per_family = 1;
+  const auto store = build_family_store(mg.sequences, mg.family, config);
+  for (u32 f = 0; f < store.num_families; ++f) {
+    const auto reps = store.family_reps(f);
+    ASSERT_EQ(reps.size(), 1u);
+    for (std::size_t i = 0; i < store.num_sequences(); ++i) {
+      if (store.family_of[i] == f) {
+        EXPECT_LE(store.sequence(i).size(), store.sequence(reps[0]).size());
+      }
+    }
+  }
+}
+
+TEST(StoreBuild, PostingsAreSortedAndDistinct) {
+  const auto store = make_store();
+  ASSERT_FALSE(store.postings.empty());
+  for (std::size_t i = 1; i < store.postings.size(); ++i) {
+    const auto& prev = store.postings[i - 1];
+    const auto& cur = store.postings[i];
+    EXPECT_TRUE(prev.code < cur.code ||
+                (prev.code == cur.code && prev.rep < cur.rep));
+  }
+}
+
+TEST(StoreBuild, RejectsInvalidInputs) {
+  const auto mg = make_workload();
+  auto bad_labels = mg.family;
+  bad_labels.pop_back();
+  EXPECT_THROW(build_family_store(mg.sequences, bad_labels), InvalidArgument);
+  StoreBuildConfig bad_k;
+  bad_k.k = 1;
+  EXPECT_THROW(build_family_store(mg.sequences, mg.family, bad_k),
+               InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Serialization: round trip + determinism
+// ---------------------------------------------------------------------------
+
+TEST(StoreSnapshot, RoundTripPreservesEverything) {
+  const auto store = make_store();
+  const auto bytes = serialize_snapshot(store);
+  const auto loaded = deserialize_snapshot(bytes);
+  EXPECT_EQ(loaded, store);
+}
+
+TEST(StoreSnapshot, BuildTwiceIsByteIdentical) {
+  const auto once = serialize_snapshot(make_store());
+  const auto twice = serialize_snapshot(make_store());
+  EXPECT_EQ(once, twice);
+  // And serialize(deserialize(x)) == x: no hidden non-determinism on the
+  // load path either.
+  EXPECT_EQ(serialize_snapshot(deserialize_snapshot(once)), once);
+}
+
+TEST(StoreSnapshot, DifferentInputsProduceDifferentBytes) {
+  EXPECT_NE(serialize_snapshot(make_store(5)),
+            serialize_snapshot(make_store(6)));
+}
+
+TEST(StoreSnapshot, FileRoundTrip) {
+  const auto store = make_store();
+  const auto path =
+      (std::filesystem::temp_directory_path() / "gpclust_snapshot_test.gpfi")
+          .string();
+  write_snapshot(store, path);
+  const auto loaded = load_snapshot(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(loaded, store);
+}
+
+TEST(StoreSnapshot, LoadMissingFileThrows) {
+  EXPECT_THROW(load_snapshot("/nonexistent/gpclust.gpfi"), SnapshotError);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption contract: typed error, never a crash or partial index
+// ---------------------------------------------------------------------------
+
+TEST(StoreCorruption, EveryTruncationThrowsTyped) {
+  const auto bytes = serialize_snapshot(make_store());
+  // Sweep all short prefixes at a byte stride (every length near the
+  // header, then sampled through the payload — keeps the sweep O(seconds)).
+  for (std::size_t len = 0; len < bytes.size();
+       len += (len < 256 ? 1 : 97)) {
+    std::vector<char> cut(bytes.begin(), bytes.begin() + len);
+    EXPECT_THROW(deserialize_snapshot(cut), SnapshotError) << "len=" << len;
+  }
+}
+
+TEST(StoreCorruption, EveryBitFlipThrowsOrPreservesEquality) {
+  const auto store = make_store();
+  const auto bytes = serialize_snapshot(store);
+  // Flip one bit at a sampled set of byte offsets covering header, section
+  // table, and every payload section. A flip must either be caught (CRC,
+  // magic, bounds) — the common case — or, never, produce a different
+  // store that loads cleanly.
+  for (std::size_t pos = 0; pos < bytes.size();
+       pos += (pos < 300 ? 7 : 131)) {
+    auto corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x10);
+    try {
+      const auto loaded = deserialize_snapshot(corrupt);
+      // A flip inside ignored padding can legitimately... no: padding is
+      // CRC-covered too, so any surviving load means the flip was a no-op
+      // on content, which a XOR by 0x10 never is.
+      ADD_FAILURE() << "bit flip at byte " << pos << " loaded cleanly";
+      (void)loaded;
+    } catch (const SnapshotError&) {
+      // expected
+    }
+  }
+}
+
+TEST(StoreCorruption, WrongMagicAndVersionAreTyped) {
+  const auto bytes = serialize_snapshot(make_store());
+  {
+    auto bad = bytes;
+    bad[0] = 'X';
+    try {
+      deserialize_snapshot(bad);
+      FAIL() << "bad magic accepted";
+    } catch (const SnapshotError& e) {
+      EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+    }
+  }
+  {
+    auto bad = bytes;
+    bad[8] = 99;  // format version field
+    try {
+      deserialize_snapshot(bad);
+      FAIL() << "bad version accepted";
+    } catch (const SnapshotError& e) {
+      EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+    }
+  }
+}
+
+TEST(StoreCorruption, CrossSectionLiesAreCaught) {
+  // A snapshot whose sections are individually CRC-valid but mutually
+  // inconsistent must still be rejected: rebuild a store with an
+  // out-of-range family label and check the serializer itself refuses.
+  auto store = make_store();
+  store.family_of[0] = static_cast<u32>(store.num_families + 7);
+  const auto bytes = serialize_snapshot(store);  // serializer is trusting
+  EXPECT_THROW(deserialize_snapshot(bytes), SnapshotError);
+}
+
+TEST(StoreCorruption, SnapshotErrorIsAlsoAParseError) {
+  // Callers that already handle the repo-wide ParseError taxonomy keep
+  // working.
+  const std::vector<char> empty;
+  EXPECT_THROW(deserialize_snapshot(empty), ParseError);
+}
+
+}  // namespace
+}  // namespace gpclust::store

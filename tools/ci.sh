@@ -24,6 +24,17 @@ echo "=== tier 1b: alignment bench smoke (SIMD vs scalar edge identity) ==="
 # verification paths emit identical edges before reporting throughput.
 ./build-ci/bench/bench_alignment --quick
 
+echo "=== tier 1c: family-index round trip (build-index -> query) ==="
+# The serving-layer smoke (store + serve unit tests run inside ctest
+# above): persist a demo family index, then classify its own ORFs back —
+# at least 70% must return to the family they came from, and the query
+# tool exits 3 otherwise.
+./build-ci/tools/gpclust-build-index --demo-families=12 \
+    --out=build-ci/ci_families.gpfi --demo-fasta-out=build-ci/ci_orfs.faa
+./build-ci/tools/gpclust-query --index=build-ci/ci_families.gpfi \
+    --fasta=build-ci/ci_orfs.faa --workers=2 \
+    --require-assigned-fraction=0.7 --out=build-ci/ci_assignments.tsv
+
 echo "=== tier 2: ASan/UBSan gpclust_tests + gpclust_align_tests (preset: asan) ==="
 cmake --preset asan
 cmake --build --preset asan

@@ -20,11 +20,9 @@
 //   --mode=partition|overlapping
 //   --min-cluster-size=N   only write clusters of at least N members
 //   --components           decompose into connected components first
-//   --async                overlap device transfers with compute
-//                          (deprecated alias for --streams=2)
 //   --streams=K            device streams for the batch pipeline (default 1
-//                          = synchronous; 2 = the --async overlap; 2L = L
-//                          batches in flight; overrides --async when > 1)
+//                          = synchronous; 2 = single-lane transfer overlap;
+//                          2L = L batches in flight)
 //   --agg-shards=N         hash-prefix shards for the CPU-side tuple
 //                          aggregation (default 1 = flat gather sort)
 //   --device-mb=N          simulated device memory (default 5120)
@@ -130,7 +128,6 @@ int main(int argc, char** argv) {
     const auto fault_spec = args.get_string("fault-plan", "");
     fault::FaultPlan fault_plan;
     core::GpClustOptions options;
-    options.async = args.get_bool("async", false);
     options.pipeline.num_streams =
         static_cast<std::size_t>(args.get_int("streams", 1));
     options.pipeline.agg_shards =

@@ -1,0 +1,200 @@
+// gpclust-query — classifies ORFs against a persisted family index.
+//
+// Loads a gpclust-build-index snapshot read-only and serves queries
+// through the concurrent QueryService (DESIGN.md §10): k-mer seeding
+// against the family representatives, exact striped Smith-Waterman on the
+// best-seeded candidates, bounded worker pool + bounded admission queue.
+//
+//   gpclust-query --index=families.gpfi --seq=MKT...          # one query
+//   gpclust-query --index=families.gpfi --fasta=reads.faa
+//       --workers=4 --out=assignments.tsv                     # batch
+//
+// Flags:
+//   --index=PATH           snapshot written by gpclust-build-index (required)
+//   --seq=RESIDUES         classify one literal protein sequence
+//   --fasta=PATH           classify every sequence in a FASTA file
+//   --out=PATH             batch mode: write per-query TSV (id, outcome,
+//                          family, representative id, score, shared k-mers)
+//                          instead of stdout lines
+//   --workers=N            worker threads (default 1)
+//   --queue=N              admission queue capacity (default 64)
+//   --admission=off|retry|fallback
+//                          full-queue policy: off rejects immediately,
+//                          retry/fallback wait with bounded deterministic
+//                          backoff before rejecting (default retry)
+//   --retries=N            admission retries when not off (default 3)
+//   --backoff=SECONDS      base admission backoff (default 0.001)
+//   --cache=N              per-worker representative-profile LRU capacity
+//                          (default 64)
+//   --min-shared-kmers=N   seed floor per candidate (default 2)
+//   --max-candidates=N     Smith-Waterman budget per query (default 8)
+//   --min-score=N          absolute score floor (default 40)
+//   --min-score-per-residue=X  length-relative score floor (default 1.2)
+//   --trace-out=PATH       chrome://tracing JSON of the serve spans,
+//                          counters and the serve.latency histogram
+//   --require-assigned-fraction=F
+//                          exit 3 unless assigned/total >= F (CI smoke)
+
+#include <cstdio>
+
+#include "obs/trace.hpp"
+#include "seq/fasta.hpp"
+#include "serve/query_service.hpp"
+#include "store/snapshot.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace gpclust;
+
+serve::ServiceConfig config_from(const util::CliArgs& args,
+                                 obs::Tracer* tracer) {
+  serve::ServiceConfig config;
+  config.num_workers = static_cast<std::size_t>(args.get_int("workers", 1));
+  config.queue_capacity = static_cast<std::size_t>(args.get_int("queue", 64));
+  config.admission.mode =
+      fault::parse_resilience_mode(args.get_string("admission", "retry"));
+  config.admission.max_retries = static_cast<int>(args.get_int("retries", 3));
+  config.admission.retry_backoff_seconds = args.get_double("backoff", 0.001);
+  config.profile_cache_capacity =
+      static_cast<std::size_t>(args.get_int("cache", 64));
+  config.classify.min_shared_kmers =
+      static_cast<u32>(args.get_int("min-shared-kmers", 2));
+  config.classify.max_candidates =
+      static_cast<std::size_t>(args.get_int("max-candidates", 8));
+  config.classify.min_score = static_cast<int>(args.get_int("min-score", 40));
+  config.classify.min_score_per_residue =
+      args.get_double("min-score-per-residue", 1.2);
+  config.tracer = tracer;
+  return config;
+}
+
+void print_result(std::FILE* out, const std::string& id,
+                  const store::FamilyStore& store,
+                  const serve::QueryOutcome& outcome) {
+  if (outcome.rejected != serve::RejectReason::None) {
+    std::fprintf(out, "%s\trejected:%s\t-\t-\t-\t-\n", id.c_str(),
+                 std::string(serve::reject_reason_name(outcome.rejected))
+                     .c_str());
+    return;
+  }
+  const auto& r = outcome.result;
+  const bool assigned = r.outcome == serve::ClassifyOutcome::Assigned;
+  std::fprintf(out, "%s\t%s\t%s\t%s\t%d\t%u\n", id.c_str(),
+               std::string(serve::classify_outcome_name(r.outcome)).c_str(),
+               assigned ? std::to_string(r.family).c_str() : "-",
+               r.best_rep != serve::kNoFamily
+                   ? std::string(store.id(r.best_rep)).c_str()
+                   : "-",
+               r.score, r.shared_kmers);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gpclust;
+  try {
+    const util::CliArgs args(argc, argv);
+    const auto index_path = args.get_string("index", "");
+    const auto literal = args.get_string("seq", "");
+    const auto fasta_path = args.get_string("fasta", "");
+    if (index_path.empty() || (literal.empty() && fasta_path.empty())) {
+      std::fprintf(stderr,
+                   "usage: gpclust-query --index=PATH --seq=RESIDUES | "
+                   "--fasta=PATH [--out=PATH] [--workers=N] [--queue=N] "
+                   "[--admission=off|retry|fallback] [--cache=N] "
+                   "[--min-shared-kmers=N] [--max-candidates=N] "
+                   "[--min-score=N] [--min-score-per-residue=X] "
+                   "[--trace-out=PATH] [--require-assigned-fraction=F]\n");
+      return 2;
+    }
+
+    util::WallTimer load_timer;
+    const auto store = store::load_snapshot(index_path);
+    std::fprintf(stderr,
+                 "loaded %s: %zu sequences, %llu families, %zu "
+                 "representatives (k=%llu) in %.2fs\n",
+                 index_path.c_str(), store.num_sequences(),
+                 static_cast<unsigned long long>(store.num_families),
+                 store.representatives.size(),
+                 static_cast<unsigned long long>(store.kmer_k),
+                 load_timer.seconds());
+
+    const auto trace_out = args.get_string("trace-out", "");
+    obs::Tracer tracer;
+    serve::QueryService service(
+        store, config_from(args, trace_out.empty() ? nullptr : &tracer));
+
+    std::vector<std::string> ids;
+    std::vector<std::string> queries;
+    if (!literal.empty()) {
+      ids.push_back("query");
+      queries.push_back(literal);
+    } else {
+      for (auto& record : seq::read_fasta(fasta_path)) {
+        ids.push_back(std::move(record.id));
+        queries.push_back(std::move(record.residues));
+      }
+    }
+
+    util::WallTimer serve_timer;
+    const auto outcomes = service.classify_batch(queries);
+    const double wall = serve_timer.seconds();
+
+    const auto out_path = args.get_string("out", "");
+    std::FILE* out = stdout;
+    if (!out_path.empty()) {
+      out = std::fopen(out_path.c_str(), "w");
+      GPCLUST_CHECK(out != nullptr, "cannot open --out file");
+    }
+    std::fprintf(out, "#id\toutcome\tfamily\trepresentative\tscore\tshared\n");
+    std::size_t assigned = 0, rejected = 0;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      print_result(out, ids[i], store, outcomes[i]);
+      if (outcomes[i].rejected != serve::RejectReason::None) ++rejected;
+      else if (outcomes[i].result.outcome == serve::ClassifyOutcome::Assigned)
+        ++assigned;
+    }
+    if (out != stdout) {
+      std::fclose(out);
+      std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+    }
+
+    const auto stats = service.stats();
+    const auto histogram = service.latency_histogram();
+    std::fprintf(stderr,
+                 "%zu queries in %.2fs wall (%.0f/s host-measured): "
+                 "%zu assigned, %zu rejected; profile cache %llu hits / "
+                 "%llu builds; latency %s\n",
+                 queries.size(), wall,
+                 wall > 0 ? static_cast<double>(queries.size()) / wall : 0.0,
+                 assigned, rejected,
+                 static_cast<unsigned long long>(stats.profile_hits),
+                 static_cast<unsigned long long>(stats.profile_builds),
+                 histogram.summary().c_str());
+
+    if (!trace_out.empty()) {
+      obs::write_chrome_trace(tracer, trace_out);
+      std::fprintf(stderr, "wrote trace %s (%zu events)\n%s",
+                   trace_out.c_str(), tracer.num_events(),
+                   tracer.summary().c_str());
+    }
+
+    const double required = args.get_double("require-assigned-fraction", -1.0);
+    if (required >= 0.0 && !queries.empty()) {
+      const double fraction =
+          static_cast<double>(assigned) / static_cast<double>(queries.size());
+      if (fraction < required) {
+        std::fprintf(stderr,
+                     "assigned fraction %.3f below required %.3f\n", fraction,
+                     required);
+        return 3;
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
