@@ -1,17 +1,19 @@
-// Alignment-verification throughput: the striped SIMD Smith-Waterman fast
-// path vs the scalar reference inside build_homology_graph, on a synthetic
-// family-model metagenome. Every number printed here is HOST-MEASURED wall
-// time on this machine (no modeled device seconds anywhere in this
-// driver); the verify-phase timings come from the obs tracer's
-// host_total("homology.verify") span.
+// Alignment-verification throughput: the three verify backends of
+// build_homology_graph (scalar reference, striped SIMD fast path, and the
+// device-batched cascade) on a synthetic family-model metagenome. Host
+// rows are HOST-MEASURED wall time (the verify-phase timings come from the
+// obs tracer's host_total("homology.verify") span); the device row's
+// kernel/transfer seconds are MODELED SimTimeline time and are always
+// printed with a "modeled" label, never mixed into a host number.
 //
-// The driver asserts the two paths emit bit-identical edge sets before
+// The driver asserts all backends emit bit-identical edge sets before
 // reporting any throughput, and also times the seed stage's sort-based
 // pair counting against the previous hash-map formulation (kept here as a
 // reference implementation).
 //
 // Flags: --quick (tiny run for CI smoke), --families=N (workload scale),
 //        --seed=N (family-model seed), --reps=N (verify best-of-N),
+//        --streams=K (device-verify pipeline streams, default 2),
 //        --prefilter (add an opt-in heuristic-prefilter row; its edge
 //        set may differ — labeled),
 //        --json=PATH (machine-readable results, docs/bench_json.md).
@@ -24,6 +26,7 @@
 #include <vector>
 
 #include "align/homology_graph.hpp"
+#include "device/device_context.hpp"
 #include "obs/json.hpp"
 #include "obs/trace.hpp"
 #include "seq/alphabet.hpp"
@@ -124,21 +127,38 @@ int main(int argc, char** argv) {
   std::printf("workload: %zu sequences, %zu residues (family model, seed %llu)\n",
               mg.sequences.size(), residues,
               static_cast<unsigned long long>(mcfg.seed));
-  std::printf("all times below are host-measured wall seconds\n\n");
+  std::printf("host rows are host-measured wall seconds; the device row "
+              "labels its modeled seconds explicitly\n\n");
 
   align::HomologyGraphConfig scalar_cfg;
-  scalar_cfg.use_simd = false;
+  scalar_cfg.verify_backend = align::VerifyBackend::HostScalar;
   align::HomologyGraphConfig simd_cfg;
-  simd_cfg.use_simd = true;
+  simd_cfg.verify_backend = align::VerifyBackend::HostSimd;
 
   const auto scalar = run_build(mg.sequences, scalar_cfg, reps);
   const auto simd = run_build(mg.sequences, simd_cfg, reps);
 
-  // The fast path must be invisible in the output before it is allowed to
-  // be fast: bit-identical edge sets or the bench aborts.
+  // Device-batched backend: one run (its kernel/transfer seconds are
+  // modeled, hence deterministic; only the pack/prefilter host seconds
+  // vary, and they are reported as-is).
+  device::DeviceContext ctx(device::DeviceSpec::tesla_k20());
+  align::HomologyGraphConfig device_cfg;
+  device_cfg.verify_backend = align::VerifyBackend::DeviceBatched;
+  device_cfg.device_verify.context = &ctx;
+  device_cfg.device_verify.num_streams =
+      static_cast<std::size_t>(args.get_int("streams", 2));
+  const auto dev = run_build(mg.sequences, device_cfg, 1);
+
+  // The fast paths must be invisible in the output before they are allowed
+  // to be fast: bit-identical edge sets or the bench aborts.
   GPCLUST_CHECK(scalar.graph.adjacency() == simd.graph.adjacency() &&
                     scalar.graph.offsets() == simd.graph.offsets(),
                 "SIMD and scalar verification produced different graphs");
+  GPCLUST_CHECK(dev.graph.adjacency() == scalar.graph.adjacency() &&
+                    dev.graph.offsets() == scalar.graph.offsets(),
+                "device-batched verification produced a different graph");
+  GPCLUST_CHECK(ctx.arena().used() == 0 && ctx.arena().num_allocations() == 0,
+                "device arena not empty after the verify runs");
 
   const double pairs =
       static_cast<double>(simd.stats.num_candidate_pairs -
@@ -155,6 +175,19 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(simd.stats.simd.runs_8bit),
               static_cast<unsigned long long>(simd.stats.simd.rescues_16bit),
               static_cast<unsigned long long>(simd.stats.simd.scalar_fallbacks));
+
+  const auto& dstats = dev.stats.device;
+  std::printf("  device-batched cascade (%zu batches, %zu lanes) — CPU side "
+              "host-measured, device side MODELED:\n",
+              dstats.num_batches, dstats.num_lanes);
+  std::printf("    cpu prefilter %.4f s + pack %.4f s (host) | verify "
+              "makespan %.4f s (modeled)\n",
+              dev.stats.prefilter_host_s, dstats.pack_host_s,
+              dstats.makespan_modeled_s);
+  std::printf("    exposed critical path (modeled, sums to makespan): kernel "
+              "%.4f s | h2d %.4f s | d2h %.4f s\n\n",
+              dstats.kernel_exposed_modeled_s, dstats.h2d_exposed_modeled_s,
+              dstats.d2h_exposed_modeled_s);
 
   // Seed stage: sort-based counting (production) vs the previous hash-map
   // loop. Same promoted-pair count by construction; checked anyway.
@@ -198,7 +231,7 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     const auto doc = obs::json::object({
         {"bench", obs::json::string("alignment")},
-        {"time_domain", obs::json::string("host_measured")},
+        {"time_domain", obs::json::string("mixed_labeled")},
         {"workload",
          obs::json::object({
              {"sequences",
@@ -223,6 +256,24 @@ int main(int argc, char** argv) {
              {"scalar_fallbacks",
               obs::json::number(
                   static_cast<double>(simd.stats.simd.scalar_fallbacks))},
+         })},
+        {"verify_device",
+         obs::json::object({
+             {"batches",
+              obs::json::number(static_cast<double>(dstats.num_batches))},
+             {"lanes",
+              obs::json::number(static_cast<double>(dstats.num_lanes))},
+             {"prefilter_host_s",
+              obs::json::number(dev.stats.prefilter_host_s)},
+             {"pack_host_s", obs::json::number(dstats.pack_host_s)},
+             {"makespan_modeled_s",
+              obs::json::number(dstats.makespan_modeled_s)},
+             {"kernel_exposed_modeled_s",
+              obs::json::number(dstats.kernel_exposed_modeled_s)},
+             {"h2d_exposed_modeled_s",
+              obs::json::number(dstats.h2d_exposed_modeled_s)},
+             {"d2h_exposed_modeled_s",
+              obs::json::number(dstats.d2h_exposed_modeled_s)},
          })},
         {"seed_pairs",
          obs::json::object({

@@ -5,6 +5,7 @@
 
 #include "align/prefilter.hpp"
 #include "seq/alphabet.hpp"
+#include "util/timer.hpp"
 
 namespace gpclust::align {
 
@@ -38,6 +39,43 @@ TracedAlignment traced_from_end(const std::string& a, const std::string& b,
 /// doomed 8-bit passes; any value is correct).
 constexpr int kDispatchXdrop = 1 << 20;
 
+/// Stage 2 — the exact admissible tier (always on; provably cannot change
+/// the edge set) followed by the opt-in heuristic tier. Returns the
+/// indices of the surviving pairs, in candidate-stream order, so every
+/// backend scores the identical pair list and the reject counters are
+/// attributed identically no matter where stage 3 runs.
+std::vector<u32> prefilter_candidates(const seq::SequenceSet& sequences,
+                                      std::span<const CandidatePair> pairs,
+                                      const HomologyGraphConfig& config,
+                                      HomologyGraphStats& totals) {
+  std::vector<u32> surviving;
+  surviving.reserve(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const auto& p = pairs[i];
+    const auto& a = sequences[p.a].residues;
+    const auto& b = sequences[p.b].residues;
+    if (exact_reject(a.size(), b.size(), config.min_score,
+                     config.min_score_per_residue)) {
+      ++totals.num_exact_rejects;
+      continue;
+    }
+    if (config.prefilter.enabled) {
+      if (p.shared_kmers < config.prefilter.min_shared_seeds) {
+        ++totals.num_heuristic_rejects;
+        continue;
+      }
+      if (config.prefilter.min_ungapped_score > 0 &&
+          ungapped_xdrop_score(a, b, p.diag, config.prefilter.xdrop) <
+              config.prefilter.min_ungapped_score) {
+        ++totals.num_heuristic_rejects;
+        continue;
+      }
+    }
+    surviving.push_back(static_cast<u32>(i));
+  }
+  return surviving;
+}
+
 }  // namespace
 
 graph::CsrGraph build_homology_graph(const seq::SequenceSet& sequences,
@@ -45,8 +83,13 @@ graph::CsrGraph build_homology_graph(const seq::SequenceSet& sequences,
                                      HomologyGraphStats* stats) {
   GPCLUST_CHECK(config.min_score_per_residue >= 0.0,
                 "score threshold must be non-negative");
+  const bool device = config.verify_backend == VerifyBackend::DeviceBatched;
+  const bool simd = config.verify_backend == VerifyBackend::HostSimd;
+  GPCLUST_CHECK(!device || config.device_verify.context != nullptr,
+                "DeviceBatched verification needs a DeviceContext");
   obs::Tracer* tracer = config.tracer;
 
+  // Stage 1 — candidate stream.
   std::vector<CandidatePair> pairs;
   {
     obs::HostSpan span(tracer, "homology.seed");
@@ -57,10 +100,27 @@ graph::CsrGraph build_homology_graph(const seq::SequenceSet& sequences,
   }
   obs::add_counter(tracer, "homology_candidate_pairs", pairs.size());
 
+  // Stage 2 — CPU prefilter (host-measured; this is the CPU side of the
+  // critical-path split reported against the modeled device verify).
+  HomologyGraphStats totals;
+  std::vector<u32> surviving;
+  {
+    obs::HostSpan span(tracer, "homology.prefilter");
+    util::WallTimer timer;
+    surviving = prefilter_candidates(sequences, pairs, config, totals);
+    totals.prefilter_host_s = timer.seconds();
+  }
+  totals.num_surviving_pairs = surviving.size();
+  obs::add_counter(tracer, "homology_surviving_pairs", surviving.size());
+
+  // Stage 3 — batched score-only verification on the configured backend,
+  // then the (host-side) edge gate over the scores.
+  std::vector<u8> accepted(pairs.size(), 0);
+
   // The SIMD kernel consumes residue indices; encode every sequence once
   // up front instead of per pair.
   std::vector<std::vector<u8>> encoded;
-  if (config.use_simd) {
+  if (simd) {
     encoded.resize(sequences.size());
     for (std::size_t i = 0; i < sequences.size(); ++i) {
       const std::string& r = sequences[i].residues;
@@ -71,93 +131,96 @@ graph::CsrGraph build_homology_graph(const seq::SequenceSet& sequences,
     }
   }
 
-  HomologyGraphStats totals;
-  std::mutex totals_mutex;
-  std::vector<u8> accepted(pairs.size(), 0);
-
-  auto verify = [&](std::size_t lo, std::size_t hi) {
-    // Per-worker state: pairs arrive sorted by query id, so a single-slot
-    // profile cache serves nearly every pair in the chunk.
-    QueryProfileCache cache;
-    SimdCounters simd;
-    HomologyGraphStats local;
-    for (std::size_t i = lo; i < hi; ++i) {
-      const auto& p = pairs[i];
-      const auto& a = sequences[p.a].residues;
-      const auto& b = sequences[p.b].residues;
-
-      // Exact tier: admissible length bounds — skipping the DP here
-      // cannot change the edge set.
-      if (exact_reject(a.size(), b.size(), config.min_score,
-                       config.min_score_per_residue)) {
-        ++local.num_exact_rejects;
-        continue;
-      }
-
-      // Heuristic tier (opt-in): seed-count floor, then an ungapped
-      // x-drop scan anchored on the pair's seed diagonal.
-      if (config.prefilter.enabled) {
-        if (p.shared_kmers < config.prefilter.min_shared_seeds) {
-          ++local.num_heuristic_rejects;
-          continue;
-        }
-        if (config.prefilter.min_ungapped_score > 0 &&
-            ungapped_xdrop_score(a, b, p.diag, config.prefilter.xdrop) <
-                config.prefilter.min_ungapped_score) {
-          ++local.num_heuristic_rejects;
-          continue;
-        }
-      }
-
-      AlignmentResult result;
-      if (config.use_simd) {
-        // The ungapped score along the pair's seed diagonal is itself a
-        // local alignment, so it lower-bounds the gapped optimum — a
-        // floor already inside the 8-bit clipping margin lets the kernel
-        // start at 16 bits instead of paying a doomed 8-bit pass.
-        const int floor =
-            ungapped_xdrop_score(a, b, p.diag, kDispatchXdrop);
-        result = smith_waterman_simd(cache.get(p.a, a), encoded[p.b],
-                                     config.alignment, &simd, floor);
-      } else {
-        result = smith_waterman(a, b, config.alignment);
-      }
-      ++local.num_score_alignments;
-      const double needed = config.min_score_per_residue *
-                            static_cast<double>(std::min(a.size(), b.size()));
-      if (result.score < config.min_score ||
-          static_cast<double>(result.score) < needed) {
-        continue;
-      }
-      if (config.min_identity > 0.0) {
-        ++local.num_traced_alignments;
-        const auto traced =
-            config.use_simd
-                ? traced_from_end(a, b, result, config.alignment)
-                : smith_waterman_traced(a, b, config.alignment);
-        if (traced.identity() < config.min_identity) continue;
-      }
-      accepted[i] = 1;
+  // Shared edge gate: score thresholds, then the optional identity
+  // traceback resumed from the score pass's end cell. `from_end` keeps the
+  // SIMD and device paths on the banded-prefix traceback; the scalar path
+  // keeps the full-matrix reference traceback (both reproduce the optimal
+  // score; the suites pin their agreement).
+  auto gate = [&](std::size_t pair_index, const AlignmentResult& result,
+                  bool from_end, std::size_t& traced_runs) {
+    const auto& p = pairs[pair_index];
+    const auto& a = sequences[p.a].residues;
+    const auto& b = sequences[p.b].residues;
+    const double needed = config.min_score_per_residue *
+                          static_cast<double>(std::min(a.size(), b.size()));
+    if (result.score < config.min_score ||
+        static_cast<double>(result.score) < needed) {
+      return;
     }
-    const std::lock_guard<std::mutex> lock(totals_mutex);
-    totals.num_score_alignments += local.num_score_alignments;
-    totals.num_traced_alignments += local.num_traced_alignments;
-    totals.num_exact_rejects += local.num_exact_rejects;
-    totals.num_heuristic_rejects += local.num_heuristic_rejects;
-    totals.simd += simd;
+    if (config.min_identity > 0.0) {
+      ++traced_runs;
+      const auto traced = from_end
+                              ? traced_from_end(a, b, result, config.alignment)
+                              : smith_waterman_traced(a, b, config.alignment);
+      if (traced.identity() < config.min_identity) return;
+    }
+    accepted[pair_index] = 1;
   };
 
-  {
+  if (device) {
+    VerifyDeviceStats device_stats;
+    const auto scores = device_score_pairs(
+        *config.device_verify.context, sequences, pairs, surviving,
+        config.alignment, config.device_verify, tracer, &device_stats);
+    totals.device = device_stats;
+    // Each surviving pair is scored exactly once regardless of batch
+    // retries/replans (commits are transactional), matching the host
+    // backends' per-pair attribution.
+    totals.num_score_alignments += surviving.size();
+    obs::HostSpan span(tracer, "homology.verify.gate");
+    for (std::size_t k = 0; k < surviving.size(); ++k) {
+      AlignmentResult result;
+      result.score = scores[k].score;
+      result.a_end = scores[k].a_end;
+      result.b_end = scores[k].b_end;
+      gate(surviving[k], result, /*from_end=*/true,
+           totals.num_traced_alignments);
+    }
+  } else {
+    std::mutex totals_mutex;
+    auto verify = [&](std::size_t lo, std::size_t hi) {
+      // Per-worker state: pairs arrive sorted by query id, so a
+      // single-slot profile cache serves nearly every pair in the chunk.
+      QueryProfileCache cache;
+      SimdCounters simd_counters;
+      std::size_t score_runs = 0;
+      std::size_t traced_runs = 0;
+      for (std::size_t k = lo; k < hi; ++k) {
+        const std::size_t i = surviving[k];
+        const auto& p = pairs[i];
+        const auto& a = sequences[p.a].residues;
+        const auto& b = sequences[p.b].residues;
+        AlignmentResult result;
+        if (simd) {
+          // The ungapped score along the pair's seed diagonal is itself a
+          // local alignment, so it lower-bounds the gapped optimum — a
+          // floor already inside the 8-bit clipping margin lets the kernel
+          // start at 16 bits instead of paying a doomed 8-bit pass.
+          const int floor = ungapped_xdrop_score(a, b, p.diag, kDispatchXdrop);
+          result = smith_waterman_simd(cache.get(p.a, a), encoded[p.b],
+                                       config.alignment, &simd_counters, floor);
+        } else {
+          result = smith_waterman(a, b, config.alignment);
+        }
+        ++score_runs;
+        gate(i, result, /*from_end=*/simd, traced_runs);
+      }
+      const std::lock_guard<std::mutex> lock(totals_mutex);
+      totals.num_score_alignments += score_runs;
+      totals.num_traced_alignments += traced_runs;
+      totals.simd += simd_counters;
+    };
     obs::HostSpan span(tracer, "homology.verify");
     if (config.num_threads == 1) {
-      verify(0, pairs.size());
+      verify(0, surviving.size());
     } else if (config.num_threads == 0) {
-      util::default_thread_pool().parallel_for(0, pairs.size(), verify);
+      util::default_thread_pool().parallel_for(0, surviving.size(), verify);
     } else {
       util::ThreadPool pool(config.num_threads);
-      pool.parallel_for(0, pairs.size(), verify);
+      pool.parallel_for(0, surviving.size(), verify);
     }
   }
+
   totals.num_candidate_pairs = pairs.size();
   totals.num_alignments =
       totals.num_score_alignments + totals.num_traced_alignments;

@@ -1,13 +1,21 @@
 #pragma once
-// Homology-graph construction — the pGraph stage [25] of the pipeline:
-// promising pairs from the k-mer seed filter are verified with
-// Smith-Waterman, and a pair becomes an edge of the similarity graph when
-// its normalized alignment score clears a threshold.
+// Homology-graph construction — the pGraph stage [25] of the pipeline,
+// structured as an explicit three-stage cascade (DESIGN.md §11):
+//
+//   1. candidate stream — the sort-based k-mer index (or suffix-array
+//      maximal matches) emits promising pairs;
+//   2. exact admissible prefilter — length-bound rejection that provably
+//      cannot change the edge set, plus the opt-in heuristic tier;
+//   3. batched score-only verification — the survivors are scored on one
+//      of three interchangeable backends (host scalar, host SIMD,
+//      device-batched; see align/verify_pipeline.hpp), and a pair becomes
+//      an edge when its normalized score clears the thresholds.
 
 #include "align/kmer_index.hpp"
 #include "align/simd.hpp"
 #include "align/smith_waterman.hpp"
 #include "align/suffix_array.hpp"
+#include "align/verify_pipeline.hpp"
 #include "graph/csr_graph.hpp"
 #include "obs/trace.hpp"
 #include "seq/sequence.hpp"
@@ -44,10 +52,13 @@ struct HomologyGraphConfig {
   AlignmentParams alignment;
   HomologyPrefilterConfig prefilter;    ///< heuristic tier, default off
 
-  /// Score pairs with the striped SIMD kernel (score-exact vs the scalar
-  /// DP, so the edge set is identical either way); false forces the scalar
-  /// reference path.
-  bool use_simd = true;
+  /// Verification backend for stage 3. All three are score-exact against
+  /// the scalar reference DP, so the edge set is identical for any choice.
+  VerifyBackend verify_backend = VerifyBackend::HostSimd;
+
+  /// DeviceBatched knobs (context, batch cap, streams, resilience); the
+  /// context is required when verify_backend == DeviceBatched.
+  DeviceVerifyOptions device_verify;
 
   /// Optional phase spans + counters ("homology.seed" / "homology.verify" /
   /// "homology.graph"); nullptr records nothing.
@@ -80,7 +91,15 @@ struct HomologyGraphStats {
   std::size_t num_traced_alignments = 0;  ///< traceback passes (min_identity)
   std::size_t num_exact_rejects = 0;      ///< skipped by the admissible bounds
   std::size_t num_heuristic_rejects = 0;  ///< skipped by the opt-in tier
+  /// Pairs that cleared both prefilter tiers and were actually scored.
+  /// num_score_alignments always equals this, on every backend — a pair is
+  /// scored exactly once no matter how batches are retried or replanned.
+  std::size_t num_surviving_pairs = 0;
+  /// Host-measured wall seconds of stage 2 (the CPU prefilter that feeds
+  /// the verify backend).
+  double prefilter_host_s = 0.0;
   SimdCounters simd;                      ///< how SIMD score passes resolved
+  VerifyDeviceStats device;  ///< DeviceBatched bookkeeping (else zeros)
 };
 
 /// Builds the undirected similarity graph over `sequences` (vertex i is

@@ -1,0 +1,332 @@
+#include "align/verify_pipeline.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "device/primitives.hpp"
+#include "device/retry.hpp"
+#include "util/timer.hpp"
+
+namespace gpclust::align {
+
+namespace {
+
+/// One pipeline lane: a (compute, copy) stream pair plus the device
+/// buffers of the batch currently in flight on it — same discipline as the
+/// shingling pass (core/device_shingling.cpp): buffers stay allocated
+/// until the lane is reused or a fault drains the pipeline, so the arena
+/// accounts for every batch the modeled schedule keeps co-resident.
+struct Lane {
+  device::StreamId compute = device::kDefaultStream;
+  device::StreamId copy = device::kDefaultStream;
+
+  struct Buffers {
+    device::DeviceVector<char> residues;
+    device::DeviceVector<PairTask> tasks;
+    device::DeviceVector<PairScore> scores;
+
+    bool live() const { return residues.context() != nullptr; }
+  } buffers;
+};
+
+std::vector<Lane> make_lanes(std::size_t num_streams) {
+  const std::size_t count = num_streams / 2 + num_streams % 2;
+  std::vector<Lane> lanes(count);
+  for (std::size_t l = 0; l < count; ++l) {
+    lanes[l].compute = static_cast<device::StreamId>(2 * l);
+    lanes[l].copy = static_cast<device::StreamId>(
+        std::min(2 * l + 1, num_streams - 1));
+  }
+  return lanes;
+}
+
+/// Host-side staging of one batch: the deduplicated residue buffer plus
+/// one task per pair. Reused across batches to avoid churn.
+struct BatchStaging {
+  std::vector<char> residues;
+  std::vector<PairTask> tasks;
+  std::unordered_map<u32, u32> offset_of;  ///< sequence id -> residue offset
+  u64 total_cells = 0;
+
+  void clear() {
+    residues.clear();
+    tasks.clear();
+    offset_of.clear();
+    total_cells = 0;
+  }
+};
+
+/// Packs pairs[surviving[lo..hi)] into staging: each distinct sequence's
+/// residues appear once, tasks reference them by offset.
+void pack_batch(const seq::SequenceSet& sequences,
+                std::span<const CandidatePair> pairs,
+                std::span<const u32> surviving, std::size_t lo, std::size_t hi,
+                BatchStaging& staging) {
+  staging.clear();
+  auto intern = [&](u32 id) -> u32 {
+    auto [it, fresh] = staging.offset_of.try_emplace(
+        id, static_cast<u32>(staging.residues.size()));
+    if (fresh) {
+      const std::string& r = sequences[id].residues;
+      staging.residues.insert(staging.residues.end(), r.begin(), r.end());
+    }
+    return it->second;
+  };
+  staging.tasks.reserve(hi - lo);
+  for (std::size_t k = lo; k < hi; ++k) {
+    const CandidatePair& p = pairs[surviving[k]];
+    PairTask task;
+    task.a_begin = intern(p.a);
+    task.a_len = static_cast<u32>(sequences[p.a].residues.size());
+    task.b_begin = intern(p.b);
+    task.b_len = static_cast<u32>(sequences[p.b].residues.size());
+    staging.total_cells += task.cells();
+    staging.tasks.push_back(task);
+  }
+}
+
+/// Largest safe batch (in pairs) from free device memory: worst case every
+/// pair uploads both sequences un-deduplicated, plus its task and score
+/// slots; half the free memory, split across the co-resident lanes.
+std::size_t default_batch_pairs(const device::DeviceContext& ctx,
+                                const seq::SequenceSet& sequences,
+                                std::size_t lanes) {
+  std::size_t max_len = 1;
+  for (const auto& s : sequences) max_len = std::max(max_len, s.length());
+  const std::size_t per_pair =
+      2 * max_len + sizeof(PairTask) + sizeof(PairScore);
+  const std::size_t budget =
+      ctx.arena().available() / (2 * std::max<std::size_t>(1, lanes));
+  return std::max<std::size_t>(1, budget / per_pair);
+}
+
+/// Runs one batch on the device. Throws DeviceError/TransferError/
+/// KernelError on any (injected or real) fault; nothing was committed and
+/// the lane's RAII buffers are drained by the caller's recovery ladder.
+void process_batch_device(device::DeviceContext& ctx,
+                          const BatchStaging& staging,
+                          const AlignmentParams& params, Lane& lane,
+                          std::vector<PairScore>& host_scores) {
+  Lane::Buffers& bufs = lane.buffers;
+  bufs.residues = device::DeviceVector<char>(ctx, staging.residues.size());
+  device::copy_to_device<char>(bufs.residues, staging.residues, lane.compute);
+  bufs.tasks = device::DeviceVector<PairTask>(ctx, staging.tasks.size());
+  device::copy_to_device<PairTask>(bufs.tasks, staging.tasks, lane.compute);
+  bufs.scores = device::DeviceVector<PairScore>(ctx, staging.tasks.size());
+
+  const std::span<const char> residues = bufs.residues.device_span();
+  const double kernel_done = device::transform_weighted(
+      bufs.tasks, bufs.scores,
+      [residues, &params](const PairTask& t) {
+        return score_pair_task(residues, t, params);
+      },
+      static_cast<std::size_t>(staging.total_cells), lane.compute);
+
+  host_scores.resize(staging.tasks.size());
+  device::copy_to_host<PairScore>(host_scores, bufs.scores, lane.copy,
+                                  kernel_done);
+}
+
+/// Restores the context's tracer binding on scope exit (the verify call
+/// borrows the host tracer for modeled-op attribution when the context
+/// has none of its own).
+struct TracerBinding {
+  device::DeviceContext& ctx;
+  obs::Tracer* previous;
+  bool bound;
+
+  TracerBinding(device::DeviceContext& c, obs::Tracer* tracer)
+      : ctx(c), previous(c.tracer()), bound(false) {
+    if (previous == nullptr && tracer != nullptr) {
+      ctx.set_tracer(tracer);
+      bound = true;
+    }
+  }
+  ~TracerBinding() {
+    if (bound) ctx.set_tracer(previous);
+  }
+};
+
+}  // namespace
+
+VerifyBackend parse_verify_backend(const std::string& name) {
+  if (name == "scalar") return VerifyBackend::HostScalar;
+  if (name == "simd") return VerifyBackend::HostSimd;
+  if (name == "device") return VerifyBackend::DeviceBatched;
+  throw InvalidArgument("unknown verify backend: " + name);
+}
+
+std::string_view verify_backend_name(VerifyBackend backend) {
+  switch (backend) {
+    case VerifyBackend::HostScalar: return "scalar";
+    case VerifyBackend::HostSimd: return "simd";
+    case VerifyBackend::DeviceBatched: return "device";
+  }
+  return "?";
+}
+
+PairScore score_pair_task(std::span<const char> residues, const PairTask& task,
+                          const AlignmentParams& params) {
+  const std::string_view a(residues.data() + task.a_begin, task.a_len);
+  const std::string_view b(residues.data() + task.b_begin, task.b_len);
+  const AlignmentResult r = smith_waterman(a, b, params);
+  PairScore out;
+  out.score = r.score;
+  out.a_end = static_cast<u32>(r.a_end);
+  out.b_end = static_cast<u32>(r.b_end);
+  return out;
+}
+
+void score_pairs_batch(std::span<const char> residues,
+                       std::span<const PairTask> tasks,
+                       std::span<PairScore> out,
+                       const AlignmentParams& params) {
+  GPCLUST_CHECK(out.size() >= tasks.size(), "output too small");
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    out[i] = score_pair_task(residues, tasks[i], params);
+  }
+}
+
+std::vector<PairScore> device_score_pairs(device::DeviceContext& ctx,
+                                          const seq::SequenceSet& sequences,
+                                          std::span<const CandidatePair> pairs,
+                                          std::span<const u32> surviving,
+                                          const AlignmentParams& params,
+                                          const DeviceVerifyOptions& options,
+                                          obs::Tracer* tracer,
+                                          VerifyDeviceStats* stats) {
+  const TracerBinding binding(ctx, tracer);
+  obs::DevicePhaseScope phase_scope(ctx.tracer(), "homology.verify");
+
+  const std::size_t num_streams = std::max<std::size_t>(1, options.num_streams);
+  ctx.timeline().ensure_streams(num_streams);
+  std::vector<Lane> lanes = make_lanes(num_streams);
+
+  const fault::ResiliencePolicy& policy = options.resilience;
+  std::size_t cur_max = options.max_batch_pairs > 0
+                            ? options.max_batch_pairs
+                            : default_batch_pairs(ctx, sequences, lanes.size());
+
+  VerifyDeviceStats run_stats;
+  run_stats.num_lanes = lanes.size();
+
+  // Snapshot the modeled timeline so the reported makespan / exposed split
+  // is the delta this verify adds (the context may carry earlier phases).
+  const double makespan0 = ctx.makespan();
+  const double kernel0 = ctx.gpu_exposed_seconds();
+  const double h2d0 = ctx.h2d_exposed_seconds();
+  const double d2h0 = ctx.d2h_exposed_seconds();
+
+  std::vector<PairScore> out(surviving.size());
+  BatchStaging staging;
+  std::vector<PairScore> host_scores;
+  util::WallTimer pack_timer;
+  double pack_seconds = 0.0;
+
+  std::size_t done = 0;
+  int consecutive_failures = 0;
+  bool cpu_mode = false;
+  std::size_t next_lane = 0;
+
+  while (done < surviving.size() && !cpu_mode) {
+    const std::size_t hi = std::min(surviving.size(), done + cur_max);
+    Lane& lane = lanes[next_lane];
+    int attempt = 0;
+    for (;;) {
+      // Reusing a lane retires its previous in-flight batch: the modeled
+      // schedule can no longer overlap it, so its buffers return to the
+      // arena before this batch allocates.
+      lane.buffers = Lane::Buffers{};
+      try {
+        {
+          // CPU packs the batch for the device — the host side that feeds
+          // the double-buffered lanes; measured, never mixed with modeled.
+          obs::HostSpan span(tracer, "homology.verify.stage");
+          pack_timer.reset();
+          pack_batch(sequences, pairs, surviving, done, hi, staging);
+          pack_seconds += pack_timer.seconds();
+        }
+        process_batch_device(ctx, staging, params, lane, host_scores);
+        // Commit: every device op of the batch succeeded.
+        std::copy(host_scores.begin(), host_scores.end(), out.begin() + done);
+        ++run_stats.num_batches;
+        done = hi;
+        consecutive_failures = 0;
+        next_lane = (next_lane + 1) % lanes.size();
+        break;
+      } catch (const DeviceError& e) {
+        // A fault drains the pipeline: every lane's in-flight buffers are
+        // released before the recovery ladder runs (PR 3 semantics).
+        bool others_held = false;
+        for (std::size_t l = 0; l < lanes.size(); ++l) {
+          if (l != next_lane && lanes[l].buffers.live()) others_held = true;
+          lanes[l].buffers = Lane::Buffers{};
+        }
+        if (others_held) {
+          ++run_stats.num_pipeline_drains;
+          obs::add_counter(tracer, "pipeline_drains", 1);
+        }
+        if (!policy.enabled()) throw;
+        const bool transient = dynamic_cast<const TransferError*>(&e) ||
+                               dynamic_cast<const KernelError*>(&e);
+        if (transient && attempt < policy.max_retries) {
+          ++attempt;
+          device::charge_retry_backoff(ctx, policy, attempt, "homology.verify",
+                                       lane.compute);
+          ++run_stats.num_retries;
+          obs::add_counter(tracer, "retries", 1);
+          continue;
+        }
+        if (!transient && others_held) {
+          // Structural OOM while other batches were co-resident: the drain
+          // just returned their memory — retry at the same size first.
+          continue;
+        }
+        if (!transient && cur_max > policy.min_batch_elements) {
+          // Adaptive batch backoff: halve and re-slice the remaining pairs
+          // (slices are order-preserving, so any re-batching commits the
+          // same scores).
+          cur_max = std::max(policy.min_batch_elements, cur_max / 2);
+          ++run_stats.num_batch_replans;
+          obs::add_counter(tracer, "batch_replans", 1);
+          break;
+        }
+        if (!policy.fallback_enabled()) throw;
+        ++consecutive_failures;
+        if (consecutive_failures >= policy.max_consecutive_failures) {
+          cpu_mode = true;
+        }
+        break;
+      }
+    }
+  }
+
+  if (cpu_mode && done < surviving.size()) {
+    // Bit-identical CPU continuation: the fallback runs the same per-task
+    // body the kernel runs, directly on the host sequences.
+    run_stats.cpu_fallback = true;
+    obs::add_counter(tracer, "cpu_fallbacks", 1);
+    obs::HostSpan span(tracer, "homology.verify.cpu_fallback");
+    for (std::size_t k = done; k < surviving.size(); ++k) {
+      const CandidatePair& p = pairs[surviving[k]];
+      const std::string& a = sequences[p.a].residues;
+      const std::string& b = sequences[p.b].residues;
+      const AlignmentResult r = smith_waterman(a, b, params);
+      out[k].score = r.score;
+      out[k].a_end = static_cast<u32>(r.a_end);
+      out[k].b_end = static_cast<u32>(r.b_end);
+    }
+  }
+
+  run_stats.pack_host_s = pack_seconds;
+  run_stats.makespan_modeled_s = ctx.makespan() - makespan0;
+  run_stats.kernel_exposed_modeled_s = ctx.gpu_exposed_seconds() - kernel0;
+  run_stats.h2d_exposed_modeled_s = ctx.h2d_exposed_seconds() - h2d0;
+  run_stats.d2h_exposed_modeled_s = ctx.d2h_exposed_seconds() - d2h0;
+
+  obs::add_counter(tracer, "verify_batches", run_stats.num_batches);
+  if (stats != nullptr) *stats = run_stats;
+  return out;
+}
+
+}  // namespace gpclust::align

@@ -4,6 +4,7 @@
 
 #include "core/shingle.hpp"
 #include "device/primitives.hpp"
+#include "device/retry.hpp"
 #include "obs/trace.hpp"
 
 namespace gpclust::core {
@@ -218,17 +219,6 @@ void process_pieces_cpu(std::span<const ListPiece> pieces,
 
 }  // namespace
 
-void charge_retry_backoff(device::DeviceContext& ctx,
-                          const fault::ResiliencePolicy& policy, int attempt,
-                          const std::string& trace_phase,
-                          device::StreamId stream) {
-  obs::DevicePhaseScope scope(ctx.tracer(), trace_phase + ".retry");
-  ctx.timeline().ensure_streams(stream + 1);
-  const double backoff = policy.retry_backoff_seconds *
-                         static_cast<double>(u64{1} << (attempt - 1));
-  ctx.timeline().enqueue(stream, device::OpKind::Kernel, backoff);
-}
-
 std::size_t default_batch_elements(const device::DeviceContext& ctx, u32 s,
                                    std::size_t lanes) {
   // Per member element: u32 member + u64 permuted image = 12 bytes. The
@@ -347,8 +337,8 @@ ShingleTuples extract_shingles_device(device::DeviceContext& ctx,
             // deterministic backoff charged to the faulted lane's compute
             // stream on the modeled timeline.
             ++attempt;
-            charge_retry_backoff(ctx, policy, attempt, trace_phase,
-                                 lane.compute);
+            device::charge_retry_backoff(ctx, policy, attempt, trace_phase,
+                                          lane.compute);
             ++run_stats.num_retries;
             obs::add_counter(tracer, "retries", 1);
             continue;

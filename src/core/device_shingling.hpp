@@ -25,6 +25,7 @@
 #include "core/params.hpp"
 #include "core/shingle_graph.hpp"
 #include "device/device_context.hpp"
+#include "device/retry.hpp"
 #include "fault/resilience.hpp"
 #include "util/timer.hpp"
 
@@ -58,16 +59,6 @@ struct DevicePassStats {
   std::size_t num_pipeline_drains = 0; ///< faults that flushed in-flight lanes
   bool cpu_fallback = false;         ///< pass finished on the CPU
 };
-
-/// Charges the deterministic retry backoff for (1-based) retry `attempt`
-/// to the context's modeled timeline on `stream` (the faulted batch's
-/// compute stream, so the stall lands in the right lane), attributed to
-/// phase "<trace_phase>.retry" when a tracer is attached — so retry cost
-/// is part of modeled device time and visible in the exported trace.
-void charge_retry_backoff(device::DeviceContext& ctx,
-                          const fault::ResiliencePolicy& policy, int attempt,
-                          const std::string& trace_phase,
-                          device::StreamId stream = device::kDefaultStream);
 
 /// Derives the largest safe batch size (in member elements) from the
 /// device's free memory, accounting for the member, permutation, offset

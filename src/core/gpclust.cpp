@@ -73,7 +73,7 @@ BipartiteShingleGraph aggregate_resilient(device::DeviceContext& ctx,
                              dynamic_cast<const KernelError*>(&e);
       if (transient && attempt < policy.max_retries) {
         ++attempt;
-        charge_retry_backoff(ctx, policy, attempt, trace_phase);
+        device::charge_retry_backoff(ctx, policy, attempt, trace_phase);
         obs::add_counter(tracer, "retries", 1);
         continue;
       }

@@ -35,6 +35,11 @@ double DeviceContext::h2d_cost(std::size_t bytes) const {
          static_cast<double>(bytes) / spec_.h2d_bytes_per_sec;
 }
 
+double DeviceContext::align_cost(std::size_t cells) const {
+  return spec_.kernel_launch_sec +
+         static_cast<double>(cells) / spec_.align_cells_per_sec;
+}
+
 double DeviceContext::d2h_cost(std::size_t bytes) const {
   return spec_.transfer_latency_sec +
          static_cast<double>(bytes) / spec_.d2h_bytes_per_sec;

@@ -39,6 +39,9 @@ class DeviceContext {
                              std::size_t max_segment_bytes) const;
   double h2d_cost(std::size_t bytes) const;
   double d2h_cost(std::size_t bytes) const;
+  /// Batched alignment kernel charged by total DP cells (sum of
+  /// |a| * |b| over the batch's pair tasks), not element count.
+  double align_cost(std::size_t cells) const;
 
   // --- accounting accessors (Table I columns) ----------------------------
   double gpu_seconds() const { return timeline_.busy(OpKind::Kernel); }

@@ -43,6 +43,12 @@ struct DeviceSpec {
   /// paper's workloads sort fixed-degree-scale segments).
   double sort_elems_per_sec = 2.0e8;
 
+  /// Effective modeled DP-cell throughput of the batched Smith-Waterman
+  /// verification kernel, cells/second (GCUPS * 1e9). Unlike transform,
+  /// the work per task is data-dependent (|a| * |b| cells), so the verify
+  /// primitive charges total cells rather than element count.
+  double align_cells_per_sec = 2.0e9;
+
   /// Per-kernel launch latency, seconds.
   double kernel_launch_sec = 10e-6;
 

@@ -44,6 +44,29 @@ double transform(const DeviceVector<T>& in, DeviceVector<U>& out, F f,
                                 ctx.transform_cost(src.size()), ready_after);
 }
 
+/// out[i] = f(in[i]) like transform(), but for kernels whose per-element
+/// work is data-dependent: the modeled duration is charged from the
+/// caller-supplied total work via DeviceContext::align_cost instead of the
+/// element count. This is the batched Smith-Waterman verification kernel's
+/// shape — one task per candidate pair, |a| * |b| DP cells per task.
+template <typename T, typename U, typename F>
+double transform_weighted(const DeviceVector<T>& in, DeviceVector<U>& out, F f,
+                          std::size_t total_cells,
+                          StreamId stream = kDefaultStream,
+                          double ready_after = 0.0) {
+  DeviceContext& ctx = detail::ctx_of(in);
+  detail::maybe_inject_kernel_fault(ctx, "transform_weighted");
+  GPCLUST_CHECK(out.context() == &ctx, "vectors belong to different devices");
+  GPCLUST_CHECK(out.size() >= in.size(), "output too small");
+  auto src = in.device_span();
+  auto dst = out.device_span();
+  ctx.pool().parallel_for(0, src.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) dst[i] = f(src[i]);
+  });
+  return ctx.timeline().enqueue(stream, OpKind::Kernel,
+                                ctx.align_cost(total_cells), ready_after);
+}
+
 /// data[i] = f(i) — a grid-stride "generate" kernel.
 template <typename T, typename F>
 double tabulate(DeviceVector<T>& data, F f, StreamId stream = kDefaultStream,

@@ -1,0 +1,17 @@
+#include "device/retry.hpp"
+
+#include "obs/trace.hpp"
+
+namespace gpclust::device {
+
+void charge_retry_backoff(DeviceContext& ctx,
+                          const fault::ResiliencePolicy& policy, int attempt,
+                          const std::string& trace_phase, StreamId stream) {
+  obs::DevicePhaseScope scope(ctx.tracer(), trace_phase + ".retry");
+  ctx.timeline().ensure_streams(stream + 1);
+  const double backoff = policy.retry_backoff_seconds *
+                         static_cast<double>(u64{1} << (attempt - 1));
+  ctx.timeline().enqueue(stream, OpKind::Kernel, backoff);
+}
+
+}  // namespace gpclust::device

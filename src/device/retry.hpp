@@ -1,0 +1,26 @@
+#pragma once
+// Shared retry accounting for device-side resilience ladders: the
+// deterministic backoff a faulted batch pays before its retry is modeled
+// device time, charged to the faulted lane's compute stream. Lives in the
+// device layer so every scheduler that retries batches (core's shingling
+// pass, align's verify pipeline) charges identically.
+
+#include <string>
+
+#include "device/device_context.hpp"
+#include "device/sim_timeline.hpp"
+#include "fault/resilience.hpp"
+
+namespace gpclust::device {
+
+/// Charges the deterministic retry backoff for (1-based) retry `attempt`
+/// to the context's modeled timeline on `stream` (the faulted batch's
+/// compute stream, so the stall lands in the right lane), attributed to
+/// phase "<trace_phase>.retry" when a tracer is attached — so retry cost
+/// is part of modeled device time and visible in the exported trace.
+void charge_retry_backoff(DeviceContext& ctx,
+                          const fault::ResiliencePolicy& policy, int attempt,
+                          const std::string& trace_phase,
+                          StreamId stream = kDefaultStream);
+
+}  // namespace gpclust::device

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/rng.hpp"
+
 namespace gpclust::graph {
 
 CsrGraph CsrGraph::from_edge_list(EdgeList edges) {
@@ -53,6 +55,13 @@ bool CsrGraph::has_edge(VertexId u, VertexId v) const {
   if (u >= num_vertices() || v >= num_vertices()) return false;
   const auto nbrs = neighbors(u);
   return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+u64 CsrGraph::digest() const {
+  u64 h = util::mix64(num_vertices());
+  for (u64 off : offsets_) h = util::mix64(h ^ off);
+  for (VertexId v : adjacency_) h = util::mix64(h ^ v);
+  return h;
 }
 
 std::size_t CsrGraph::num_singletons() const {

@@ -56,6 +56,11 @@ class CsrGraph {
   /// Vertices with degree 0 (the paper drops these before clustering).
   std::size_t num_singletons() const;
 
+  /// Deterministic content digest over the CSR arrays; two graphs hash
+  /// equal iff they have identical offsets and adjacency. Used by the
+  /// verify-backend equivalence tests (edge-set bit-identity).
+  u64 digest() const;
+
   /// Approximate resident bytes of the CSR arrays.
   std::size_t memory_bytes() const {
     return offsets_.size() * sizeof(u64) +

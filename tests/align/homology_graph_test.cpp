@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "device/device_context.hpp"
 #include "seq/family_model.hpp"
 
 namespace gpclust::align {
@@ -122,8 +123,8 @@ TEST(HomologyGraph, EmptyInput) {
 }
 
 TEST(HomologyGraph, SimdAndScalarPathsProduceIdenticalGraphs) {
-  // The acceptance bar for the fast path: flipping use_simd must not move
-  // a single edge, in either seed mode.
+  // The acceptance bar for the fast path: switching the verify backend
+  // must not move a single edge, in either seed mode.
   seq::FamilyModelConfig cfg;
   cfg.num_families = 6;
   cfg.min_members = 4;
@@ -137,9 +138,9 @@ TEST(HomologyGraph, SimdAndScalarPathsProduceIdenticalGraphs) {
     HomologyGraphConfig simd_cfg;
     simd_cfg.seed_mode = mode;
     simd_cfg.num_threads = 1;
-    simd_cfg.use_simd = true;
+    simd_cfg.verify_backend = VerifyBackend::HostSimd;
     HomologyGraphConfig scalar_cfg = simd_cfg;
-    scalar_cfg.use_simd = false;
+    scalar_cfg.verify_backend = VerifyBackend::HostScalar;
 
     HomologyGraphStats simd_stats, scalar_stats;
     const auto g_simd = build_homology_graph(mg.sequences, simd_cfg, &simd_stats);
@@ -168,7 +169,7 @@ TEST(HomologyGraph, SimdAndScalarAgreeWithIdentityThreshold) {
   simd_cfg.min_score_per_residue = 0.5;
   simd_cfg.min_score = 20;
   HomologyGraphConfig scalar_cfg = simd_cfg;
-  scalar_cfg.use_simd = false;
+  scalar_cfg.verify_backend = VerifyBackend::HostScalar;
 
   const auto g_simd = build_homology_graph(mg.sequences, simd_cfg);
   const auto g_scalar = build_homology_graph(mg.sequences, scalar_cfg);
@@ -209,6 +210,36 @@ TEST(HomologyGraph, StatsSeparateScoreAndTracedRuns) {
   EXPECT_EQ(s1.num_alignments,
             s1.num_score_alignments + s1.num_traced_alignments);
   EXPECT_GT(s1.num_alignments, s1.num_candidate_pairs - s1.num_exact_rejects);
+
+  // Counter attribution is backend-independent: the scalar and
+  // device-batched backends must report the exact same score/traced/reject
+  // breakdown as the SIMD run above — a pair is scored exactly once no
+  // matter where (or in how many batches) the DP runs.
+  device::DeviceContext ctx(device::DeviceSpec::small_test_device(8 << 20));
+  for (HomologyGraphStats base : {s0, s1}) {
+    HomologyGraphConfig cfg_scalar =
+        base.num_traced_alignments > 0 ? with_identity : plain;
+    cfg_scalar.verify_backend = VerifyBackend::HostScalar;
+    HomologyGraphConfig cfg_device = cfg_scalar;
+    cfg_device.verify_backend = VerifyBackend::DeviceBatched;
+    cfg_device.device_verify.context = &ctx;
+    cfg_device.device_verify.max_batch_pairs = 7;  // force multi-batch
+    cfg_device.device_verify.num_streams = 2;
+
+    HomologyGraphStats st_scalar, st_device;
+    build_homology_graph(mg.sequences, cfg_scalar, &st_scalar);
+    build_homology_graph(mg.sequences, cfg_device, &st_device);
+    for (const HomologyGraphStats* st : {&st_scalar, &st_device}) {
+      EXPECT_EQ(st->num_score_alignments, base.num_score_alignments);
+      EXPECT_EQ(st->num_traced_alignments, base.num_traced_alignments);
+      EXPECT_EQ(st->num_exact_rejects, base.num_exact_rejects);
+      EXPECT_EQ(st->num_surviving_pairs, base.num_surviving_pairs);
+      EXPECT_EQ(st->num_alignments, base.num_alignments);
+      EXPECT_EQ(st->num_edges, base.num_edges);
+    }
+    EXPECT_GT(st_device.device.num_batches, 1u);
+    EXPECT_EQ(ctx.arena().used(), 0u);
+  }
 }
 
 TEST(HomologyGraph, TracerRecordsPhaseSpansAndCounters) {

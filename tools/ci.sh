@@ -19,10 +19,19 @@ cmake --preset ci
 cmake --build --preset ci
 ctest --preset ci
 
-echo "=== tier 1b: alignment bench smoke (SIMD vs scalar edge identity) ==="
-# --quick keeps it to seconds; the bench asserts the SIMD and scalar
-# verification paths emit identical edges before reporting throughput.
-./build-ci/bench/bench_alignment --quick
+echo "=== tier 1b: alignment bench smoke + perf-trajectory gate ==="
+# --quick keeps it to seconds; the bench asserts that the SIMD, scalar and
+# device-batched verification paths emit identical edges before reporting
+# throughput. The JSON output is then compared against the committed
+# snapshot (BENCH_alignment.json): host-measured regressions beyond the
+# noise bound and any modeled-time drift fail CI (tools/compare_bench.py;
+# regenerate the snapshots on an idle host after intentional changes).
+./build-ci/bench/bench_alignment --quick --json=build-ci/BENCH_alignment.json
+python3 tools/compare_bench.py BENCH_alignment.json     build-ci/BENCH_alignment.json
+
+echo "=== tier 1b2: serve bench smoke + perf-trajectory gate ==="
+./build-ci/bench/bench_serve --quick --json=build-ci/BENCH_serve.json
+python3 tools/compare_bench.py BENCH_serve.json build-ci/BENCH_serve.json
 
 echo "=== tier 1c: family-index round trip (build-index -> query) ==="
 # The serving-layer smoke (store + serve unit tests run inside ctest

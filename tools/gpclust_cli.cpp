@@ -8,11 +8,23 @@
 //   gpclust --graph=graph.bin --engine=serial --c1=100 --c2=50
 //   gpclust --graph=g.txt --components --min-cluster-size=20 --report
 //   gpclust --demo=2000                      # synthetic planted graph
+//   gpclust --fasta=orfs.faa --verify-backend=device   # from sequences
 //
 // Flags:
 //   --graph=PATH           input graph; ".bin" = binary CSR, else edge list
 //   --demo=N               instead of --graph: planted-family graph with
 //                          ~N vertices (smoke-testing / demos)
+//   --fasta=PATH           instead of --graph: protein FASTA; the homology
+//                          graph is built first (three-stage verify
+//                          cascade), then clustered
+//   --demo-orfs=N          instead of --fasta: synthetic family-model
+//                          metagenome with ~N ORFs
+//   --verify-backend=B     sequence-input verify backend: scalar | simd
+//                          (default) | device — device runs the batched
+//                          score kernel on the simulated device (reuses
+//                          --streams, --fault-plan, --resilience) and
+//                          prints the CPU-prefilter vs device-verify
+//                          critical-path split (modeled time labeled)
 //   --out=PATH             cluster output (default: stdout summary only)
 //   --engine=gpu|serial    implementation (default gpu)
 //   --s1,--c1,--s2,--c2    shingling parameters (default 2/200/2/100)
@@ -43,6 +55,7 @@
 
 #include <cstdio>
 
+#include "align/homology_graph.hpp"
 #include "core/component_decomposition.hpp"
 #include "core/gpclust.hpp"
 #include "core/serial_pclust.hpp"
@@ -51,6 +64,8 @@
 #include "graph/generators.hpp"
 #include "graph/graph_io.hpp"
 #include "obs/trace.hpp"
+#include "seq/family_model.hpp"
+#include "seq/fasta.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
 
@@ -82,10 +97,14 @@ int main(int argc, char** argv) {
     const util::CliArgs args(argc, argv);
     const auto graph_path = args.get_string("graph", "");
     const auto demo_vertices = args.get_int("demo", 0);
-    if (graph_path.empty() && demo_vertices <= 0) {
+    const auto fasta_path = args.get_string("fasta", "");
+    const auto demo_orfs = args.get_int("demo-orfs", 0);
+    const bool sequence_mode = !fasta_path.empty() || demo_orfs > 0;
+    if (graph_path.empty() && demo_vertices <= 0 && !sequence_mode) {
       std::fprintf(
           stderr,
-          "usage: gpclust --graph=PATH | --demo=N [--out=PATH] "
+          "usage: gpclust --graph=PATH | --demo=N | --fasta=PATH | "
+          "--demo-orfs=N [--verify-backend=scalar|simd|device] [--out=PATH] "
           "[--engine=gpu|serial] [--s1 N --c1 N --s2 N --c2 N] "
           "[--streams=K] [--agg-shards=N] "
           "[--components] [--trace-out=PATH] "
@@ -97,8 +116,24 @@ int main(int argc, char** argv) {
     }
 
     util::WallTimer load_timer;
+    seq::SequenceSet sequences;
+    if (sequence_mode) {
+      if (!fasta_path.empty()) {
+        sequences = seq::read_fasta(fasta_path);
+      } else {
+        seq::FamilyModelConfig mcfg;
+        mcfg.num_families = std::max<std::size_t>(
+            2, static_cast<std::size_t>(demo_orfs) / 8);
+        mcfg.num_background_orfs = mcfg.num_families * 2;
+        sequences = seq::generate_metagenome(mcfg).sequences;
+      }
+      std::fprintf(stderr, "loaded %zu sequences in %.2fs\n",
+                   sequences.size(), load_timer.seconds());
+    }
     graph::CsrGraph g;
-    if (demo_vertices > 0) {
+    if (sequence_mode) {
+      // Built below, once the device context and fault plan exist.
+    } else if (demo_vertices > 0) {
       graph::PlantedFamilyConfig demo;
       demo.num_families =
           std::max<std::size_t>(2, static_cast<std::size_t>(demo_vertices) / 40);
@@ -112,8 +147,10 @@ int main(int argc, char** argv) {
       g = binary ? graph::read_csr_binary(graph_path)
                  : graph::read_edge_list_text(graph_path);
     }
-    std::fprintf(stderr, "loaded %zu vertices / %zu edges in %.2fs\n",
-                 g.num_vertices(), g.num_edges(), load_timer.seconds());
+    if (!sequence_mode) {
+      std::fprintf(stderr, "loaded %zu vertices / %zu edges in %.2fs\n",
+                   g.num_vertices(), g.num_edges(), load_timer.seconds());
+    }
 
     const auto params = params_from(args);
     const auto engine = args.get_string("engine", "gpu");
@@ -141,6 +178,39 @@ int main(int argc, char** argv) {
     }
     options.resilience.mode =
         fault::parse_resilience_mode(args.get_string("resilience", "off"));
+
+    if (sequence_mode) {
+      align::HomologyGraphConfig hcfg;
+      hcfg.verify_backend =
+          align::parse_verify_backend(args.get_string("verify-backend", "simd"));
+      hcfg.tracer = options.tracer;
+      if (hcfg.verify_backend == align::VerifyBackend::DeviceBatched) {
+        hcfg.device_verify.context = &ctx;
+        hcfg.device_verify.num_streams = options.pipeline.num_streams;
+        hcfg.device_verify.resilience = options.resilience;
+        if (options.fault_plan != nullptr) ctx.set_fault_plan(&fault_plan);
+      }
+      util::WallTimer homology_timer;
+      align::HomologyGraphStats hstats;
+      g = align::build_homology_graph(sequences, hcfg, &hstats);
+      std::fprintf(stderr,
+                   "homology graph: %zu vertices / %zu edges in %.2fs wall "
+                   "(%zu candidate pairs, %zu survived prefilter, backend %s)\n",
+                   g.num_vertices(), g.num_edges(), homology_timer.seconds(),
+                   hstats.num_candidate_pairs, hstats.num_surviving_pairs,
+                   std::string(align::verify_backend_name(hcfg.verify_backend))
+                       .c_str());
+      if (hcfg.verify_backend == align::VerifyBackend::DeviceBatched) {
+        const auto& d = hstats.device;
+        std::fprintf(stderr,
+                     "verify split: cpu prefilter %.4fs + pack %.4fs (host) | "
+                     "device makespan %.4fs (MODELED: kernel %.4fs, c->g "
+                     "%.4fs, g->c %.4fs exposed)\n",
+                     hstats.prefilter_host_s, d.pack_host_s,
+                     d.makespan_modeled_s, d.kernel_exposed_modeled_s,
+                     d.h2d_exposed_modeled_s, d.d2h_exposed_modeled_s);
+      }
+    }
 
     auto cluster_graph = [&](const graph::CsrGraph& input,
                              core::GpClustReport* report) {
