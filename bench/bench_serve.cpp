@@ -23,6 +23,7 @@
 #include "obs/json.hpp"
 #include "seq/family_model.hpp"
 #include "serve/query_service.hpp"
+#include "serve/sharded_service.hpp"
 #include "store/snapshot.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
@@ -181,6 +182,80 @@ int main(int argc, char** argv) {
   GPCLUST_CHECK(ostats.accepted == completed,
                 "an admitted query did not complete");
 
+  // --- Sharded serving tier: scatter-gather + fail-over ------------------
+  // Same queries through the DESIGN.md §12 tier. Every row's answers are
+  // checked digest-identical to single-node classification (the kill row
+  // loses rank 1 mid-run and fails over to the surviving replicas).
+  // Latency here includes the router hop and the scatter-gather fan-out,
+  // so it is not comparable to the single-node rows above; the fail-over
+  // counters are scheduling-dependent (how much was in flight at death)
+  // and compare_bench.py treats them as informational.
+  u64 expected_digest = 0;
+  {
+    const serve::FamilyIndex index(store);
+    serve::ClassifyScratch scratch;
+    std::vector<serve::ClassifyResult> expected;
+    for (const auto& q : queries) {
+      expected.push_back(index.classify(q, {}, scratch));
+    }
+    expected_digest = serve::results_digest(expected);
+  }
+  struct ShardedRow {
+    std::size_t ranks, replication;
+    bool kill;
+  };
+  obs::json::Array sharded_rows;
+  std::printf("\nsharded tier (digest-checked against single-node):\n");
+  std::printf("%6s %5s %10s %8s %10s %10s %10s %6s %8s %9s\n", "ranks",
+              "repl", "fault", "wall", "queries/s", "p50", "p99", "deaths",
+              "reissues", "failovers");
+  for (const ShardedRow& spec : {ShardedRow{4, 1, false}, ShardedRow{4, 2, false},
+                                 ShardedRow{4, 2, true}}) {
+    serve::ShardedConfig config;
+    config.num_ranks = spec.ranks;
+    config.replication = spec.replication;
+    config.num_workers = 2;
+    config.resilience.mode = fault::ResilienceMode::Fallback;
+    if (spec.kill) {
+      config.kill_rank = 1;
+      config.kill_after_requests = queries.size() / 2;  // mid-run
+    }
+    serve::ShardedStats stats;
+    util::WallTimer timer;
+    const auto results =
+        serve::sharded_classify_batch(store, queries, config, &stats);
+    const double wall = timer.seconds();
+    GPCLUST_CHECK(serve::results_digest(results) == expected_digest,
+                  "sharded answers diverged from single-node");
+    const char* fault = spec.kill ? "rank_down@1" : "none";
+    std::printf("%6zu %5zu %10s %7.3fs %10.0f %9.2fms %9.2fms %6llu %8llu "
+                "%9llu\n",
+                spec.ranks, spec.replication, fault, wall,
+                static_cast<double>(queries.size()) / wall,
+                1e3 * stats.latency.p50(), 1e3 * stats.latency.p99(),
+                static_cast<unsigned long long>(stats.rank_failures),
+                static_cast<unsigned long long>(stats.query_reissues),
+                static_cast<unsigned long long>(stats.shard_failovers));
+    sharded_rows.push_back(obs::json::object({
+        {"ranks", obs::json::number(static_cast<double>(spec.ranks))},
+        {"replication",
+         obs::json::number(static_cast<double>(spec.replication))},
+        {"fault", obs::json::string(fault)},
+        {"wall_s", obs::json::number(wall)},
+        {"queries_per_s",
+         obs::json::number(static_cast<double>(queries.size()) / wall)},
+        {"latency_p50_s", obs::json::number(stats.latency.p50())},
+        {"latency_p99_s", obs::json::number(stats.latency.p99())},
+        {"rank_failures",
+         obs::json::number(static_cast<double>(stats.rank_failures))},
+        {"query_reissues",
+         obs::json::number(static_cast<double>(stats.query_reissues))},
+        {"shard_failovers",
+         obs::json::number(static_cast<double>(stats.shard_failovers))},
+    }));
+  }
+  std::printf("all three sharded rows digest-identical to single-node\n");
+
   const auto json_path = args.get_string("json", "");
   if (!json_path.empty()) {
     const auto doc = obs::json::object({
@@ -201,6 +276,7 @@ int main(int argc, char** argv) {
               obs::json::number(static_cast<double>(queries.size()))},
          })},
         {"rows", obs::json::array(json_rows)},
+        {"sharded", obs::json::array(sharded_rows)},
         {"overload",
          obs::json::object({
              {"queue_capacity",

@@ -177,6 +177,31 @@ class Communicator {
     return payload;
   }
 
+  /// Non-blocking probe+receive: if a message with the given source and
+  /// tag is already queued, moves it into `out` and returns true;
+  /// otherwise returns false without waiting. Faults are only injected
+  /// when a message is actually dequeued — an empty poll is not a
+  /// communication event, so a fault schedule cannot be burned down by
+  /// spinning. Used by the sharded serving tier's server loop to drain a
+  /// batch of requests without committing to a blocking recv per peer.
+  template <typename T>
+  bool try_recv(RankId src, int tag, std::vector<T>& out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    GPCLUST_CHECK(src < size(), "source rank out of range");
+    check_alive("recv");
+    auto& box = world_.mailboxes_[rank_];
+    {
+      std::lock_guard lock(box.mutex);
+      const auto it = box.queues.find({src, tag});
+      if (it == box.queues.end() || it->second.empty()) return false;
+    }
+    // A message is waiting and this rank is the queue's only consumer, so
+    // the blocking recv below returns immediately (and runs the usual
+    // fault-injection hook).
+    out = recv<T>(src, tag);
+    return true;
+  }
+
   /// All ranks must call; returns when every rank has arrived.
   void barrier() {
     check_alive("barrier");

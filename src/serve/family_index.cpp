@@ -21,13 +21,14 @@ FamilyIndex::FamilyIndex(const store::FamilyStore& store) : store_(store) {
                 "store has no valid k-mer index");
 }
 
-ClassifyResult FamilyIndex::classify(std::string_view query,
-                                     const ClassifyParams& params,
-                                     ClassifyScratch& scratch) const {
+CandidateScores FamilyIndex::score_candidates(
+    std::string_view query, const ClassifyParams& params,
+    ClassifyScratch& scratch,
+    std::span<const store::RepPosting> postings) const {
   params.validate();
-  ClassifyResult result;
+  CandidateScores result;
   if (query.empty() || !seq::is_valid_protein(query)) {
-    result.outcome = ClassifyOutcome::InvalidQuery;
+    result.invalid = true;
     return result;
   }
 
@@ -55,7 +56,6 @@ ClassifyResult FamilyIndex::classify(std::string_view query,
   // distinct k-mer.
   auto& hits = scratch.seed_counts_;
   hits.clear();
-  const auto& postings = store_.postings;
   auto it = postings.begin();
   for (u64 code : codes) {
     it = std::lower_bound(it, postings.end(), code,
@@ -83,10 +83,7 @@ ClassifyResult FamilyIndex::classify(std::string_view query,
     lo = hi;
   }
   result.num_candidates = static_cast<u32>(candidates.size());
-  if (candidates.empty()) {
-    result.outcome = ClassifyOutcome::NoSeeds;
-    return result;
-  }
+  if (candidates.empty()) return result;
 
   // 3. Best-seeded first, deterministically: (shared desc, rep asc).
   std::sort(candidates.begin(), candidates.end(),
@@ -106,14 +103,7 @@ ClassifyResult FamilyIndex::classify(std::string_view query,
   encoded.reserve(query.size());
   for (char c : query) encoded.push_back(seq::residue_index(c));
 
-  // The score floor depends on the representative's length, so whether a
-  // candidate qualifies is judged per candidate; the winner is the best
-  // *qualifying* candidate, falling back to the best raw score (reported
-  // as BelowThreshold) when none qualifies. Winner order is deterministic:
-  // (qualifies desc, score desc, family asc, rep asc).
-  bool have_best = false;
-  bool best_qualifies = false;
-  u32 best_family = kNoFamily;
+  result.scored.reserve(candidates.size());
   for (const auto& [rep, shared] : candidates) {
     const u32 rep_seq = store_.representatives[rep];
     const std::string_view rep_residues = store_.sequence(rep_seq);
@@ -121,21 +111,55 @@ ClassifyResult FamilyIndex::classify(std::string_view query,
         scratch.profiles_.get(rep_seq, rep_residues);
     const align::AlignmentResult aligned = align::smith_waterman_simd(
         profile, encoded, params.alignment, &scratch.simd_);
-    ++result.num_alignments;
+    result.scored.push_back(ScoredCandidate{rep, shared, aligned.score});
+  }
+  return result;
+}
+
+ClassifyResult FamilyIndex::decide(std::string_view query,
+                                   const ClassifyParams& params,
+                                   const CandidateScores& scores) const {
+  params.validate();
+  ClassifyResult result;
+  if (scores.invalid) {
+    result.outcome = ClassifyOutcome::InvalidQuery;
+    return result;
+  }
+  result.num_candidates = scores.num_candidates;
+  if (scores.scored.empty()) {
+    result.outcome = ClassifyOutcome::NoSeeds;
+    return result;
+  }
+  result.num_alignments = static_cast<u32>(scores.scored.size());
+
+  // The score floor depends on the representative's length, so whether a
+  // candidate qualifies is judged per candidate; the winner is the best
+  // *qualifying* candidate, falling back to the best raw score (reported
+  // as BelowThreshold) when none qualifies. Winner order is deterministic
+  // AND order-independent — (qualifies desc, score desc, family asc,
+  // rep_seq asc) is a strict total order because rep_seq values are
+  // distinct across representatives — so the sharded router can feed this
+  // any permutation of the single-node candidate list.
+  bool have_best = false;
+  bool best_qualifies = false;
+  u32 best_family = kNoFamily;
+  for (const ScoredCandidate& cand : scores.scored) {
+    const u32 rep_seq = store_.representatives[cand.rep];
+    const std::string_view rep_residues = store_.sequence(rep_seq);
     const u32 family = store_.family_of[rep_seq];
     const double floor =
         params.min_score_per_residue *
         static_cast<double>(std::min(query.size(), rep_residues.size()));
-    const bool qualifies = aligned.score >= params.min_score &&
-                           static_cast<double>(aligned.score) >= floor;
-    const auto key = std::tuple(!qualifies, -aligned.score, family, rep_seq);
+    const bool qualifies = cand.score >= params.min_score &&
+                           static_cast<double>(cand.score) >= floor;
+    const auto key = std::tuple(!qualifies, -cand.score, family, rep_seq);
     if (!have_best || key < std::tuple(!best_qualifies, -result.score,
                                        best_family, result.best_rep)) {
       have_best = true;
       best_qualifies = qualifies;
-      result.score = aligned.score;
+      result.score = cand.score;
       result.best_rep = rep_seq;
-      result.shared_kmers = shared;
+      result.shared_kmers = cand.shared;
       best_family = family;
     }
   }
@@ -147,6 +171,12 @@ ClassifyResult FamilyIndex::classify(std::string_view query,
     result.outcome = ClassifyOutcome::BelowThreshold;
   }
   return result;
+}
+
+ClassifyResult FamilyIndex::classify(std::string_view query,
+                                     const ClassifyParams& params,
+                                     ClassifyScratch& scratch) const {
+  return decide(query, params, score_candidates(query, params, scratch));
 }
 
 }  // namespace gpclust::serve

@@ -8,6 +8,7 @@
 // the store, which is what makes QueryService's answers bit-identical
 // across worker-pool sizes.
 
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -86,6 +87,29 @@ class ClassifyScratch {
   std::vector<u8> encoded_query_;
 };
 
+/// One Smith-Waterman-scored candidate representative. Trivially copyable
+/// on purpose: this is the wire format of the sharded serving tier (a
+/// shard returns its scored candidates, the router merges them).
+struct ScoredCandidate {
+  u32 rep = 0;     ///< index into FamilyStore::representatives
+  u32 shared = 0;  ///< distinct query k-mers shared with the rep
+  i32 score = 0;   ///< exact Smith-Waterman score against the query
+
+  friend bool operator==(const ScoredCandidate&,
+                         const ScoredCandidate&) = default;
+};
+static_assert(sizeof(ScoredCandidate) == 12, "sharded wire layout is fixed");
+
+/// The seed+score half of classification over one postings (sub)set:
+/// everything classify() computes before the best-family decision.
+struct CandidateScores {
+  bool invalid = false;    ///< empty or non-protein query
+  u32 num_candidates = 0;  ///< reps meeting the seed floor (pre-truncation)
+  /// The top `max_candidates` candidates by (shared desc, rep asc), each
+  /// scored with exact Smith-Waterman. A subset of the floor-meeting reps.
+  std::vector<ScoredCandidate> scored;
+};
+
 /// Read-only view over a loaded FamilyStore. Thread-safe for concurrent
 /// classify() calls as long as each caller passes its own scratch.
 class FamilyIndex {
@@ -96,9 +120,34 @@ class FamilyIndex {
   const store::FamilyStore& store() const { return store_; }
 
   /// Classifies one query ORF. Deterministic: equal queries yield equal
-  /// results regardless of scratch state or thread.
+  /// results regardless of scratch state or thread. Exactly
+  /// `decide(query, params, score_candidates(query, params, scratch))`.
   ClassifyResult classify(std::string_view query, const ClassifyParams& params,
                           ClassifyScratch& scratch) const;
+
+  /// Seed counting + candidate truncation + Smith-Waterman scoring against
+  /// a postings subset (`postings` must be sorted by (code, rep) — any
+  /// rep-partitioned filtering of the store's postings qualifies, and the
+  /// full store postings are the default). This is the per-shard half of
+  /// the sharded serving tier (DESIGN.md §12).
+  CandidateScores score_candidates(
+      std::string_view query, const ClassifyParams& params,
+      ClassifyScratch& scratch,
+      std::span<const store::RepPosting> postings) const;
+  CandidateScores score_candidates(std::string_view query,
+                                   const ClassifyParams& params,
+                                   ClassifyScratch& scratch) const {
+    return score_candidates(query, params, scratch,
+                            std::span<const store::RepPosting>(store_.postings));
+  }
+
+  /// The decision half: picks the best family from a scored candidate set.
+  /// Order-independent in `scores.scored` (the winner key — qualifies
+  /// desc, score desc, family asc, rep asc — is a strict total order), so
+  /// the router of the sharded tier can feed it the re-truncated merge of
+  /// per-shard candidate lists and get the single-node answer bit for bit.
+  ClassifyResult decide(std::string_view query, const ClassifyParams& params,
+                        const CandidateScores& scores) const;
 
  private:
   const store::FamilyStore& store_;

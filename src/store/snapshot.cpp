@@ -370,7 +370,7 @@ void write_snapshot(const FamilyStore& store, const std::string& path) {
 FamilyStore load_snapshot(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
-    throw SnapshotError("snapshot: cannot open " + path);
+    throw SnapshotIoError("snapshot: cannot open " + path);
   }
   std::fseek(f, 0, SEEK_END);
   const long size = std::ftell(f);
@@ -382,7 +382,7 @@ FamilyStore load_snapshot(const std::string& path) {
                               : std::fread(bytes.data(), 1, bytes.size(), f);
   std::fclose(f);
   if (got != bytes.size()) {
-    throw SnapshotError("snapshot: short read from " + path);
+    throw SnapshotIoError("snapshot: short read from " + path);
   }
   return deserialize_snapshot(bytes);
 }

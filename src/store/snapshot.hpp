@@ -43,6 +43,15 @@ class SnapshotError : public ParseError {
   using ParseError::ParseError;
 };
 
+/// Typed I/O failure distinct from corruption: the snapshot file is
+/// missing, unreadable, or the read came up short. Callers (notably
+/// `gpclust-query`) branch on this vs SnapshotError to tell "wrong path"
+/// from "damaged index".
+class SnapshotIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// One (k-mer, representative) posting of the family-level seed index.
 /// Sorted by (code, rep); `pos` is the k-mer's first occurrence in the
 /// representative (seed diagonals, mirroring align::CandidatePair::diag).
@@ -129,8 +138,8 @@ FamilyStore deserialize_snapshot(const std::vector<char>& bytes);
 void write_snapshot(const FamilyStore& store, const std::string& path);
 
 /// One fread of the whole file + deserialize_snapshot. Throws
-/// SnapshotError for anything malformed, std::runtime_error when the file
-/// cannot be opened.
+/// SnapshotError for anything malformed, SnapshotIoError when the file
+/// cannot be opened or read in full.
 FamilyStore load_snapshot(const std::string& path);
 
 }  // namespace gpclust::store

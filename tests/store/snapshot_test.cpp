@@ -125,8 +125,19 @@ TEST(StoreSnapshot, FileRoundTrip) {
   EXPECT_EQ(loaded, store);
 }
 
-TEST(StoreSnapshot, LoadMissingFileThrows) {
-  EXPECT_THROW(load_snapshot("/nonexistent/gpclust.gpfi"), SnapshotError);
+TEST(StoreSnapshot, LoadMissingFileThrowsIoErrorNotCorruption) {
+  // Missing/unreadable files are SnapshotIoError — distinct from the
+  // SnapshotError corruption type so callers (gpclust-query exit codes)
+  // can tell "wrong path" from "damaged index".
+  EXPECT_THROW(load_snapshot("/nonexistent/gpclust.gpfi"), SnapshotIoError);
+  try {
+    load_snapshot("/nonexistent/gpclust.gpfi");
+    FAIL() << "expected SnapshotIoError";
+  } catch (const SnapshotError&) {
+    FAIL() << "missing file must not be reported as corruption";
+  } catch (const SnapshotIoError& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos);
+  }
 }
 
 // ---------------------------------------------------------------------------

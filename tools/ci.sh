@@ -44,6 +44,25 @@ echo "=== tier 1c: family-index round trip (build-index -> query) ==="
     --fasta=build-ci/ci_orfs.faa --workers=2 \
     --require-assigned-fraction=0.7 --out=build-ci/ci_assignments.tsv
 
+echo "=== tier 1d: distributed-serve round trip (shards + fail-over) ==="
+# Same index and queries through the sharded tier (DESIGN.md §12): 4
+# serving ranks, replication 2, rank 1 killed mid-stream. The surviving
+# replicas must produce a TSV byte-identical to the single-node run above
+# — fail-over changes who answers, never the answer. gpclust-build-index
+# printed the arena check for the device-built index ("device arena empty
+# after clustering"); re-run it here so the smoke records the invariant.
+./build-ci/tools/gpclust-build-index --demo-families=12 \
+    --out=build-ci/ci_families2.gpfi --demo-fasta-out=build-ci/ci_orfs2.faa \
+    2>build-ci/ci_build_index.log
+grep -q "device arena empty after clustering" build-ci/ci_build_index.log
+./build-ci/tools/gpclust-query --index=build-ci/ci_families2.gpfi \
+    --fasta=build-ci/ci_orfs2.faa --out=build-ci/ci_single.tsv
+./build-ci/tools/gpclust-query --index=build-ci/ci_families2.gpfi \
+    --fasta=build-ci/ci_orfs2.faa --ranks=4 --replication=2 \
+    --kill-rank=1@5 --resilience=fallback --out=build-ci/ci_sharded.tsv
+cmp build-ci/ci_single.tsv build-ci/ci_sharded.tsv
+echo "sharded answers byte-identical to single-node under rank death"
+
 echo "=== tier 2: ASan/UBSan gpclust_tests + gpclust_align_tests (preset: asan) ==="
 cmake --preset asan
 cmake --build --preset asan

@@ -33,11 +33,16 @@ HOST_BOUND = 2.5  # default --bound: generous, one-core shared host
 MODELED_BOUND = 1.001  # modeled seconds are deterministic
 
 # Noisy-by-design fields that are reported but never gated: ratios,
-# latency quantiles, and the serve bench's profile-cache hit/build split
+# latency quantiles, the serve bench's profile-cache hit/build split
 # (which worker claims a query — and thus whose single-slot cache hits —
-# depends on scheduling, even though the assignments themselves do not).
+# depends on scheduling, even though the assignments themselves do not),
+# and the sharded tier's fail-over counters (how many in-flight requests
+# a dying rank strands — and thus the re-issue count — depends on
+# scheduling; answers stay bit-identical, which the bench itself
+# digest-checks).
 SKIP_SUBSTRINGS = ("speedup", "latency_", "_max_s", "profile_hits",
-                   "profile_builds")
+                   "profile_builds", "rank_failures", "query_reissues",
+                   "shard_failovers")
 
 
 def walk(doc, prefix=""):

@@ -86,6 +86,9 @@ int main(int argc, char** argv) {
     } else if (engine == "gpu") {
       device::DeviceContext ctx(device::DeviceSpec::tesla_k20());
       clustering = core::GpClust(ctx, params).cluster(graph);
+      GPCLUST_CHECK(ctx.arena().used() == 0,
+                    "device arena must be empty after clustering");
+      std::fprintf(stderr, "device arena empty after clustering\n");
     } else {
       throw InvalidArgument("unknown --engine: " + engine);
     }

@@ -4,10 +4,18 @@
 // through the concurrent QueryService (DESIGN.md §10): k-mer seeding
 // against the family representatives, exact striped Smith-Waterman on the
 // best-seeded candidates, bounded worker pool + bounded admission queue.
+// With --ranks=N it instead serves through the sharded fault-tolerant
+// tier (DESIGN.md §12): the index is partitioned across N in-process
+// serving ranks (each shard replicated on --replication ranks) behind a
+// scatter-gather router with replica fail-over; answers are bit-identical
+// to single-node serving whenever every shard keeps a live replica.
 //
 //   gpclust-query --index=families.gpfi --seq=MKT...          # one query
 //   gpclust-query --index=families.gpfi --fasta=reads.faa
 //       --workers=4 --out=assignments.tsv                     # batch
+//   gpclust-query --index=families.gpfi --fasta=reads.faa
+//       --ranks=4 --replication=2 --kill-rank=1@5
+//       --resilience=fallback                                 # sharded
 //
 // Flags:
 //   --index=PATH           snapshot written by gpclust-build-index (required)
@@ -16,13 +24,16 @@
 //   --out=PATH             batch mode: write per-query TSV (id, outcome,
 //                          family, representative id, score, shared k-mers)
 //                          instead of stdout lines
-//   --workers=N            worker threads (default 1)
-//   --queue=N              admission queue capacity (default 64)
+//   --workers=N            worker threads (per rank in sharded mode;
+//                          default 1)
+//   --queue=N              admission queue capacity; in sharded mode the
+//                          per-rank request window (default 64)
 //   --admission=off|retry|fallback
 //                          full-queue policy: off rejects immediately,
 //                          retry/fallback wait with bounded deterministic
 //                          backoff before rejecting (default retry)
-//   --retries=N            admission retries when not off (default 3)
+//   --retries=N            admission (or sharded re-issue) retries when
+//                          not off (default 3)
 //   --backoff=SECONDS      base admission backoff (default 0.001)
 //   --cache=N              per-worker representative-profile LRU capacity
 //                          (default 64)
@@ -30,16 +41,35 @@
 //   --max-candidates=N     Smith-Waterman budget per query (default 8)
 //   --min-score=N          absolute score floor (default 40)
 //   --min-score-per-residue=X  length-relative score floor (default 1.2)
+//   --ranks=N              serve from N sharded ranks + a router rank
+//                          instead of the single-node QueryService
+//   --replication=R        replicas per shard (default 1; sharded only)
+//   --resilience=off|retry|fallback
+//                          rank-death policy in sharded mode: off makes
+//                          the first death fatal, retry/fallback re-issue
+//                          in-flight queries to surviving replicas
+//                          (default fallback)
+//   --fault-plan=SPEC      fault::FaultPlan spec (e.g. "rank_down@1");
+//                          sharded only
+//   --kill-rank=R@N        kill serving rank R after it scores N requests
+//                          (deterministic mid-stream fail-over seam)
 //   --trace-out=PATH       chrome://tracing JSON of the serve spans,
-//                          counters and the serve.latency histogram
+//                          counters and the latency histogram
 //   --require-assigned-fraction=F
 //                          exit 3 unless assigned/total >= F (CI smoke)
+//
+// Exit codes: 0 success; 1 query/serving failure (including typed
+// dist::CommError when every replica of a shard is lost); 2 usage;
+// 3 --require-assigned-fraction unmet; 4 snapshot corruption
+// (store::SnapshotError); 5 snapshot I/O failure — missing or truncated
+// file (store::SnapshotIoError).
 
 #include <cstdio>
 
 #include "obs/trace.hpp"
 #include "seq/fasta.hpp"
 #include "serve/query_service.hpp"
+#include "serve/sharded_service.hpp"
 #include "store/snapshot.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
@@ -47,6 +77,17 @@
 namespace {
 
 using namespace gpclust;
+
+serve::ClassifyParams classify_from(const util::CliArgs& args) {
+  serve::ClassifyParams params;
+  params.min_shared_kmers =
+      static_cast<u32>(args.get_int("min-shared-kmers", 2));
+  params.max_candidates =
+      static_cast<std::size_t>(args.get_int("max-candidates", 8));
+  params.min_score = static_cast<int>(args.get_int("min-score", 40));
+  params.min_score_per_residue = args.get_double("min-score-per-residue", 1.2);
+  return params;
+}
 
 serve::ServiceConfig config_from(const util::CliArgs& args,
                                  obs::Tracer* tracer) {
@@ -59,15 +100,53 @@ serve::ServiceConfig config_from(const util::CliArgs& args,
   config.admission.retry_backoff_seconds = args.get_double("backoff", 0.001);
   config.profile_cache_capacity =
       static_cast<std::size_t>(args.get_int("cache", 64));
-  config.classify.min_shared_kmers =
-      static_cast<u32>(args.get_int("min-shared-kmers", 2));
-  config.classify.max_candidates =
-      static_cast<std::size_t>(args.get_int("max-candidates", 8));
-  config.classify.min_score = static_cast<int>(args.get_int("min-score", 40));
-  config.classify.min_score_per_residue =
-      args.get_double("min-score-per-residue", 1.2);
+  config.classify = classify_from(args);
   config.tracer = tracer;
   return config;
+}
+
+serve::ShardedConfig sharded_config_from(const util::CliArgs& args,
+                                         fault::FaultPlan* plan,
+                                         obs::Tracer* tracer) {
+  serve::ShardedConfig config;
+  config.num_ranks = static_cast<std::size_t>(args.get_int("ranks", 1));
+  config.replication =
+      static_cast<std::size_t>(args.get_int("replication", 1));
+  config.num_workers = static_cast<std::size_t>(args.get_int("workers", 1));
+  config.queue_capacity = static_cast<std::size_t>(args.get_int("queue", 64));
+  config.resilience.mode =
+      fault::parse_resilience_mode(args.get_string("resilience", "fallback"));
+  config.resilience.max_retries =
+      static_cast<int>(args.get_int("retries", 3));
+  config.profile_cache_capacity =
+      static_cast<std::size_t>(args.get_int("cache", 64));
+  config.classify = classify_from(args);
+  config.fault_plan = plan;
+  config.tracer = tracer;
+  const auto kill = args.get_string("kill-rank", "");
+  if (!kill.empty()) {
+    const auto at = kill.find('@');
+    GPCLUST_CHECK(at != std::string::npos && at > 0 && at + 1 < kill.size(),
+                  "--kill-rank expects R@N (rank @ requests served)");
+    config.kill_rank =
+        static_cast<std::size_t>(std::stoull(kill.substr(0, at)));
+    config.kill_after_requests =
+        static_cast<std::size_t>(std::stoull(kill.substr(at + 1)));
+  }
+  return config;
+}
+
+void print_classify(std::FILE* out, const std::string& id,
+                    const store::FamilyStore& store,
+                    const serve::ClassifyResult& r) {
+  const bool assigned = r.outcome == serve::ClassifyOutcome::Assigned;
+  std::fprintf(out, "%s\t%s\t%s\t%s\t%d\t%u\n", id.c_str(),
+               std::string(serve::classify_outcome_name(r.outcome)).c_str(),
+               assigned ? std::to_string(r.family).c_str() : "-",
+               r.best_rep != serve::kNoFamily
+                   ? std::string(store.id(r.best_rep)).c_str()
+                   : "-",
+               r.score, r.shared_kmers);
 }
 
 void print_result(std::FILE* out, const std::string& id,
@@ -79,15 +158,7 @@ void print_result(std::FILE* out, const std::string& id,
                      .c_str());
     return;
   }
-  const auto& r = outcome.result;
-  const bool assigned = r.outcome == serve::ClassifyOutcome::Assigned;
-  std::fprintf(out, "%s\t%s\t%s\t%s\t%d\t%u\n", id.c_str(),
-               std::string(serve::classify_outcome_name(r.outcome)).c_str(),
-               assigned ? std::to_string(r.family).c_str() : "-",
-               r.best_rep != serve::kNoFamily
-                   ? std::string(store.id(r.best_rep)).c_str()
-                   : "-",
-               r.score, r.shared_kmers);
+  print_classify(out, id, store, outcome.result);
 }
 
 }  // namespace
@@ -106,6 +177,9 @@ int main(int argc, char** argv) {
                    "[--admission=off|retry|fallback] [--cache=N] "
                    "[--min-shared-kmers=N] [--max-candidates=N] "
                    "[--min-score=N] [--min-score-per-residue=X] "
+                   "[--ranks=N] [--replication=R] "
+                   "[--resilience=off|retry|fallback] [--fault-plan=SPEC] "
+                   "[--kill-rank=R@N] "
                    "[--trace-out=PATH] [--require-assigned-fraction=F]\n");
       return 2;
     }
@@ -123,8 +197,7 @@ int main(int argc, char** argv) {
 
     const auto trace_out = args.get_string("trace-out", "");
     obs::Tracer tracer;
-    serve::QueryService service(
-        store, config_from(args, trace_out.empty() ? nullptr : &tracer));
+    obs::Tracer* tracer_ptr = trace_out.empty() ? nullptr : &tracer;
 
     std::vector<std::string> ids;
     std::vector<std::string> queries;
@@ -138,8 +211,30 @@ int main(int argc, char** argv) {
       }
     }
 
+    const bool sharded = args.get_int("ranks", 0) > 0;
+
+    std::vector<serve::QueryOutcome> outcomes;   // single-node path
+    std::vector<serve::ClassifyResult> results;  // sharded path
+    serve::ShardedStats sharded_stats;
+    serve::ServiceStats service_stats;
+    obs::Histogram latency;
+
     util::WallTimer serve_timer;
-    const auto outcomes = service.classify_batch(queries);
+    if (sharded) {
+      fault::FaultPlan plan;
+      const auto plan_spec = args.get_string("fault-plan", "");
+      if (!plan_spec.empty()) plan = fault::FaultPlan::parse(plan_spec);
+      const auto config = sharded_config_from(
+          args, plan_spec.empty() ? nullptr : &plan, tracer_ptr);
+      results =
+          serve::sharded_classify_batch(store, queries, config, &sharded_stats);
+      latency = sharded_stats.latency;
+    } else {
+      serve::QueryService service(store, config_from(args, tracer_ptr));
+      outcomes = service.classify_batch(queries);
+      service_stats = service.stats();
+      latency = service.latency_histogram();
+    }
     const double wall = serve_timer.seconds();
 
     const auto out_path = args.get_string("out", "");
@@ -150,29 +245,52 @@ int main(int argc, char** argv) {
     }
     std::fprintf(out, "#id\toutcome\tfamily\trepresentative\tscore\tshared\n");
     std::size_t assigned = 0, rejected = 0;
-    for (std::size_t i = 0; i < outcomes.size(); ++i) {
-      print_result(out, ids[i], store, outcomes[i]);
-      if (outcomes[i].rejected != serve::RejectReason::None) ++rejected;
-      else if (outcomes[i].result.outcome == serve::ClassifyOutcome::Assigned)
-        ++assigned;
+    if (sharded) {
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        print_classify(out, ids[i], store, results[i]);
+        if (results[i].outcome == serve::ClassifyOutcome::Assigned) ++assigned;
+      }
+    } else {
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        print_result(out, ids[i], store, outcomes[i]);
+        if (outcomes[i].rejected != serve::RejectReason::None) ++rejected;
+        else if (outcomes[i].result.outcome ==
+                 serve::ClassifyOutcome::Assigned)
+          ++assigned;
+      }
     }
     if (out != stdout) {
       std::fclose(out);
       std::fprintf(stderr, "wrote %s\n", out_path.c_str());
     }
 
-    const auto stats = service.stats();
-    const auto histogram = service.latency_histogram();
-    std::fprintf(stderr,
-                 "%zu queries in %.2fs wall (%.0f/s host-measured): "
-                 "%zu assigned, %zu rejected; profile cache %llu hits / "
-                 "%llu builds; latency %s\n",
-                 queries.size(), wall,
-                 wall > 0 ? static_cast<double>(queries.size()) / wall : 0.0,
-                 assigned, rejected,
-                 static_cast<unsigned long long>(stats.profile_hits),
-                 static_cast<unsigned long long>(stats.profile_builds),
-                 histogram.summary().c_str());
+    if (sharded) {
+      std::fprintf(
+          stderr,
+          "%zu queries in %.2fs wall (%.0f/s host-measured) over %zu "
+          "shards: %zu assigned; %llu shard requests, %llu rank failures, "
+          "%llu re-issues, %llu fail-overs; latency %s\n",
+          queries.size(), wall,
+          wall > 0 ? static_cast<double>(queries.size()) / wall : 0.0,
+          sharded_stats.num_shards, assigned,
+          static_cast<unsigned long long>(sharded_stats.shard_requests),
+          static_cast<unsigned long long>(sharded_stats.rank_failures),
+          static_cast<unsigned long long>(sharded_stats.query_reissues),
+          static_cast<unsigned long long>(sharded_stats.shard_failovers),
+          latency.summary().c_str());
+    } else {
+      std::fprintf(
+          stderr,
+          "%zu queries in %.2fs wall (%.0f/s host-measured): "
+          "%zu assigned, %zu rejected; profile cache %llu hits / "
+          "%llu builds; latency %s\n",
+          queries.size(), wall,
+          wall > 0 ? static_cast<double>(queries.size()) / wall : 0.0,
+          assigned, rejected,
+          static_cast<unsigned long long>(service_stats.profile_hits),
+          static_cast<unsigned long long>(service_stats.profile_builds),
+          latency.summary().c_str());
+    }
 
     if (!trace_out.empty()) {
       obs::write_chrome_trace(tracer, trace_out);
@@ -193,6 +311,12 @@ int main(int argc, char** argv) {
       }
     }
     return 0;
+  } catch (const store::SnapshotIoError& e) {
+    std::fprintf(stderr, "error [snapshot io]: %s\n", e.what());
+    return 5;
+  } catch (const store::SnapshotError& e) {
+    std::fprintf(stderr, "error [snapshot corruption]: %s\n", e.what());
+    return 4;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
