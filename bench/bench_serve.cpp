@@ -12,16 +12,22 @@
 //
 // Flags: --quick (tiny run for CI smoke), --families=N (workload scale),
 //        --seed=N (family-model seed), --queries=N (batch size per row,
-//        default = whole workload), --json=PATH (machine-readable results,
-//        schema in docs/bench_json.md).
+//        default = whole workload), --sweep-families=N (largest point of
+//        the seed-index sweep), --sweep-queries=N (queries per sweep
+//        point), --json=PATH (machine-readable results, schema in
+//        docs/bench_json.md).
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <string_view>
 
 #include "align/homology_graph.hpp"
 #include "core/serial_pclust.hpp"
 #include "obs/json.hpp"
+#include "seq/alphabet.hpp"
 #include "seq/family_model.hpp"
+#include "serve/bucket_index.hpp"
 #include "serve/query_service.hpp"
 #include "serve/sharded_service.hpp"
 #include "store/snapshot.hpp"
@@ -65,6 +71,37 @@ SweepRow run_sweep(const store::FamilyStore& store,
   row.latency = service.latency_histogram();
   row.stats = service.stats();
   return row;
+}
+
+u64 splitmix(u64& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Point-mutates `rate` of the residues (standard-alphabet substitutions,
+/// deterministic in `seed`) so the sweep's banding recall is non-trivial.
+std::string mutate_query(std::string_view residues, u64 seed, double rate) {
+  std::string out(residues);
+  u64 state = seed;
+  for (char& c : out) {
+    const double u =
+        static_cast<double>(splitmix(state) >> 11) * 0x1.0p-53;
+    if (u < rate) {
+      c = seq::kResidues[splitmix(state) % seq::kNumStandardResidues];
+    }
+  }
+  return out;
+}
+
+/// Exact quantile over a sorted latency vector (the sweep records every
+/// per-query wall time, so no histogram approximation is needed).
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  GPCLUST_CHECK(!sorted.empty(), "quantile of an empty sample");
+  const auto pos = static_cast<std::size_t>(q * static_cast<double>(sorted.size()));
+  return sorted[std::min(sorted.size() - 1, pos)];
 }
 
 }  // namespace
@@ -256,6 +293,221 @@ int main(int argc, char** argv) {
   }
   std::printf("all three sharded rows digest-identical to single-node\n");
 
+  // --- Seed-index sweep: p50/p99 vs family count (DESIGN.md §13) ---------
+  // The postings scan's seed stage touches every representative that
+  // contains a query k-mer, so its cost grows with the total
+  // representative count; the bucketed index nominates candidates by
+  // min-hash band collisions, so its cost tracks how many reps actually
+  // resemble the query. The sweep pins that contrast in the regime where
+  // it matters: k=3 postings (short-fragment-sensitive seeding — the
+  // small code space makes chance k-mer sharing, and therefore the
+  // postings scan, scale with family count) over stores of growing family
+  // count, with 64-hash signatures so the default 32-band slicing probes
+  // 2-row bands. Queries are point-mutated members of the first point's
+  // families — present in every store (family labels are emitted
+  // family-by-family, so "family < F" is a prefix), so only the index
+  // size changes across points, never the query set or its true matches.
+  // Latencies are exact quantiles over per-query host wall times on a
+  // profile-warm scratch; every point is digest-checked bit-identical to
+  // postings at the full-recall setting, and banding recall is measured
+  // against the postings path's assignments.
+  const auto sweep_max_families = static_cast<std::size_t>(
+      args.get_int("sweep-families", quick ? 400 : 12000));
+  const auto sweep_num_queries = static_cast<std::size_t>(
+      args.get_int("sweep-queries", quick ? 160 : 200));
+  const std::size_t sweep_kmer_k = 3;
+  const std::size_t sweep_sig_hashes = 64;
+  const serve::BucketIndexParams banding;        // default banding
+  const serve::BucketIndexParams full_recall{0, 1};
+  obs::json::Array seed_rows;
+  {
+    seq::FamilyModelConfig scfg;
+    scfg.num_families = sweep_max_families;
+    scfg.min_members = 4;
+    scfg.max_members = 8;
+    scfg.substitution_rate = 0.08;
+    scfg.fragment_min_fraction = 0.8;
+    scfg.seed = 97;
+    const auto smg = seq::generate_metagenome(scfg);
+
+    std::vector<std::size_t> family_points;
+    for (const std::size_t divisor : quick ? std::vector<std::size_t>{9, 3, 1}
+                                           : std::vector<std::size_t>{27, 9, 3,
+                                                                      1}) {
+      family_points.push_back(sweep_max_families / divisor);
+    }
+
+    // Queries live in the smallest store, hence in all of them.
+    const auto prefix_of = [&](std::size_t families) {
+      return static_cast<std::size_t>(
+          std::upper_bound(smg.family.begin(), smg.family.end(),
+                           static_cast<u32>(families - 1)) -
+          smg.family.begin());
+    };
+    const std::size_t query_pool = prefix_of(family_points.front());
+    std::vector<std::string> sweep_queries;
+    const std::size_t stride =
+        std::max<std::size_t>(1, query_pool / sweep_num_queries);
+    for (std::size_t i = 0;
+         i < query_pool && sweep_queries.size() < sweep_num_queries;
+         i += stride) {
+      sweep_queries.push_back(
+          mutate_query(smg.sequences[i].residues, 0x5eed0 + i, 0.04));
+    }
+
+    struct Measured {
+      std::vector<serve::ClassifyResult> results;
+      std::vector<double> latency;  // sorted seconds
+      std::size_t assigned = 0;
+    };
+    const auto measure = [&](auto&& classify_one) {
+      Measured m;
+      serve::ClassifyScratch scratch(4096);
+      // Warm pass: builds every candidate profile the (deterministic)
+      // timed pass will touch, so the quantiles measure the seed + SW
+      // stages, not first-touch profile construction.
+      for (const auto& q : sweep_queries) classify_one(q, scratch);
+      for (const auto& q : sweep_queries) {
+        util::WallTimer timer;
+        m.results.push_back(classify_one(q, scratch));
+        m.latency.push_back(timer.seconds());
+      }
+      std::sort(m.latency.begin(), m.latency.end());
+      for (const auto& r : m.results) {
+        if (r.outcome == serve::ClassifyOutcome::Assigned) ++m.assigned;
+      }
+      return m;
+    };
+
+    std::printf("\nseed-index sweep (k=%zu postings, %zu-hash signatures, "
+                "default banding %llu x %zu; %zu mutated-member queries):\n",
+                sweep_kmer_k, sweep_sig_hashes,
+                static_cast<unsigned long long>(banding.num_bands),
+                sweep_sig_hashes / banding.num_bands, sweep_queries.size());
+    std::printf("%9s %7s %9s %9s %10s %10s %9s %7s %8s\n", "families", "reps",
+                "postings", "index", "p50", "p99", "assigned", "recall",
+                "p99-gain");
+    for (const std::size_t families : family_points) {
+      const std::size_t prefix = prefix_of(families);
+      const seq::SequenceSet subset(smg.sequences.begin(),
+                                    smg.sequences.begin() + prefix);
+      const std::vector<u32> labels(smg.family.begin(),
+                                    smg.family.begin() + prefix);
+      store::StoreBuildConfig sb;
+      sb.k = sweep_kmer_k;
+      sb.sig_hashes = sweep_sig_hashes;
+      const auto sstore = store::build_family_store(subset, labels, sb);
+      const serve::FamilyIndex sindex(sstore);
+      const serve::BucketIndex banded(sstore, banding);
+
+      const auto postings_run = measure(
+          [&](const std::string& q, serve::ClassifyScratch& s) {
+            return sindex.classify(q, {}, s);
+          });
+      const auto bucketed_run = measure(
+          [&](const std::string& q, serve::ClassifyScratch& s) {
+            return sindex.classify(q, {}, s, banded);
+          });
+
+      // Full-recall bit-identity at every point (the correctness bridge;
+      // not timed — it is the contract, not a serving configuration).
+      {
+        const serve::BucketIndex full(sstore, full_recall);
+        serve::ClassifyScratch scratch(4096);
+        std::vector<serve::ClassifyResult> results;
+        for (const auto& q : sweep_queries) {
+          results.push_back(sindex.classify(q, {}, scratch, full));
+        }
+        GPCLUST_CHECK(serve::results_digest(results) ==
+                          serve::results_digest(postings_run.results),
+                      "full-recall bucketed answers diverged from postings");
+      }
+
+      // Banding recall: of the queries the postings path assigns, the
+      // fraction the default banding assigns to the same family.
+      std::size_t assigned_by_postings = 0, same_family = 0;
+      for (std::size_t i = 0; i < sweep_queries.size(); ++i) {
+        if (postings_run.results[i].outcome !=
+            serve::ClassifyOutcome::Assigned) {
+          continue;
+        }
+        ++assigned_by_postings;
+        if (bucketed_run.results[i].outcome ==
+                serve::ClassifyOutcome::Assigned &&
+            bucketed_run.results[i].family == postings_run.results[i].family) {
+          ++same_family;
+        }
+      }
+      const double recall =
+          assigned_by_postings > 0
+              ? static_cast<double>(same_family) /
+                    static_cast<double>(assigned_by_postings)
+              : 1.0;
+      const double p99_postings = quantile_sorted(postings_run.latency, 0.99);
+      const double p99_bucketed = quantile_sorted(bucketed_run.latency, 0.99);
+      const double p99_gain = p99_postings / p99_bucketed;
+
+      std::printf("%9zu %7zu %9zu %9s %8.3fms %8.3fms %5zu/%-3zu %7s %8s\n",
+                  families, sstore.representatives.size(),
+                  sstore.postings.size(), "postings",
+                  1e3 * quantile_sorted(postings_run.latency, 0.50),
+                  1e3 * p99_postings, postings_run.assigned,
+                  sweep_queries.size(), "-", "-");
+      char recall_buf[16], gain_buf[16];
+      std::snprintf(recall_buf, sizeof(recall_buf), "%.3f", recall);
+      std::snprintf(gain_buf, sizeof(gain_buf), "%.1fx", p99_gain);
+      std::printf("%9s %7s %9s %9s %8.3fms %8.3fms %5zu/%-3zu %7s %8s\n", "",
+                  "", "", "bucketed",
+                  1e3 * quantile_sorted(bucketed_run.latency, 0.50),
+                  1e3 * p99_bucketed, bucketed_run.assigned,
+                  sweep_queries.size(), recall_buf, gain_buf);
+
+      seed_rows.push_back(obs::json::object({
+          {"families", obs::json::number(static_cast<double>(families))},
+          {"representatives",
+           obs::json::number(
+               static_cast<double>(sstore.representatives.size()))},
+          {"postings_entries",
+           obs::json::number(static_cast<double>(sstore.postings.size()))},
+          {"seed_index", obs::json::string("postings")},
+          {"assigned",
+           obs::json::number(static_cast<double>(postings_run.assigned))},
+          {"latency_p50_s",
+           obs::json::number(quantile_sorted(postings_run.latency, 0.50))},
+          {"latency_p99_s", obs::json::number(p99_postings)},
+      }));
+      seed_rows.push_back(obs::json::object({
+          {"families", obs::json::number(static_cast<double>(families))},
+          {"representatives",
+           obs::json::number(
+               static_cast<double>(sstore.representatives.size()))},
+          {"postings_entries",
+           obs::json::number(static_cast<double>(sstore.postings.size()))},
+          {"seed_index", obs::json::string("bucketed")},
+          {"assigned",
+           obs::json::number(static_cast<double>(bucketed_run.assigned))},
+          {"latency_p50_s",
+           obs::json::number(quantile_sorted(bucketed_run.latency, 0.50))},
+          {"latency_p99_s", obs::json::number(p99_bucketed)},
+          {"recall", obs::json::number(recall)},
+          {"p99_speedup", obs::json::number(p99_gain)},
+      }));
+
+      if (families == family_points.back()) {
+        GPCLUST_CHECK(recall >= 0.95,
+                      "default banding recall fell below 0.95 at the "
+                      "largest sweep point");
+        if (!quick) {
+          GPCLUST_CHECK(p99_postings >= 5.0 * p99_bucketed,
+                        "bucketed p99 gain fell below 5x at the largest "
+                        "sweep point");
+        }
+      }
+    }
+    std::printf("every sweep point digest-identical to postings at the "
+                "full-recall setting\n");
+  }
+
   const auto json_path = args.get_string("json", "");
   if (!json_path.empty()) {
     const auto doc = obs::json::object({
@@ -277,6 +529,20 @@ int main(int argc, char** argv) {
          })},
         {"rows", obs::json::array(json_rows)},
         {"sharded", obs::json::array(sharded_rows)},
+        {"seed_sweep",
+         obs::json::object({
+             {"kmer_k",
+              obs::json::number(static_cast<double>(sweep_kmer_k))},
+             {"sig_hashes",
+              obs::json::number(static_cast<double>(sweep_sig_hashes))},
+             {"num_bands",
+              obs::json::number(static_cast<double>(banding.num_bands))},
+             {"min_band_hits",
+              obs::json::number(static_cast<double>(banding.min_band_hits))},
+             {"queries",
+              obs::json::number(static_cast<double>(sweep_num_queries))},
+             {"rows", obs::json::array(seed_rows)},
+         })},
         {"overload",
          obs::json::object({
              {"queue_capacity",

@@ -3,8 +3,24 @@
 #include <algorithm>
 
 #include "seq/alphabet.hpp"
+#include "serve/bucket_index.hpp"
 
 namespace gpclust::serve {
+
+std::string_view seed_index_name(SeedIndex seed_index) {
+  switch (seed_index) {
+    case SeedIndex::Postings: return "postings";
+    case SeedIndex::Bucketed: return "bucketed";
+  }
+  return "unknown";
+}
+
+SeedIndex parse_seed_index(std::string_view name) {
+  if (name == "postings") return SeedIndex::Postings;
+  if (name == "bucketed") return SeedIndex::Bucketed;
+  throw InvalidArgument("unknown seed index \"" + std::string(name) +
+                        "\" (expected postings or bucketed)");
+}
 
 std::string_view classify_outcome_name(ClassifyOutcome outcome) {
   switch (outcome) {
@@ -21,18 +37,15 @@ FamilyIndex::FamilyIndex(const store::FamilyStore& store) : store_(store) {
                 "store has no valid k-mer index");
 }
 
-CandidateScores FamilyIndex::score_candidates(
-    std::string_view query, const ClassifyParams& params,
-    ClassifyScratch& scratch,
-    std::span<const store::RepPosting> postings) const {
-  params.validate();
-  CandidateScores result;
+bool FamilyIndex::prepare_query_codes(std::string_view query,
+                                      ClassifyScratch& scratch,
+                                      CandidateScores& result) const {
   if (query.empty() || !seq::is_valid_protein(query)) {
     result.invalid = true;
-    return result;
+    return false;
   }
 
-  // 1. Distinct k-mer codes of the query (same packing as the store's
+  // Distinct k-mer codes of the query (same packing as the store's
   // builder and align/kmer_index).
   const std::size_t k = store_.kmer_k;
   auto& codes = scratch.query_codes_;
@@ -48,6 +61,55 @@ CandidateScores FamilyIndex::score_candidates(
     std::sort(codes.begin(), codes.end());
     codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
   }
+  return true;
+}
+
+void FamilyIndex::score_top_candidates(
+    std::string_view query, const ClassifyParams& params,
+    ClassifyScratch& scratch, std::vector<std::pair<u32, u32>>& candidates,
+    CandidateScores& result) const {
+  result.num_candidates = static_cast<u32>(candidates.size());
+  if (candidates.empty()) return;
+
+  // Best-seeded first, deterministically: (shared desc, rep asc).
+  std::sort(candidates.begin(), candidates.end(),
+            [](const std::pair<u32, u32>& a, const std::pair<u32, u32>& b) {
+              return std::pair(b.second, a.first) < std::pair(a.second, b.first);
+            });
+  if (candidates.size() > params.max_candidates) {
+    candidates.resize(params.max_candidates);
+  }
+
+  // Exact scoring: the representative's cached striped profile against
+  // the encoded query. The SW score is symmetric in its arguments, so
+  // profiling the rep (the reusable side) and streaming the query through
+  // it gives the same score as the reverse orientation.
+  auto& encoded = scratch.encoded_query_;
+  encoded.clear();
+  encoded.reserve(query.size());
+  for (char c : query) encoded.push_back(seq::residue_index(c));
+
+  result.scored.reserve(candidates.size());
+  for (const auto& [rep, shared] : candidates) {
+    const u32 rep_seq = store_.representatives[rep];
+    const std::string_view rep_residues = store_.sequence(rep_seq);
+    const align::QueryProfile& profile =
+        scratch.profiles_.get(rep_seq, rep_residues);
+    const align::AlignmentResult aligned = align::smith_waterman_simd(
+        profile, encoded, params.alignment, &scratch.simd_);
+    result.scored.push_back(ScoredCandidate{rep, shared, aligned.score});
+  }
+}
+
+CandidateScores FamilyIndex::score_candidates(
+    std::string_view query, const ClassifyParams& params,
+    ClassifyScratch& scratch,
+    std::span<const store::RepPosting> postings) const {
+  params.validate();
+  CandidateScores result;
+  // 1. Validity + the query's distinct k-mer codes.
+  if (!prepare_query_codes(query, scratch, result)) return result;
+  const auto& codes = scratch.query_codes_;
 
   // 2. Seed counting: one lower_bound per distinct query k-mer into the
   // sorted postings, collecting matching reps; a sort + run-length scan
@@ -82,38 +144,39 @@ CandidateScores FamilyIndex::score_candidates(
     }
     lo = hi;
   }
-  result.num_candidates = static_cast<u32>(candidates.size());
-  if (candidates.empty()) return result;
 
-  // 3. Best-seeded first, deterministically: (shared desc, rep asc).
-  std::sort(candidates.begin(), candidates.end(),
-            [](const std::pair<u32, u32>& a, const std::pair<u32, u32>& b) {
-              return std::pair(b.second, a.first) < std::pair(a.second, b.first);
-            });
-  if (candidates.size() > params.max_candidates) {
-    candidates.resize(params.max_candidates);
-  }
-
-  // 4. Exact scoring: the representative's cached striped profile against
-  // the encoded query. The SW score is symmetric in its arguments, so
-  // profiling the rep (the reusable side) and streaming the query through
-  // it gives the same score as the reverse orientation.
-  auto& encoded = scratch.encoded_query_;
-  encoded.clear();
-  encoded.reserve(query.size());
-  for (char c : query) encoded.push_back(seq::residue_index(c));
-
-  result.scored.reserve(candidates.size());
-  for (const auto& [rep, shared] : candidates) {
-    const u32 rep_seq = store_.representatives[rep];
-    const std::string_view rep_residues = store_.sequence(rep_seq);
-    const align::QueryProfile& profile =
-        scratch.profiles_.get(rep_seq, rep_residues);
-    const align::AlignmentResult aligned = align::smith_waterman_simd(
-        profile, encoded, params.alignment, &scratch.simd_);
-    result.scored.push_back(ScoredCandidate{rep, shared, aligned.score});
-  }
+  // 3-4. Order, truncate, Smith-Waterman — shared with the bucketed path.
+  score_top_candidates(query, params, scratch, candidates, result);
   return result;
+}
+
+CandidateScores FamilyIndex::score_candidates(std::string_view query,
+                                              const ClassifyParams& params,
+                                              ClassifyScratch& scratch,
+                                              const BucketIndex& buckets) const {
+  params.validate();
+  CandidateScores result;
+  // 1. Validity + the query's distinct k-mer codes.
+  if (!prepare_query_codes(query, scratch, result)) return result;
+
+  // 2. Bucket-occupancy candidate generation (exact shared counts), then
+  // the same floor the postings path applies.
+  std::vector<std::pair<u32, u32>> candidates;
+  buckets.candidates(scratch.query_codes_, scratch, candidates);
+  std::erase_if(candidates, [&](const std::pair<u32, u32>& c) {
+    return c.second < params.min_shared_kmers;
+  });
+
+  // 3-4. Order, truncate, Smith-Waterman — shared with the postings path.
+  score_top_candidates(query, params, scratch, candidates, result);
+  return result;
+}
+
+ClassifyResult FamilyIndex::classify(std::string_view query,
+                                     const ClassifyParams& params,
+                                     ClassifyScratch& scratch,
+                                     const BucketIndex& buckets) const {
+  return decide(query, params, score_candidates(query, params, scratch, buckets));
 }
 
 ClassifyResult FamilyIndex::decide(std::string_view query,

@@ -26,6 +26,9 @@ QueryService::QueryService(const store::FamilyStore& store,
                            ServiceConfig config)
     : index_(store), config_(std::move(config)) {
   config_.validate();
+  if (config_.seed_index == SeedIndex::Bucketed) {
+    buckets_ = std::make_unique<const BucketIndex>(store, config_.bucket);
+  }
   paused_ = config_.start_paused;
   workers_.reserve(config_.num_workers);
   for (std::size_t i = 0; i < config_.num_workers; ++i) {
@@ -153,7 +156,10 @@ void QueryService::finish(Worker& worker, Job job) {
     const double classify_start =
         tracer != nullptr ? tracer->host_now() : 0.0;
     outcome.result =
-        index_.classify(job.query, config_.classify, worker.scratch);
+        buckets_ != nullptr
+            ? index_.classify(job.query, config_.classify, worker.scratch,
+                              *buckets_)
+            : index_.classify(job.query, config_.classify, worker.scratch);
     const auto done = std::chrono::steady_clock::now();
     outcome.latency_seconds = seconds_between(job.submitted_at, done);
     if (tracer != nullptr) {

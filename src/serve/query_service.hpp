@@ -34,6 +34,7 @@
 #include "fault/resilience.hpp"
 #include "obs/histogram.hpp"
 #include "obs/trace.hpp"
+#include "serve/bucket_index.hpp"
 #include "serve/family_index.hpp"
 
 namespace gpclust::serve {
@@ -41,6 +42,12 @@ namespace gpclust::serve {
 struct ServiceConfig {
   std::size_t num_workers = 1;
   std::size_t queue_capacity = 64;
+
+  /// Candidate generator feeding the exact Smith-Waterman stage
+  /// (family_index.hpp); Bucketed builds one BucketIndex at construction
+  /// with `bucket` and classifies through it.
+  SeedIndex seed_index = SeedIndex::Postings;
+  BucketIndexParams bucket;
 
   /// Admission behavior when the queue is full (see file comment). Only
   /// `mode`, `max_retries` and `retry_backoff_seconds` apply here; the
@@ -154,6 +161,9 @@ class QueryService {
 
   const FamilyIndex index_;
   ServiceConfig config_;
+  /// Built once at construction when config_.seed_index == Bucketed;
+  /// read-only afterwards, shared by every worker.
+  std::unique_ptr<const BucketIndex> buckets_;
 
   mutable std::mutex mu_;
   std::condition_variable queue_nonempty_;

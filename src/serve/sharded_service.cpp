@@ -175,19 +175,33 @@ void server_main(dist::Communicator& comm, const store::FamilyStore& store,
 
   const FamilyIndex index(store);
 
-  // Per hosted shard, the postings restricted to that shard's
-  // representatives. Filtering a (code, rep)-sorted vector preserves its
-  // order, which score_candidates requires.
+  // Per hosted shard, the seed index restricted to that shard's
+  // representatives: filtered postings (the (code, rep) sort survives
+  // filtering, which score_candidates requires) or, under the bucketed
+  // seed index, a BucketIndex over the shard's rep subset — either way a
+  // shard's candidates are the single-node candidates for its reps.
   std::map<u64, std::vector<store::RepPosting>> shard_postings;
+  std::map<u64, BucketIndex> shard_buckets;
   for (std::size_t shard = 0; shard < num_shards; ++shard) {
     const auto replicas =
         shard_replicas(shard, config.num_ranks, config.replication);
     if (std::find(replicas.begin(), replicas.end(), rank) == replicas.end()) {
       continue;
     }
-    auto& filtered = shard_postings[shard];
-    for (const store::RepPosting& p : store.postings) {
-      if (shard_of_rep(p.rep, num_shards) == shard) filtered.push_back(p);
+    if (config.seed_index == SeedIndex::Bucketed) {
+      std::vector<u32> shard_reps;
+      for (u32 r = 0; r < store.representatives.size(); ++r) {
+        if (shard_of_rep(r, num_shards) == shard) shard_reps.push_back(r);
+      }
+      shard_buckets.try_emplace(shard, store, config.bucket,
+                                std::span<const u32>(shard_reps));
+      // An empty map entry still marks the shard as hosted.
+      shard_postings[shard];
+    } else {
+      auto& filtered = shard_postings[shard];
+      for (const store::RepPosting& p : store.postings) {
+        if (shard_of_rep(p.rep, num_shards) == shard) filtered.push_back(p);
+      }
     }
   }
 
@@ -244,9 +258,14 @@ void server_main(dist::Communicator& comm, const store::FamilyStore& store,
             GPCLUST_CHECK(it != shard_postings.end(),
                           "sharded: request for a shard this rank "
                           "does not host");
-            const CandidateScores scores = index.score_candidates(
-                req.residues, config.classify, scratches[worker],
-                std::span<const store::RepPosting>(it->second));
+            const CandidateScores scores =
+                config.seed_index == SeedIndex::Bucketed
+                    ? index.score_candidates(req.residues, config.classify,
+                                             scratches[worker],
+                                             shard_buckets.at(req.shard))
+                    : index.score_candidates(
+                          req.residues, config.classify, scratches[worker],
+                          std::span<const store::RepPosting>(it->second));
             responses[i] = encode_response(req.query_id, req.shard, scores);
           }
         };

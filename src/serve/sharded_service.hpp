@@ -43,6 +43,7 @@
 #include "fault/resilience.hpp"
 #include "obs/histogram.hpp"
 #include "obs/trace.hpp"
+#include "serve/bucket_index.hpp"
 #include "serve/family_index.hpp"
 #include "store/snapshot.hpp"
 
@@ -75,6 +76,17 @@ struct ShardedConfig {
   /// re-issued to the next surviving replica, at most `max_retries`
   /// re-issues per (query, shard) pair.
   fault::ResiliencePolicy resilience;
+
+  /// Per-shard candidate generator. Bucketed: every serving rank builds
+  /// one BucketIndex per hosted shard over that shard's representatives —
+  /// a shard's bucket table is the global table filtered to its reps, so
+  /// per-shard candidate sets partition the single-node set and the
+  /// router's merge + decide stays bit-identical to single-node bucketed
+  /// classification (and to the postings path at the full-recall
+  /// setting). Signatures live in the store, so they shard with their
+  /// representatives for free; the router and fail-over are untouched.
+  SeedIndex seed_index = SeedIndex::Postings;
+  BucketIndexParams bucket;
 
   ClassifyParams classify;
 

@@ -1,0 +1,59 @@
+#include "store/signature.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace gpclust::store {
+
+SignatureHashes::SignatureHashes(u64 num_hashes, u64 seed) {
+  GPCLUST_CHECK(num_hashes >= 1, "signature needs at least one hash");
+  util::SplitMix64 sm(seed ^ 0x5167a55e5ull);
+  a_.reserve(num_hashes);
+  b_.reserve(num_hashes);
+  for (u64 j = 0; j < num_hashes; ++j) {
+    // A in [1, P) keeps the map bijective, exactly like core::HashFamily.
+    a_.push_back(1 + sm.next() % (util::kMersenne61 - 1));
+    b_.push_back(sm.next() % util::kMersenne61);
+  }
+}
+
+void SignatureHashes::sketch(std::span<const u64> codes,
+                             std::span<u64> out) const {
+  GPCLUST_CHECK(out.size() == a_.size(), "sketch output size mismatch");
+  std::fill(out.begin(), out.end(), kEmptySignatureSlot);
+  for (u64 code : codes) {
+    for (std::size_t j = 0; j < a_.size(); ++j) {
+      out[j] = std::min(out[j], apply(j, code));
+    }
+  }
+}
+
+void build_rep_signatures(FamilyStore& store) {
+  GPCLUST_CHECK(store.sig_num_hashes >= 1,
+                "store has no signature parameters");
+  const SignatureHashes hashes(store.sig_num_hashes, store.sig_seed);
+  const std::size_t num_reps = store.representatives.size();
+  store.signatures.assign(num_reps * store.sig_num_hashes,
+                          kEmptySignatureSlot);
+
+  // Group the (code, rep)-sorted postings by representative: count, prefix
+  // sum, place. Within one rep the codes land in ascending order because
+  // the placement pass scans the postings in code order.
+  std::vector<u64> counts(num_reps + 1, 0);
+  for (const RepPosting& p : store.postings) ++counts[p.rep + 1];
+  for (std::size_t r = 0; r < num_reps; ++r) counts[r + 1] += counts[r];
+  std::vector<u64> codes(store.postings.size());
+  {
+    std::vector<u64> cursor(counts.begin(), counts.end() - 1);
+    for (const RepPosting& p : store.postings) codes[cursor[p.rep]++] = p.code;
+  }
+  for (std::size_t r = 0; r < num_reps; ++r) {
+    hashes.sketch(
+        std::span<const u64>(codes).subspan(counts[r], counts[r + 1] - counts[r]),
+        std::span<u64>(store.signatures)
+            .subspan(r * store.sig_num_hashes, store.sig_num_hashes));
+  }
+}
+
+}  // namespace gpclust::store

@@ -1,0 +1,61 @@
+#pragma once
+// Per-representative banded min-hash signatures (DESIGN.md §13) — the
+// sketch half of the serve tier's bucketed seed index. Each representative
+// is summarized by `sig_num_hashes` minima: slot j holds
+// min over the rep's distinct k-mer codes of (A_j * code + B_j) mod P,
+// the same min-wise permutation family the shingling core uses
+// (core/minhash.hpp), with the <A_j, B_j> pairs derived deterministically
+// from a single 64-bit seed. Signatures are built at snapshot time and
+// persisted (snapshot format v2); the same derivation sketches queries at
+// serve time, so a build-time signature and a serve-time signature of the
+// same residue string are bit-identical.
+
+#include <span>
+
+#include "store/snapshot.hpp"
+#include "util/common.hpp"
+#include "util/prime.hpp"
+
+namespace gpclust::store {
+
+/// Signature width written by default (StoreBuildConfig::sig_hashes).
+inline constexpr u64 kDefaultSignatureHashes = 32;
+/// Default derivation seed (StoreBuildConfig::sig_seed). Recorded in the
+/// snapshot so queries sketch with the exact permutations the index used.
+inline constexpr u64 kDefaultSignatureSeed = 0x51476e5ull;  // "SIGne5"
+/// Slot value of an empty k-mer set (representative shorter than k).
+/// Distinguishable from every real minimum, which is < kMersenne61.
+inline constexpr u64 kEmptySignatureSlot = ~0ull;
+
+/// The fixed permutation set <A_j, B_j> for j in [0, num_hashes), derived
+/// deterministically from (num_hashes, seed) over modulus kMersenne61.
+class SignatureHashes {
+ public:
+  SignatureHashes(u64 num_hashes, u64 seed);
+
+  u64 size() const { return static_cast<u64>(a_.size()); }
+
+  u64 apply(std::size_t j, u64 code) const {
+    return (util::mulmod(a_[j], code % util::kMersenne61, util::kMersenne61) +
+            b_[j]) %
+           util::kMersenne61;
+  }
+
+  /// Fills `out` (size() slots) with the min-hash sketch of `codes`;
+  /// every slot is kEmptySignatureSlot when `codes` is empty.
+  void sketch(std::span<const u64> codes, std::span<u64> out) const;
+
+ private:
+  std::vector<u64> a_;
+  std::vector<u64> b_;
+};
+
+/// (Re)builds `store.signatures` from the postings index using
+/// `store.sig_num_hashes` and `store.sig_seed`: one sketch per
+/// representative, representative-major. This is what build_family_store
+/// runs at snapshot time and what the loader runs for version-1 snapshots
+/// that predate the signature sections — both produce identical bytes for
+/// the same store.
+void build_rep_signatures(FamilyStore& store);
+
+}  // namespace gpclust::store

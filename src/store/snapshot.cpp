@@ -5,7 +5,9 @@
 #include <cstring>
 
 #include "seq/alphabet.hpp"
+#include "store/signature.hpp"
 #include "util/crc32.hpp"
+#include "util/prime.hpp"
 
 namespace gpclust::store {
 
@@ -14,7 +16,11 @@ namespace {
 // On-disk layout (all integers little-endian host order; the snapshot is
 // a same-architecture artifact like the binary CSR graphs).
 constexpr char kMagic[8] = {'G', 'P', 'C', 'L', 'F', 'I', 'D', 'X'};
-constexpr u32 kFormatVersion = 1;
+// Version 2 added the signature sections (SIG_META, SIGNATURES). Version-1
+// files are still readable: their signatures are rebuilt on load from the
+// postings with the default parameters (store/signature.hpp).
+constexpr u32 kFormatVersion = 2;
+constexpr u32 kFormatVersionV1 = 1;
 constexpr std::size_t kAlignment = 8;
 
 struct Header {
@@ -44,8 +50,11 @@ enum SectionId : u32 {
   kRepOffsets = 7,
   kRepresentatives = 8,
   kPostings = 9,
+  kSigMeta = 10,     ///< version >= 2
+  kSignatures = 11,  ///< version >= 2
 };
-constexpr u32 kNumSections = 9;
+constexpr u32 kNumSections = 11;
+constexpr u32 kNumSectionsV1 = 9;
 
 struct Meta {
   u64 kmer_k;
@@ -57,6 +66,12 @@ struct Meta {
   u64 id_bytes;
 };
 static_assert(sizeof(Meta) == 56);
+
+struct SigMeta {
+  u64 num_hashes;
+  u64 seed;
+};
+static_assert(sizeof(SigMeta) == 16);
 
 std::size_t aligned(std::size_t n) {
   return (n + kAlignment - 1) / kAlignment * kAlignment;
@@ -177,10 +192,20 @@ FamilyStore build_family_store(const seq::SequenceSet& sequences,
             [](const RepPosting& x, const RepPosting& y) {
               return std::pair(x.code, x.rep) < std::pair(y.code, y.rep);
             });
+
+  out.sig_num_hashes =
+      config.sig_hashes > 0 ? config.sig_hashes : kDefaultSignatureHashes;
+  out.sig_seed = config.sig_seed > 0 ? config.sig_seed : kDefaultSignatureSeed;
+  build_rep_signatures(out);
   return out;
 }
 
 std::vector<char> serialize_snapshot(const FamilyStore& store) {
+  GPCLUST_CHECK(store.sig_num_hashes >= 1,
+                "store has no signatures (build_rep_signatures first)");
+  GPCLUST_CHECK(store.signatures.size() ==
+                    store.representatives.size() * store.sig_num_hashes,
+                "signature array does not match representative count");
   const Meta meta{store.kmer_k,
                   store.num_sequences(),
                   store.num_families,
@@ -188,6 +213,7 @@ std::vector<char> serialize_snapshot(const FamilyStore& store) {
                   store.postings.size(),
                   store.residues.size(),
                   store.ids.size()};
+  const SigMeta sig_meta{store.sig_num_hashes, store.sig_seed};
 
   struct Payload {
     u32 id;
@@ -210,6 +236,9 @@ std::vector<char> serialize_snapshot(const FamilyStore& store) {
        store.representatives.size() * sizeof(u32)},
       {kPostings, store.postings.data(),
        store.postings.size() * sizeof(RepPosting)},
+      {kSigMeta, &sig_meta, sizeof(sig_meta)},
+      {kSignatures, store.signatures.data(),
+       store.signatures.size() * sizeof(u64)},
   };
 
   std::size_t offset =
@@ -249,24 +278,26 @@ FamilyStore deserialize_snapshot(const std::vector<char>& bytes) {
   if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
     corrupt("bad magic (not a gpclust family-index snapshot)");
   }
-  if (header.version != kFormatVersion) {
+  if (header.version != kFormatVersion && header.version != kFormatVersionV1) {
     corrupt("unsupported format version " + std::to_string(header.version) +
-            " (this build reads version " + std::to_string(kFormatVersion) +
-            ")");
+            " (this build reads versions " + std::to_string(kFormatVersionV1) +
+            "-" + std::to_string(kFormatVersion) + ")");
   }
-  if (header.section_count != kNumSections) {
-    corrupt("expected " + std::to_string(kNumSections) + " sections, found " +
+  const u32 num_sections =
+      header.version == kFormatVersionV1 ? kNumSectionsV1 : kNumSections;
+  if (header.section_count != num_sections) {
+    corrupt("expected " + std::to_string(num_sections) + " sections, found " +
             std::to_string(header.section_count));
   }
 
   // 2. Section table: bounds first, then payload CRCs.
   const std::size_t table_end =
-      sizeof(Header) + kNumSections * sizeof(SectionDesc);
+      sizeof(Header) + num_sections * sizeof(SectionDesc);
   if (bytes.size() < table_end) corrupt("truncated section table");
-  SectionReader reader{&bytes, std::vector<SectionDesc>(kNumSections)};
+  SectionReader reader{&bytes, std::vector<SectionDesc>(num_sections)};
   std::memcpy(reader.sections.data(), bytes.data() + sizeof(Header),
-              kNumSections * sizeof(SectionDesc));
-  for (std::size_t i = 0; i < kNumSections; ++i) {
+              num_sections * sizeof(SectionDesc));
+  for (std::size_t i = 0; i < num_sections; ++i) {
     const SectionDesc& s = reader.sections[i];
     if (s.id != i + 1) corrupt("section table out of order");
     if (s.offset % kAlignment != 0 || s.offset < table_end ||
@@ -320,6 +351,28 @@ FamilyStore deserialize_snapshot(const std::vector<char>& bytes) {
                    store.representatives);
   reader.read_into(kPostings, meta.num_postings, store.postings);
 
+  if (header.version >= kFormatVersion) {
+    const SectionDesc& sig_desc = reader.desc(kSigMeta);
+    if (sig_desc.size_bytes != sizeof(SigMeta)) {
+      corrupt("SIG_META section malformed");
+    }
+    SigMeta sig_meta;
+    std::memcpy(&sig_meta, bytes.data() + sig_desc.offset, sizeof(SigMeta));
+    if (sig_meta.num_hashes < 1 || sig_meta.num_hashes > (1u << 20)) {
+      corrupt("signature width out of domain");
+    }
+    store.sig_num_hashes = sig_meta.num_hashes;
+    store.sig_seed = sig_meta.seed;
+    reader.read_into(kSignatures,
+                     meta.num_representatives * sig_meta.num_hashes,
+                     store.signatures);
+    for (u64 slot : store.signatures) {
+      if (slot >= util::kMersenne61 && slot != kEmptySignatureSlot) {
+        corrupt("signature slot outside the hash range");
+      }
+    }
+  }
+
   // 4. Cross-section invariants, so a loaded store can be indexed without
   // bounds checks downstream. (CRCs catch random corruption; these catch a
   // snapshot that was valid CRC-wise but written by a buggy builder.)
@@ -350,6 +403,15 @@ FamilyStore deserialize_snapshot(const std::vector<char>& bytes) {
                                std::pair(y.code, y.rep);
                       })) {
     corrupt("postings not sorted by (code, rep)");
+  }
+
+  // 5. Version-1 migration: the file predates signatures, so rebuild them
+  // from the (now fully validated) postings with the default parameters —
+  // byte-identical to what build_family_store would have written.
+  if (header.version == kFormatVersionV1) {
+    store.sig_num_hashes = kDefaultSignatureHashes;
+    store.sig_seed = kDefaultSignatureSeed;
+    build_rep_signatures(store);
   }
   return store;
 }

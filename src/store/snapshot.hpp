@@ -74,6 +74,15 @@ struct StoreBuildConfig {
   /// smallest sequence index — deterministic). Singleton families keep
   /// their only member.
   std::size_t reps_per_family = 2;
+
+  /// Min-hash signature width per representative (store/signature.hpp) —
+  /// the sketch the serve tier's bucketed seed index banding slices.
+  /// 0 defaults to kDefaultSignatureHashes.
+  std::size_t sig_hashes = 0;
+
+  /// Derivation seed of the signature permutation family. 0 defaults to
+  /// kDefaultSignatureSeed.
+  u64 sig_seed = 0;
 };
 
 /// The in-memory image of one snapshot: flat arrays only, loadable with
@@ -95,6 +104,16 @@ struct FamilyStore {
   std::vector<u64> rep_offsets;         ///< num_families + 1
   std::vector<u32> representatives;     ///< sequence indices
   std::vector<RepPosting> postings;     ///< sorted by (code, rep)
+
+  /// Banded min-hash sketch parameters + data (store/signature.hpp):
+  /// representative r's signature is
+  /// `signatures[r * sig_num_hashes .. (r+1) * sig_num_hashes)`. Built at
+  /// snapshot time by build_family_store; version-1 snapshots (which
+  /// predate signatures) get them reconstructed on load with the default
+  /// parameters — the bytes are identical either way.
+  u64 sig_num_hashes = 0;
+  u64 sig_seed = 0;
+  std::vector<u64> signatures;          ///< rep-major, sig_num_hashes per rep
 
   std::size_t num_sequences() const {
     return seq_offsets.empty() ? 0 : seq_offsets.size() - 1;
@@ -129,8 +148,11 @@ FamilyStore build_family_store(const seq::SequenceSet& sequences,
 std::vector<char> serialize_snapshot(const FamilyStore& store);
 
 /// Parses and fully validates a serialized snapshot; throws SnapshotError
-/// on any corruption. `serialize(deserialize(bytes)) == bytes` for every
-/// valid buffer.
+/// on any corruption. Reads the current format (version 2) and the
+/// pre-signature version 1, whose signatures are reconstructed on load.
+/// `serialize(deserialize(bytes)) == bytes` for every valid
+/// current-version buffer; a version-1 buffer round-trips to the
+/// byte-identical version-2 image of the same store (the migration path).
 FamilyStore deserialize_snapshot(const std::vector<char>& bytes);
 
 /// serialize_snapshot + one fwrite. Throws std::runtime_error on I/O

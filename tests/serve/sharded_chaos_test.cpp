@@ -89,21 +89,29 @@ TEST(ShardedChaos, DigestIdentityAcceptanceGrid) {
         // A static rank_down only leaves every shard a replica when the
         // shards are replicated.
         if (with_fault && replication < 2) continue;
-        fault::FaultPlan plan;
-        if (with_fault) plan.add_rank_down(num_ranks - 1);
-        ShardedConfig config;
-        config.num_ranks = num_ranks;
-        config.replication = replication;
-        config.num_workers = 2;
-        config.fault_plan = with_fault ? &plan : nullptr;
-        config.resilience.mode = fault::ResilienceMode::Fallback;
-        ShardedStats stats;
-        const auto results =
-            sharded_classify_batch(fx.store, queries, config, &stats);
-        EXPECT_EQ(results_digest(results), expected)
-            << "ranks=" << num_ranks << " repl=" << replication
-            << " fault=" << with_fault;
-        EXPECT_EQ(stats.rank_failures, with_fault ? 1u : 0u);
+        for (const auto seed_index :
+             {SeedIndex::Postings, SeedIndex::Bucketed}) {
+          fault::FaultPlan plan;
+          if (with_fault) plan.add_rank_down(num_ranks - 1);
+          ShardedConfig config;
+          config.num_ranks = num_ranks;
+          config.replication = replication;
+          config.num_workers = 2;
+          config.fault_plan = with_fault ? &plan : nullptr;
+          config.resilience.mode = fault::ResilienceMode::Fallback;
+          config.seed_index = seed_index;
+          // Full-recall banding: the bucketed path is digest-identical to
+          // the postings expectation, fail-over included.
+          config.bucket = BucketIndexParams{0, 1};
+          ShardedStats stats;
+          const auto results =
+              sharded_classify_batch(fx.store, queries, config, &stats);
+          EXPECT_EQ(results_digest(results), expected)
+              << "ranks=" << num_ranks << " repl=" << replication
+              << " fault=" << with_fault << " seed_index="
+              << seed_index_name(seed_index);
+          EXPECT_EQ(stats.rank_failures, with_fault ? 1u : 0u);
+        }
       }
     }
   }
@@ -166,11 +174,20 @@ TEST_P(ShardedChaosSchedule, CompletesIdenticallyOrFailsTyped) {
       config.kill_rank = static_cast<std::size_t>(knob_rng.next() % num_ranks);
       config.kill_after_requests = knob_rng.next() % 8;
     }
+    // Half the schedules serve through the bucketed seed index at the
+    // full-recall setting — same digest expectation, and the bucket
+    // tables get exercised under every fault shape (and under ASan when
+    // ci.sh runs this binary in the chaos tier).
+    if (knob_rng.next() % 2 == 0) {
+      config.seed_index = SeedIndex::Bucketed;
+      config.bucket = BucketIndexParams{0, 1};
+    }
     const std::string label =
         "seed=" + std::to_string(seed) +
         " mode=" + std::string(fault::resilience_mode_name(mode)) +
         " ranks=" + std::to_string(num_ranks) +
-        " repl=" + std::to_string(replication) + " plan=\"" + spec + "\"";
+        " repl=" + std::to_string(replication) + " plan=\"" + spec +
+        "\" seed_index=" + std::string(seed_index_name(config.seed_index));
     try {
       const auto results = sharded_classify_batch(fx.store, queries, config);
       // Outcome (a): completion must be bit-identical to single-node.

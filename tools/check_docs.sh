@@ -8,6 +8,11 @@
 #   2. CLI flag coverage — every flag parsed from the command line in
 #      tools/, bench/ and examples/ (util::CliArgs get_*/has calls) must
 #      appear as `--flag` in docs/cli.md, the consolidated CLI reference.
+#   3. --help coverage — every flag gpclust-build-index and gpclust-query
+#      print in their --help reference must also appear in docs/cli.md.
+#      Uses the built binaries' live output when a build directory exists;
+#      falls back to scraping the flag tokens from the two sources so the
+#      tier still runs build-free.
 #
 # Runnable locally from anywhere: sh tools/check_docs.sh
 set -eu
@@ -44,6 +49,31 @@ for f in $flags; do
     echo "flag --$f is parsed in the sources but missing from docs/cli.md"
     fail=1
   fi
+done
+
+echo "-- --help flag coverage vs docs/cli.md (gpclust-build-index, gpclust-query)"
+for tool in gpclust-build-index gpclust-query; do
+  case "$tool" in
+    gpclust-build-index) src=tools/gpclust_build_index.cpp ;;
+    gpclust-query) src=tools/gpclust_query.cpp ;;
+  esac
+  bin=""
+  for d in build build-ci; do
+    if [ -x "$d/tools/$tool" ]; then bin="$d/tools/$tool"; break; fi
+  done
+  if [ -n "$bin" ]; then
+    help_text=$("$bin" --help)
+  else
+    help_text=$(cat "$src")
+  fi
+  help_flags=$(printf '%s\n' "$help_text" |
+    grep -o '[-][-][a-z][a-z0-9-]*' | sort -u) || true
+  for f in $help_flags; do
+    if ! grep -q -- "$f" docs/cli.md; then
+      echo "$tool flag $f is in its --help reference but missing from docs/cli.md"
+      fail=1
+    fi
+  done
 done
 
 if [ "$fail" -ne 0 ]; then

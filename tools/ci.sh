@@ -63,6 +63,26 @@ grep -q "device arena empty after clustering" build-ci/ci_build_index.log
 cmp build-ci/ci_single.tsv build-ci/ci_sharded.tsv
 echo "sharded answers byte-identical to single-node under rank death"
 
+echo "=== tier 1e: bucketed seed index (full recall, sharded, mid-stream kill) ==="
+# DESIGN.md §13: build an index with explicit signature flags, then serve
+# tier 1d's queries through the bucketed seed index at the full-recall
+# band setting (--bands=0) — single-node, and on 4 ranks with rank 1
+# killed mid-stream. Both TSVs must be byte-identical to the postings
+# path's single-node answers: the bucket table changes how candidates are
+# found, never the answer.
+./build-ci/tools/gpclust-build-index --demo-families=12 --sig-hashes=64 \
+    --out=build-ci/ci_families3.gpfi
+./build-ci/tools/gpclust-query --index=build-ci/ci_families3.gpfi \
+    --fasta=build-ci/ci_orfs2.faa --seed-index=bucketed --bands=0 \
+    --out=build-ci/ci_bucketed_single.tsv
+./build-ci/tools/gpclust-query --index=build-ci/ci_families3.gpfi \
+    --fasta=build-ci/ci_orfs2.faa --seed-index=bucketed --bands=0 \
+    --ranks=4 --replication=2 --kill-rank=1@5 --resilience=fallback \
+    --out=build-ci/ci_bucketed_sharded.tsv
+cmp build-ci/ci_single.tsv build-ci/ci_bucketed_single.tsv
+cmp build-ci/ci_single.tsv build-ci/ci_bucketed_sharded.tsv
+echo "bucketed answers byte-identical to postings, with and without rank death"
+
 echo "=== tier 2: ASan/UBSan gpclust_tests + gpclust_align_tests (preset: asan) ==="
 cmake --preset asan
 cmake --build --preset asan

@@ -23,6 +23,11 @@
 //   --seed=N               demo generator seed (default 42)
 //   --demo-fasta-out=PATH  also write the demo sequences as FASTA (so the
 //                          demo can be queried back against its own index)
+//   --sig-hashes=N         min-hash signature width per representative
+//                          (default 32; the bucketed seed index bands it)
+//   --sig-seed=N           signature permutation-derivation seed (default:
+//                          the recorded build default)
+//   --help                 print the flag reference and exit
 
 #include <cstdio>
 
@@ -31,23 +36,53 @@
 #include "core/serial_pclust.hpp"
 #include "seq/family_model.hpp"
 #include "seq/fasta.hpp"
+#include "store/signature.hpp"
 #include "store/snapshot.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
+
+namespace {
+
+void print_help(std::FILE* out) {
+  std::fprintf(
+      out,
+      "gpclust-build-index: build a persistent family-index snapshot\n"
+      "usage: gpclust-build-index --fasta=PATH | --demo-families=N "
+      "--out=PATH [flags]\n"
+      "  --fasta=PATH           input protein FASTA\n"
+      "  --demo-families=N      synthetic metagenome with N planted families\n"
+      "  --out=PATH             snapshot output path (required)\n"
+      "  --k=N                  k-mer length of the stored postings "
+      "(default 5)\n"
+      "  --reps=N               representatives kept per family (default 2)\n"
+      "  --engine=gpu|serial    clustering implementation (default gpu)\n"
+      "  --c1=N                 shingling cluster-size parameter "
+      "(default 80)\n"
+      "  --c2=N                 shingling cluster-size parameter "
+      "(default 40)\n"
+      "  --seed=N               demo generator seed (default 42)\n"
+      "  --demo-fasta-out=PATH  also write the demo sequences as FASTA\n"
+      "  --sig-hashes=N         min-hash signature width per representative "
+      "(default 32)\n"
+      "  --sig-seed=N           signature permutation-derivation seed\n"
+      "  --help                 print this reference and exit\n");
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace gpclust;
   try {
     const util::CliArgs args(argc, argv);
+    if (args.has("help")) {
+      print_help(stdout);
+      return 0;
+    }
     const auto fasta_path = args.get_string("fasta", "");
     const auto demo_families = args.get_int("demo-families", 0);
     const auto out_path = args.get_string("out", "");
     if (out_path.empty() || (fasta_path.empty() && demo_families <= 0)) {
-      std::fprintf(stderr,
-                   "usage: gpclust-build-index --fasta=PATH | "
-                   "--demo-families=N --out=PATH [--k=N] [--reps=N] "
-                   "[--engine=gpu|serial] [--c1 N --c2 N] "
-                   "[--demo-fasta-out=PATH]\n");
+      print_help(stderr);
       return 2;
     }
 
@@ -99,15 +134,20 @@ int main(int argc, char** argv) {
     store::StoreBuildConfig build;
     build.k = static_cast<std::size_t>(args.get_int("k", 5));
     build.reps_per_family = static_cast<std::size_t>(args.get_int("reps", 2));
+    build.sig_hashes = static_cast<std::size_t>(args.get_int(
+        "sig-hashes", static_cast<i64>(store::kDefaultSignatureHashes)));
+    build.sig_seed = static_cast<u64>(args.get_int(
+        "sig-seed", static_cast<i64>(store::kDefaultSignatureSeed)));
     const auto store =
         store::build_family_store(sequences, clustering.labels(), build);
     store::write_snapshot(store, out_path);
     std::printf("wrote %s: %zu sequences, %llu families, %zu representatives, "
-                "%zu postings (k=%llu)\n",
+                "%zu postings (k=%llu), %llu-hash signatures\n",
                 out_path.c_str(), store.num_sequences(),
                 static_cast<unsigned long long>(store.num_families),
                 store.representatives.size(), store.postings.size(),
-                static_cast<unsigned long long>(store.kmer_k));
+                static_cast<unsigned long long>(store.kmer_k),
+                static_cast<unsigned long long>(store.sig_num_hashes));
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -41,6 +41,16 @@
 //   --max-candidates=N     Smith-Waterman budget per query (default 8)
 //   --min-score=N          absolute score floor (default 40)
 //   --min-score-per-residue=X  length-relative score floor (default 1.2)
+//   --seed-index=postings|bucketed
+//                          candidate generator ahead of the exact
+//                          Smith-Waterman stage: the stored k-mer postings
+//                          (ground truth) or the banded min-hash bucket
+//                          table (DESIGN.md §13; default postings)
+//   --bands=N              bucketed only: signature bands (must divide the
+//                          snapshot's signature width; 0 = full-recall
+//                          mode, bit-identical to postings; default 32)
+//   --min-band-hits=N      bucketed only: band collisions before a
+//                          representative is a candidate (default 1)
 //   --ranks=N              serve from N sharded ranks + a router rank
 //                          instead of the single-node QueryService
 //   --replication=R        replicas per shard (default 1; sharded only)
@@ -57,6 +67,7 @@
 //                          counters and the latency histogram
 //   --require-assigned-fraction=F
 //                          exit 3 unless assigned/total >= F (CI smoke)
+//   --help                 print the flag reference and exit
 //
 // Exit codes: 0 success; 1 query/serving failure (including typed
 // dist::CommError when every replica of a shard is lost); 2 usage;
@@ -77,6 +88,59 @@
 namespace {
 
 using namespace gpclust;
+
+void print_help(std::FILE* out) {
+  std::fprintf(
+      out,
+      "gpclust-query: classify ORFs against a persisted family index\n"
+      "usage: gpclust-query --index=PATH --seq=RESIDUES | --fasta=PATH "
+      "[flags]\n"
+      "  --index=PATH           snapshot from gpclust-build-index "
+      "(required)\n"
+      "  --seq=RESIDUES         classify one literal protein sequence\n"
+      "  --fasta=PATH           classify every sequence in a FASTA file\n"
+      "  --out=PATH             write the per-query TSV here, not stdout\n"
+      "  --workers=N            worker threads (per rank in sharded mode)\n"
+      "  --queue=N              admission queue / per-rank request window\n"
+      "  --admission=off|retry|fallback  full-queue policy\n"
+      "  --retries=N            admission or re-issue retries (default 3)\n"
+      "  --backoff=SECONDS      base admission backoff (default 0.001)\n"
+      "  --cache=N              per-worker profile LRU capacity "
+      "(default 64)\n"
+      "  --min-shared-kmers=N   seed floor per candidate (default 2)\n"
+      "  --max-candidates=N     Smith-Waterman budget per query "
+      "(default 8)\n"
+      "  --min-score=N          absolute score floor (default 40)\n"
+      "  --min-score-per-residue=X  length-relative score floor "
+      "(default 1.2)\n"
+      "  --seed-index=postings|bucketed  candidate generator "
+      "(default postings)\n"
+      "  --bands=N              bucketed: signature bands; 0 = full recall "
+      "(default 32)\n"
+      "  --min-band-hits=N      bucketed: collisions per candidate "
+      "(default 1)\n"
+      "  --ranks=N              sharded serving over N ranks + a router\n"
+      "  --replication=R        replicas per shard (default 1)\n"
+      "  --resilience=off|retry|fallback  rank-death policy "
+      "(default fallback)\n"
+      "  --fault-plan=SPEC      fault plan, e.g. rank_down@1\n"
+      "  --kill-rank=R@N        kill rank R after N requests "
+      "(fail-over seam)\n"
+      "  --trace-out=PATH       chrome://tracing JSON of the serve spans\n"
+      "  --require-assigned-fraction=F  exit 3 unless assigned/total >= F\n"
+      "  --help                 print this reference and exit\n");
+}
+
+serve::SeedIndex seed_index_from(const util::CliArgs& args) {
+  return serve::parse_seed_index(args.get_string("seed-index", "postings"));
+}
+
+serve::BucketIndexParams bucket_from(const util::CliArgs& args) {
+  serve::BucketIndexParams bucket;
+  bucket.num_bands = static_cast<u64>(args.get_int("bands", 32));
+  bucket.min_band_hits = static_cast<u32>(args.get_int("min-band-hits", 1));
+  return bucket;
+}
 
 serve::ClassifyParams classify_from(const util::CliArgs& args) {
   serve::ClassifyParams params;
@@ -101,6 +165,8 @@ serve::ServiceConfig config_from(const util::CliArgs& args,
   config.profile_cache_capacity =
       static_cast<std::size_t>(args.get_int("cache", 64));
   config.classify = classify_from(args);
+  config.seed_index = seed_index_from(args);
+  config.bucket = bucket_from(args);
   config.tracer = tracer;
   return config;
 }
@@ -121,6 +187,8 @@ serve::ShardedConfig sharded_config_from(const util::CliArgs& args,
   config.profile_cache_capacity =
       static_cast<std::size_t>(args.get_int("cache", 64));
   config.classify = classify_from(args);
+  config.seed_index = seed_index_from(args);
+  config.bucket = bucket_from(args);
   config.fault_plan = plan;
   config.tracer = tracer;
   const auto kill = args.get_string("kill-rank", "");
@@ -167,20 +235,15 @@ int main(int argc, char** argv) {
   using namespace gpclust;
   try {
     const util::CliArgs args(argc, argv);
+    if (args.has("help")) {
+      print_help(stdout);
+      return 0;
+    }
     const auto index_path = args.get_string("index", "");
     const auto literal = args.get_string("seq", "");
     const auto fasta_path = args.get_string("fasta", "");
     if (index_path.empty() || (literal.empty() && fasta_path.empty())) {
-      std::fprintf(stderr,
-                   "usage: gpclust-query --index=PATH --seq=RESIDUES | "
-                   "--fasta=PATH [--out=PATH] [--workers=N] [--queue=N] "
-                   "[--admission=off|retry|fallback] [--cache=N] "
-                   "[--min-shared-kmers=N] [--max-candidates=N] "
-                   "[--min-score=N] [--min-score-per-residue=X] "
-                   "[--ranks=N] [--replication=R] "
-                   "[--resilience=off|retry|fallback] [--fault-plan=SPEC] "
-                   "[--kill-rank=R@N] "
-                   "[--trace-out=PATH] [--require-assigned-fraction=F]\n");
+      print_help(stderr);
       return 2;
     }
 
