@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "align/prefilter.hpp"
+#include "align/spgemm_seeds.hpp"
 #include "seq/alphabet.hpp"
 #include "util/timer.hpp"
 
@@ -78,6 +79,29 @@ std::vector<u32> prefilter_candidates(const seq::SequenceSet& sequences,
 
 }  // namespace
 
+SeedMode parse_seed_mode(const std::string& name) {
+  if (name == "kmer") return SeedMode::KmerCount;
+  if (name == "maximal") return SeedMode::MaximalMatch;
+  if (name == "minhash") return SeedMode::MinHashLsh;
+  if (name == "spgemm") return SeedMode::SpGemm;
+  throw InvalidArgument("unknown seed mode: " + name +
+                        " (expected kmer | maximal | minhash | spgemm)");
+}
+
+std::string_view seed_mode_name(SeedMode mode) {
+  switch (mode) {
+    case SeedMode::KmerCount:
+      return "kmer";
+    case SeedMode::MaximalMatch:
+      return "maximal";
+    case SeedMode::MinHashLsh:
+      return "minhash";
+    case SeedMode::SpGemm:
+      return "spgemm";
+  }
+  return "?";
+}
+
 graph::CsrGraph build_homology_graph(const seq::SequenceSet& sequences,
                                      const HomologyGraphConfig& config,
                                      HomologyGraphStats* stats) {
@@ -91,18 +115,36 @@ graph::CsrGraph build_homology_graph(const seq::SequenceSet& sequences,
 
   // Stage 1 — candidate stream.
   std::vector<CandidatePair> pairs;
+  std::size_t seed_peak_bytes = 0;
   {
     obs::HostSpan span(tracer, "homology.seed");
-    pairs = config.seed_mode == SeedMode::MaximalMatch
-                ? find_candidate_pairs_suffix_array(sequences,
-                                                    config.maximal_matches)
-                : find_candidate_pairs(sequences, config.seeds);
+    switch (config.seed_mode) {
+      case SeedMode::MaximalMatch:
+        pairs = find_candidate_pairs_suffix_array(sequences,
+                                                  config.maximal_matches);
+        break;
+      case SeedMode::MinHashLsh:
+        pairs = find_candidate_pairs_lsh(sequences, config.lsh, tracer,
+                                         &seed_peak_bytes);
+        break;
+      case SeedMode::SpGemm:
+        pairs = find_candidate_pairs_spgemm(sequences, config.seeds,
+                                            &seed_peak_bytes);
+        break;
+      case SeedMode::KmerCount:
+        pairs = find_candidate_pairs(sequences, config.seeds,
+                                     &seed_peak_bytes);
+        break;
+    }
   }
   obs::add_counter(tracer, "homology_candidate_pairs", pairs.size());
+  obs::raise_counter(tracer, "homology_seed_peak_candidate_bytes",
+                     seed_peak_bytes);
 
   // Stage 2 — CPU prefilter (host-measured; this is the CPU side of the
   // critical-path split reported against the modeled device verify).
   HomologyGraphStats totals;
+  totals.seed_peak_candidate_bytes = seed_peak_bytes;
   std::vector<u32> surviving;
   {
     obs::HostSpan span(tracer, "homology.prefilter");

@@ -2,8 +2,9 @@
 // Homology-graph construction — the pGraph stage [25] of the pipeline,
 // structured as an explicit three-stage cascade (DESIGN.md §11):
 //
-//   1. candidate stream — the sort-based k-mer index (or suffix-array
-//      maximal matches) emits promising pairs;
+//   1. candidate stream — the sort-based k-mer index, suffix-array
+//      maximal matches, the banded MinHash/LSH sketch stage (§14), or the
+//      SpGEMM ablation emits promising pairs;
 //   2. exact admissible prefilter — length-bound rejection that provably
 //      cannot change the edge set, plus the opt-in heuristic tier;
 //   3. batched score-only verification — the survivors are scored on one
@@ -12,6 +13,7 @@
 //      an edge when its normalized score clears the thresholds.
 
 #include "align/kmer_index.hpp"
+#include "align/lsh_seeds.hpp"
 #include "align/simd.hpp"
 #include "align/smith_waterman.hpp"
 #include "align/suffix_array.hpp"
@@ -24,10 +26,20 @@
 namespace gpclust::align {
 
 /// How promising pairs are generated before Smith-Waterman verification.
+/// Only the candidate set depends on the mode — stages 2 and 3 are
+/// identical, so KmerCount/SpGemm (same exact pair set) yield bit-identical
+/// edge sets, and MinHashLsh trades recall for candidate volume.
 enum class SeedMode {
   KmerCount,     ///< shared distinct k-mers (simple, default)
   MaximalMatch,  ///< suffix-array maximal exact matches (pGraph's heuristic)
+  MinHashLsh,    ///< banded min-hash signatures + LSH buckets (DESIGN.md §14)
+  SpGemm,        ///< sparse A * A^T ablation of the exact path (§14)
 };
+
+/// Parses "kmer" | "maximal" | "minhash" | "spgemm"; throws
+/// InvalidArgument otherwise.
+SeedMode parse_seed_mode(const std::string& name);
+std::string_view seed_mode_name(SeedMode mode);
 
 /// Heuristic prefilter tier — can reject pairs the full DP would accept
 /// (shared-seed counts and ungapped diagonal scores are NOT admissible
@@ -47,8 +59,9 @@ struct HomologyPrefilterConfig {
 
 struct HomologyGraphConfig {
   SeedMode seed_mode = SeedMode::KmerCount;
-  KmerIndexConfig seeds;                ///< used when seed_mode == KmerCount
+  KmerIndexConfig seeds;   ///< used when seed_mode == KmerCount or SpGemm
   MaximalMatchConfig maximal_matches;   ///< used when seed_mode == MaximalMatch
+  LshSeedConfig lsh;                    ///< used when seed_mode == MinHashLsh
   AlignmentParams alignment;
   HomologyPrefilterConfig prefilter;    ///< heuristic tier, default off
 
@@ -98,6 +111,11 @@ struct HomologyGraphStats {
   /// Host-measured wall seconds of stage 2 (the CPU prefilter that feeds
   /// the verify backend).
   double prefilter_host_s = 0.0;
+  /// Stage-1 live-buffer high-water mark in bytes (size-based,
+  /// deterministic; also raised on the tracer as
+  /// "homology_seed_peak_candidate_bytes"). 0 in MaximalMatch mode, which
+  /// does not report one.
+  std::size_t seed_peak_candidate_bytes = 0;
   SimdCounters simd;                      ///< how SIMD score passes resolved
   VerifyDeviceStats device;  ///< DeviceBatched bookkeeping (else zeros)
 };

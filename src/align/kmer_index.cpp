@@ -25,10 +25,17 @@ struct PairSeed {
 }  // namespace
 
 std::vector<CandidatePair> find_candidate_pairs(
-    const seq::SequenceSet& sequences, const KmerIndexConfig& config) {
+    const seq::SequenceSet& sequences, const KmerIndexConfig& config,
+    std::size_t* peak_candidate_bytes) {
   GPCLUST_CHECK(config.k >= 2 && config.k <= 12, "k must be in [2, 12]");
   GPCLUST_CHECK(config.min_shared_kmers >= 1,
                 "min_shared_kmers must be positive");
+  // Live-buffer high-water mark, updated at the end of each stage while
+  // every earlier buffer is still alive (size-based, deterministic).
+  std::size_t peak_bytes = 0;
+  const auto note_peak = [&peak_bytes](std::size_t bytes) {
+    peak_bytes = std::max(peak_bytes, bytes);
+  };
 
   // Flat sort-based index — replaces a hash map of postings vectors that
   // was the hot spot here (per-bucket allocations, rehashing, scattered
@@ -58,6 +65,8 @@ std::vector<CandidatePair> find_candidate_pairs(
                                }),
                    postings.end());
   }
+
+  note_peak(postings.size() * sizeof(KmerPosting));
 
   // Group occurrences by k-mer: one global sort by (code, seq) — seq
   // ascending within a code run keeps pair keys (a << 32 | b) ordered.
@@ -90,6 +99,8 @@ std::vector<CandidatePair> find_candidate_pairs(
             [](const PairSeed& x, const PairSeed& y) {
               return std::pair(x.key, x.diag) < std::pair(y.key, y.diag);
             });
+  note_peak(postings.size() * sizeof(KmerPosting) +
+            seeds.size() * sizeof(PairSeed));
 
   // Scan runs of equal key: run length = shared-seed count; the pair's
   // representative diagonal is the mode (smallest diagonal on ties, which
@@ -118,6 +129,10 @@ std::vector<CandidatePair> find_candidate_pairs(
     lo = hi;
   }
   // seeds are sorted by key, so `pairs` is already (a, b)-ordered.
+  note_peak(postings.size() * sizeof(KmerPosting) +
+            seeds.size() * sizeof(PairSeed) +
+            pairs.size() * sizeof(CandidatePair));
+  if (peak_candidate_bytes != nullptr) *peak_candidate_bytes = peak_bytes;
   return pairs;
 }
 

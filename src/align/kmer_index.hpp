@@ -35,8 +35,13 @@ struct CandidatePair {
 };
 
 /// Builds the k-mer index over `sequences` and reports all promising pairs
-/// (a < b) with their shared-seed counts.
-std::vector<CandidatePair> find_candidate_pairs(const seq::SequenceSet& sequences,
-                                                const KmerIndexConfig& config = {});
+/// (a < b) with their shared-seed counts. When `peak_candidate_bytes` is
+/// non-null it receives the high-water mark of the stage's live buffers
+/// (postings, per-seed pair records, emitted pairs), in bytes — size-based
+/// and deterministic, so bench_graph_scale's memory-budget comparison is
+/// measured from the actual buffers rather than estimated.
+std::vector<CandidatePair> find_candidate_pairs(
+    const seq::SequenceSet& sequences, const KmerIndexConfig& config = {},
+    std::size_t* peak_candidate_bytes = nullptr);
 
 }  // namespace gpclust::align

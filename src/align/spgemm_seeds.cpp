@@ -1,0 +1,114 @@
+#include "align/spgemm_seeds.hpp"
+
+#include <algorithm>
+#include <span>
+
+#include "seq/sketch.hpp"
+
+namespace gpclust::align {
+
+std::vector<CandidatePair> find_candidate_pairs_spgemm(
+    const seq::SequenceSet& sequences, const KmerIndexConfig& config,
+    std::size_t* peak_candidate_bytes) {
+  GPCLUST_CHECK(config.k >= 2 && config.k <= 12, "k must be in [2, 12]");
+  GPCLUST_CHECK(config.min_shared_kmers >= 1,
+                "min_shared_kmers must be positive");
+  const std::size_t n = sequences.size();
+
+  std::size_t peak_bytes = 0;
+  const auto note_peak = [&peak_bytes](std::size_t bytes) {
+    peak_bytes = std::max(peak_bytes, bytes);
+  };
+
+  // A in CSR: per-sequence sorted distinct k-mer codes.
+  std::vector<u64> row_offsets(n + 1, 0);
+  std::vector<u64> row_codes;
+  {
+    std::vector<u64> scratch;
+    for (std::size_t i = 0; i < n; ++i) {
+      seq::distinct_kmer_codes(sequences[i].residues, config.k, scratch);
+      row_codes.insert(row_codes.end(), scratch.begin(), scratch.end());
+      row_offsets[i + 1] = row_codes.size();
+    }
+  }
+  const std::size_t rows_bytes =
+      row_offsets.size() * sizeof(u64) + row_codes.size() * sizeof(u64);
+  note_peak(rows_bytes);
+
+  // A^T in CSC, compacted to the masked columns (occupancy in
+  // [2, max_kmer_occurrences] — the same repeat masking the postings
+  // path applies). Built by sorting one (code, seq) record per nonzero.
+  std::vector<std::pair<u64, u32>> nonzeros;
+  nonzeros.reserve(row_codes.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (u64 c = row_offsets[i]; c < row_offsets[i + 1]; ++c) {
+      nonzeros.emplace_back(row_codes[c], static_cast<u32>(i));
+    }
+  }
+  std::sort(nonzeros.begin(), nonzeros.end());
+  note_peak(rows_bytes + nonzeros.size() * sizeof(nonzeros[0]));
+
+  std::vector<u64> col_keys;
+  std::vector<u64> col_offsets{0};
+  std::vector<u32> col_seqs;
+  for (std::size_t lo = 0; lo < nonzeros.size();) {
+    std::size_t hi = lo;
+    while (hi < nonzeros.size() && nonzeros[hi].first == nonzeros[lo].first) {
+      ++hi;
+    }
+    const std::size_t occupancy = hi - lo;
+    if (occupancy >= 2 && occupancy <= config.max_kmer_occurrences) {
+      col_keys.push_back(nonzeros[lo].first);
+      for (std::size_t x = lo; x < hi; ++x) {
+        col_seqs.push_back(nonzeros[x].second);  // seq-ascending per column
+      }
+      col_offsets.push_back(col_seqs.size());
+    }
+    lo = hi;
+  }
+  const std::size_t cols_bytes = col_keys.size() * sizeof(u64) +
+                                 col_offsets.size() * sizeof(u64) +
+                                 col_seqs.size() * sizeof(u32);
+  note_peak(rows_bytes + nonzeros.size() * sizeof(nonzeros[0]) + cols_bytes);
+  nonzeros.clear();
+  nonzeros.shrink_to_fit();
+
+  // Row-wise Gustavson over the masked columns: for row i, scatter each
+  // shared column's later sequences into a dense count accumulator, then
+  // gather the touched entries in order. Rows ascend and touched lists
+  // are sorted, so the output is (a, b)-ordered like the postings path.
+  std::vector<CandidatePair> pairs;
+  std::vector<u32> acc(n, 0);
+  std::vector<u32> touched;
+  std::size_t touched_peak = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (u64 c = row_offsets[i]; c < row_offsets[i + 1]; ++c) {
+      const auto key = std::lower_bound(col_keys.begin(), col_keys.end(),
+                                        row_codes[c]);
+      if (key == col_keys.end() || *key != row_codes[c]) continue;
+      const std::size_t col = static_cast<std::size_t>(key - col_keys.begin());
+      const auto seqs = std::span<const u32>(col_seqs).subspan(
+          col_offsets[col], col_offsets[col + 1] - col_offsets[col]);
+      for (auto it = std::upper_bound(seqs.begin(), seqs.end(),
+                                      static_cast<u32>(i));
+           it != seqs.end(); ++it) {
+        if (acc[*it]++ == 0) touched.push_back(*it);
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    touched_peak = std::max(touched_peak, touched.size() * sizeof(u32));
+    for (u32 j : touched) {
+      if (acc[j] >= config.min_shared_kmers) {
+        pairs.push_back({static_cast<u32>(i), j, acc[j], 0});
+      }
+      acc[j] = 0;
+    }
+    touched.clear();
+  }
+  note_peak(rows_bytes + cols_bytes + acc.size() * sizeof(u32) +
+            touched_peak + pairs.size() * sizeof(CandidatePair));
+  if (peak_candidate_bytes != nullptr) *peak_candidate_bytes = peak_bytes;
+  return pairs;
+}
+
+}  // namespace gpclust::align

@@ -1,0 +1,30 @@
+#pragma once
+// SpGEMM ablation for candidate generation (DESIGN.md §14): the PASTIS
+// formulation (Selvitopi et al., PAPERS.md) of the exact seed stage.
+// Sequences form a sparse boolean matrix A (sequence x distinct k-mer);
+// candidate pairs are the upper-triangular nonzeros of A * A^T with value
+// >= min_shared_kmers, computed row-wise with a Gustavson sparse
+// accumulator over the masked k-mer columns. Given the same
+// KmerIndexConfig this emits exactly find_candidate_pairs' (a, b,
+// shared_kmers) set — the masking (column occupancy in
+// [2, max_kmer_occurrences]) and the promotion threshold are identical —
+// differing only in `diag`, which the sketch-free expansion does not
+// track (0, like the LSH path). It is benchmarked as a labeled ablation
+// column in bench_graph_scale, not wired as a default.
+
+#include <vector>
+
+#include "align/kmer_index.hpp"
+#include "seq/sequence.hpp"
+
+namespace gpclust::align {
+
+/// A * A^T candidate generation. Pair set and shared counts are identical
+/// to find_candidate_pairs(sequences, config); `diag` is always 0.
+/// `peak_candidate_bytes` receives the live-buffer high-water mark
+/// (size-based, deterministic), like the other seed paths.
+std::vector<CandidatePair> find_candidate_pairs_spgemm(
+    const seq::SequenceSet& sequences, const KmerIndexConfig& config = {},
+    std::size_t* peak_candidate_bytes = nullptr);
+
+}  // namespace gpclust::align

@@ -1,0 +1,25 @@
+#include "eval/edge_recall.hpp"
+
+namespace gpclust::eval {
+
+EdgeRecallResult planted_edge_recall(const graph::CsrGraph& test,
+                                     const graph::CsrGraph& truth,
+                                     std::span<const u32> family,
+                                     u32 num_families) {
+  GPCLUST_CHECK(test.num_vertices() == truth.num_vertices(),
+                "recall needs graphs over the same vertex set");
+  GPCLUST_CHECK(family.size() == truth.num_vertices(),
+                "family labels must cover every vertex");
+  EdgeRecallResult result;
+  for (VertexId u = 0; u < truth.num_vertices(); ++u) {
+    if (family[u] >= num_families) continue;  // background ORF
+    for (VertexId v : truth.neighbors(u)) {
+      if (v <= u || family[v] != family[u]) continue;
+      ++result.truth_intra_edges;
+      if (test.has_edge(u, v)) ++result.recovered_intra_edges;
+    }
+  }
+  return result;
+}
+
+}  // namespace gpclust::eval

@@ -1,0 +1,44 @@
+#pragma once
+// Planted-family edge recall — the quality axis of the seed-stage
+// recall/speed frontier (DESIGN.md §14). Given a truth graph (the exact
+// k-mer postings path's edge set), a test graph built over the same
+// vertex set (e.g. the banded MinHash/LSH path's), and the generator's
+// planted family labels, this measures what fraction of the truth
+// graph's intra-family edges the test graph recovered. Background ORFs
+// (labels >= num_families, unique per sequence) never form intra-family
+// truth edges, so chance edges between them are excluded from the
+// denominator — the frontier grades recall of planted signal, not of
+// background noise.
+
+#include <span>
+
+#include "graph/csr_graph.hpp"
+#include "util/common.hpp"
+
+namespace gpclust::eval {
+
+struct EdgeRecallResult {
+  /// Intra-family edges in the truth graph (the denominator).
+  std::size_t truth_intra_edges = 0;
+  /// Of those, edges also present in the test graph.
+  std::size_t recovered_intra_edges = 0;
+
+  /// 1.0 on an empty denominator: recovering nothing from nothing is
+  /// perfect recall, which keeps tiny sweep points well-defined.
+  double recall() const {
+    return truth_intra_edges == 0
+               ? 1.0
+               : static_cast<double>(recovered_intra_edges) /
+                     static_cast<double>(truth_intra_edges);
+  }
+};
+
+/// Both graphs must cover the same vertices and `family` must label each
+/// one (seq::SyntheticMetagenome::family); labels >= num_families are
+/// background.
+EdgeRecallResult planted_edge_recall(const graph::CsrGraph& test,
+                                     const graph::CsrGraph& truth,
+                                     std::span<const u32> family,
+                                     u32 num_families);
+
+}  // namespace gpclust::eval

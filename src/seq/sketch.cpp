@@ -1,0 +1,56 @@
+#include "seq/sketch.hpp"
+
+#include <algorithm>
+
+#include "seq/alphabet.hpp"
+#include "util/rng.hpp"
+
+namespace gpclust::seq {
+
+SketchHashes::SketchHashes(u64 num_hashes, u64 seed) {
+  GPCLUST_CHECK(num_hashes >= 1, "sketch needs at least one hash");
+  util::SplitMix64 sm(seed ^ 0x5167a55e5ull);
+  a_.reserve(num_hashes);
+  b_.reserve(num_hashes);
+  for (u64 j = 0; j < num_hashes; ++j) {
+    // A in [1, P) keeps the map bijective, exactly like core::HashFamily.
+    a_.push_back(1 + sm.next() % (util::kMersenne61 - 1));
+    b_.push_back(sm.next() % util::kMersenne61);
+  }
+}
+
+void SketchHashes::sketch(std::span<const u64> codes,
+                          std::span<u64> out) const {
+  GPCLUST_CHECK(out.size() == a_.size(), "sketch output size mismatch");
+  std::fill(out.begin(), out.end(), kEmptySketchSlot);
+  for (u64 code : codes) {
+    for (std::size_t j = 0; j < a_.size(); ++j) {
+      out[j] = std::min(out[j], apply(j, code));
+    }
+  }
+}
+
+u64 band_key(u64 band, std::span<const u64> slots) {
+  u64 h = 0x9e3779b97f4a7c15ull * (band + 1);
+  for (u64 s : slots) {
+    h ^= s + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+void distinct_kmer_codes(std::string_view residues, std::size_t k,
+                         std::vector<u64>& out) {
+  out.clear();
+  if (residues.size() < k) return;
+  for (std::size_t pos = 0; pos + k <= residues.size(); ++pos) {
+    u64 code = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      code = code * kNumResidues + residue_index(residues[pos + j]);
+    }
+    out.push_back(code);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+}  // namespace gpclust::seq

@@ -4,21 +4,10 @@
 
 namespace gpclust::serve {
 
-namespace {
-
-/// Deterministic band-key mix (hash_combine style): collisions between
-/// different bands or different slot contents only cost a false candidate
-/// that the exact recount filters, so mixing quality is a constant-factor
-/// knob, not a correctness one.
-u64 band_key(u64 band, std::span<const u64> slots) {
-  u64 h = 0x9e3779b97f4a7c15ull * (band + 1);
-  for (u64 s : slots) {
-    h ^= s + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-  }
-  return h;
-}
-
-}  // namespace
+// Band keys come from the shared sketch module (seq/sketch.hpp) so a
+// band's bucket key means the same thing here and in the build-side LSH
+// seed stage (align/lsh_seeds).
+using seq::band_key;
 
 BucketIndex::BucketIndex(const store::FamilyStore& store,
                          const BucketIndexParams& params,

@@ -1,33 +1,9 @@
 #include "store/signature.hpp"
 
-#include <algorithm>
-
-#include "util/rng.hpp"
+#include <span>
+#include <vector>
 
 namespace gpclust::store {
-
-SignatureHashes::SignatureHashes(u64 num_hashes, u64 seed) {
-  GPCLUST_CHECK(num_hashes >= 1, "signature needs at least one hash");
-  util::SplitMix64 sm(seed ^ 0x5167a55e5ull);
-  a_.reserve(num_hashes);
-  b_.reserve(num_hashes);
-  for (u64 j = 0; j < num_hashes; ++j) {
-    // A in [1, P) keeps the map bijective, exactly like core::HashFamily.
-    a_.push_back(1 + sm.next() % (util::kMersenne61 - 1));
-    b_.push_back(sm.next() % util::kMersenne61);
-  }
-}
-
-void SignatureHashes::sketch(std::span<const u64> codes,
-                             std::span<u64> out) const {
-  GPCLUST_CHECK(out.size() == a_.size(), "sketch output size mismatch");
-  std::fill(out.begin(), out.end(), kEmptySignatureSlot);
-  for (u64 code : codes) {
-    for (std::size_t j = 0; j < a_.size(); ++j) {
-      out[j] = std::min(out[j], apply(j, code));
-    }
-  }
-}
 
 void build_rep_signatures(FamilyStore& store) {
   GPCLUST_CHECK(store.sig_num_hashes >= 1,

@@ -2,19 +2,20 @@
 // Per-representative banded min-hash signatures (DESIGN.md §13) — the
 // sketch half of the serve tier's bucketed seed index. Each representative
 // is summarized by `sig_num_hashes` minima: slot j holds
-// min over the rep's distinct k-mer codes of (A_j * code + B_j) mod P,
-// the same min-wise permutation family the shingling core uses
-// (core/minhash.hpp), with the <A_j, B_j> pairs derived deterministically
-// from a single 64-bit seed. Signatures are built at snapshot time and
-// persisted (snapshot format v2); the same derivation sketches queries at
-// serve time, so a build-time signature and a serve-time signature of the
-// same residue string are bit-identical.
+// min over the rep's distinct k-mer codes of (A_j * code + B_j) mod P.
+// The affine permutation kernel itself lives in the shared sketch module
+// (seq/sketch.hpp) — the build-side LSH seed stage (align/lsh_seeds, §14)
+// sketches with the identical derivation — and this header keeps the
+// store-facing names. Signatures are built at snapshot time and persisted
+// (snapshot format v2); the same derivation sketches queries at serve
+// time, so a build-time signature and a serve-time signature of the same
+// residue string are bit-identical.
 
 #include <span>
 
+#include "seq/sketch.hpp"
 #include "store/snapshot.hpp"
 #include "util/common.hpp"
-#include "util/prime.hpp"
 
 namespace gpclust::store {
 
@@ -24,31 +25,11 @@ inline constexpr u64 kDefaultSignatureHashes = 32;
 /// snapshot so queries sketch with the exact permutations the index used.
 inline constexpr u64 kDefaultSignatureSeed = 0x51476e5ull;  // "SIGne5"
 /// Slot value of an empty k-mer set (representative shorter than k).
-/// Distinguishable from every real minimum, which is < kMersenne61.
-inline constexpr u64 kEmptySignatureSlot = ~0ull;
+inline constexpr u64 kEmptySignatureSlot = seq::kEmptySketchSlot;
 
-/// The fixed permutation set <A_j, B_j> for j in [0, num_hashes), derived
-/// deterministically from (num_hashes, seed) over modulus kMersenne61.
-class SignatureHashes {
- public:
-  SignatureHashes(u64 num_hashes, u64 seed);
-
-  u64 size() const { return static_cast<u64>(a_.size()); }
-
-  u64 apply(std::size_t j, u64 code) const {
-    return (util::mulmod(a_[j], code % util::kMersenne61, util::kMersenne61) +
-            b_[j]) %
-           util::kMersenne61;
-  }
-
-  /// Fills `out` (size() slots) with the min-hash sketch of `codes`;
-  /// every slot is kEmptySignatureSlot when `codes` is empty.
-  void sketch(std::span<const u64> codes, std::span<u64> out) const;
-
- private:
-  std::vector<u64> a_;
-  std::vector<u64> b_;
-};
+/// The shared permutation set, store-facing name. The derivation is pinned
+/// by the committed v1/v2 snapshot fixtures (snapshot_compat_test).
+using SignatureHashes = seq::SketchHashes;
 
 /// (Re)builds `store.signatures` from the postings index using
 /// `store.sig_num_hashes` and `store.sig_seed`: one sketch per

@@ -275,5 +275,110 @@ TEST(HomologyGraph, TracerRecordsPhaseSpansAndCounters) {
   }
 }
 
+TEST(HomologyGraphSeedMode, ParseAndNameRoundTrip) {
+  EXPECT_EQ(parse_seed_mode("kmer"), SeedMode::KmerCount);
+  EXPECT_EQ(parse_seed_mode("maximal"), SeedMode::MaximalMatch);
+  EXPECT_EQ(parse_seed_mode("minhash"), SeedMode::MinHashLsh);
+  EXPECT_EQ(parse_seed_mode("spgemm"), SeedMode::SpGemm);
+  for (const auto mode : {SeedMode::KmerCount, SeedMode::MaximalMatch,
+                          SeedMode::MinHashLsh, SeedMode::SpGemm}) {
+    EXPECT_EQ(parse_seed_mode(std::string(seed_mode_name(mode))), mode);
+  }
+  EXPECT_THROW(parse_seed_mode("lsh"), InvalidArgument);
+  EXPECT_THROW(parse_seed_mode(""), InvalidArgument);
+}
+
+namespace {
+seq::SyntheticMetagenome seed_mode_workload(u64 seed) {
+  seq::FamilyModelConfig cfg;
+  cfg.num_families = 8;
+  cfg.min_members = 3;
+  cfg.max_members = 6;
+  cfg.num_background_orfs = 10;
+  cfg.seed = seed;
+  return seq::generate_metagenome(cfg);
+}
+}  // namespace
+
+TEST(HomologyGraphSeedMode, DefaultKmerEdgeSetIsPinned) {
+  // The default-config edge set predates the SeedMode seam; these digests
+  // were captured before it existed and must never move while
+  // seed_mode == KmerCount stays the default. (A digest move means the
+  // default candidate stream — not just its packaging — changed.)
+  struct Pin {
+    u64 seed;
+    u64 digest;
+  };
+  for (const auto& pin : {Pin{7, 0x145026cc057940e0ull},
+                          Pin{1234, 0xc83772c0497efd44ull}}) {
+    const auto mg = seed_mode_workload(pin.seed);
+    HomologyGraphConfig cfg;
+    cfg.num_threads = 1;
+    EXPECT_EQ(build_homology_graph(mg.sequences, cfg).digest(), pin.digest)
+        << "seed " << pin.seed;
+  }
+}
+
+TEST(HomologyGraphSeedMode, SpGemmEmitsBitIdenticalEdges) {
+  for (const u64 seed : {u64{7}, u64{1234}}) {
+    const auto mg = seed_mode_workload(seed);
+    HomologyGraphConfig kmer_cfg;
+    kmer_cfg.num_threads = 1;
+    HomologyGraphConfig spgemm_cfg = kmer_cfg;
+    spgemm_cfg.seed_mode = SeedMode::SpGemm;
+    HomologyGraphStats ks, ss;
+    const u64 kd = build_homology_graph(mg.sequences, kmer_cfg, &ks).digest();
+    const u64 sd = build_homology_graph(mg.sequences, spgemm_cfg, &ss).digest();
+    EXPECT_EQ(sd, kd) << "seed " << seed;
+    EXPECT_EQ(ss.num_candidate_pairs, ks.num_candidate_pairs);
+  }
+}
+
+TEST(HomologyGraphSeedMode, MinHashDigestStableAcrossThreadsAndBackends) {
+  const auto mg = seed_mode_workload(7);
+  HomologyGraphConfig cfg;
+  cfg.seed_mode = SeedMode::MinHashLsh;
+  cfg.num_threads = 1;
+  HomologyGraphStats base_stats;
+  const u64 expected =
+      build_homology_graph(mg.sequences, cfg, &base_stats).digest();
+  EXPECT_GT(base_stats.num_edges, 0u);
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    HomologyGraphConfig t = cfg;
+    t.num_threads = threads;
+    EXPECT_EQ(build_homology_graph(mg.sequences, t).digest(), expected)
+        << threads << " threads";
+  }
+  HomologyGraphConfig scalar = cfg;
+  scalar.verify_backend = VerifyBackend::HostScalar;
+  EXPECT_EQ(build_homology_graph(mg.sequences, scalar).digest(), expected);
+}
+
+TEST(HomologyGraphSeedMode, SeedPeakBytesReportedAndTraced) {
+  const auto mg = seed_mode_workload(1234);
+  for (const auto mode : {SeedMode::KmerCount, SeedMode::MinHashLsh,
+                          SeedMode::SpGemm}) {
+    obs::Tracer tracer;
+    HomologyGraphConfig cfg;
+    cfg.seed_mode = mode;
+    cfg.num_threads = 1;
+    cfg.tracer = &tracer;
+    HomologyGraphStats stats;
+    build_homology_graph(mg.sequences, cfg, &stats);
+    EXPECT_GT(stats.seed_peak_candidate_bytes, 0u)
+        << seed_mode_name(mode);
+    EXPECT_EQ(tracer.counter("homology_seed_peak_candidate_bytes"),
+              stats.seed_peak_candidate_bytes)
+        << seed_mode_name(mode);
+    bool sketch_span = false;
+    for (const auto& e : tracer.events()) {
+      if (e.name == "homology.sketch") sketch_span = true;
+    }
+    EXPECT_EQ(sketch_span, mode == SeedMode::MinHashLsh)
+        << seed_mode_name(mode);
+  }
+}
+
 }  // namespace
 }  // namespace gpclust::align

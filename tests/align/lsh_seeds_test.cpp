@@ -1,0 +1,177 @@
+#include "align/lsh_seeds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "align/kmer_index.hpp"
+#include "obs/trace.hpp"
+#include "seq/alphabet.hpp"
+#include "seq/family_model.hpp"
+#include "seq/sketch.hpp"
+
+namespace gpclust::align {
+namespace {
+
+seq::SequenceSet lsh_workload(u64 seed = 4100) {
+  seq::FamilyModelConfig cfg;
+  cfg.num_families = 8;
+  cfg.min_members = 4;
+  cfg.max_members = 9;
+  cfg.substitution_rate = 0.1;
+  cfg.indel_rate = 0.01;
+  cfg.num_background_orfs = 12;
+  cfg.seed = seed;
+  return seq::generate_metagenome(cfg).sequences;
+}
+
+/// Reference shared-distinct-k-mer count, straight off the definition.
+std::size_t reference_shared(const seq::ProteinSequence& a,
+                             const seq::ProteinSequence& b, std::size_t k) {
+  std::vector<u64> ca, cb;
+  seq::distinct_kmer_codes(a.residues, k, ca);
+  seq::distinct_kmer_codes(b.residues, k, cb);
+  std::vector<u64> both;
+  std::set_intersection(ca.begin(), ca.end(), cb.begin(), cb.end(),
+                        std::back_inserter(both));
+  return both.size();
+}
+
+TEST(LshSeeds, ValidateRejectsDegenerateConfigs) {
+  const seq::SequenceSet set;
+  LshSeedConfig cfg;
+  cfg.k = 1;
+  EXPECT_THROW(find_candidate_pairs_lsh(set, cfg), InvalidArgument);
+  cfg = {};
+  cfg.num_bands = 0;
+  EXPECT_THROW(find_candidate_pairs_lsh(set, cfg), InvalidArgument);
+  cfg = {};
+  cfg.rows_per_band = 0;
+  EXPECT_THROW(find_candidate_pairs_lsh(set, cfg), InvalidArgument);
+  cfg = {};
+  cfg.min_band_hits = cfg.num_bands + 1;
+  EXPECT_THROW(find_candidate_pairs_lsh(set, cfg), InvalidArgument);
+  cfg = {};
+  cfg.min_shared_kmers = 0;
+  EXPECT_THROW(find_candidate_pairs_lsh(set, cfg), InvalidArgument);
+  cfg = {};
+  cfg.max_bucket_size = 1;
+  EXPECT_THROW(find_candidate_pairs_lsh(set, cfg), InvalidArgument);
+}
+
+TEST(LshSeeds, EmptyAndTooShortInputsYieldNoPairs) {
+  EXPECT_TRUE(find_candidate_pairs_lsh({}).empty());
+
+  // Sequences shorter than k sketch to all-empty signatures; they must
+  // never collide with each other (or anything else) in any bucket.
+  seq::SequenceSet set;
+  set.push_back({"tiny0", "MK"});
+  set.push_back({"tiny1", "MK"});
+  set.push_back({"tiny2", "MKV"});
+  EXPECT_TRUE(find_candidate_pairs_lsh(set).empty());
+}
+
+TEST(LshSeeds, PairsAreSortedDeduplicatedAndOriented) {
+  const auto set = lsh_workload();
+  const auto pairs = find_candidate_pairs_lsh(set);
+  ASSERT_FALSE(pairs.empty());
+  std::set<std::pair<u32, u32>> seen;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_LT(pairs[i].a, pairs[i].b);
+    EXPECT_LT(pairs[i].b, set.size());
+    EXPECT_TRUE(seen.insert({pairs[i].a, pairs[i].b}).second)
+        << "duplicate pair (" << pairs[i].a << ", " << pairs[i].b << ")";
+    if (i > 0) {
+      EXPECT_TRUE(pairs[i - 1].a < pairs[i].a ||
+                  (pairs[i - 1].a == pairs[i].a && pairs[i - 1].b < pairs[i].b))
+          << "(a, b) order broken at index " << i;
+    }
+  }
+}
+
+TEST(LshSeeds, SharedCountsAreExactAndThresholded) {
+  const auto set = lsh_workload();
+  LshSeedConfig cfg;
+  cfg.min_shared_kmers = 3;
+  const auto pairs = find_candidate_pairs_lsh(set, cfg);
+  ASSERT_FALSE(pairs.empty());
+  for (const auto& p : pairs) {
+    EXPECT_EQ(p.shared_kmers, reference_shared(set[p.a], set[p.b], cfg.k));
+    EXPECT_GE(p.shared_kmers, cfg.min_shared_kmers);
+    EXPECT_EQ(p.diag, 0);  // sketches keep no positions
+  }
+}
+
+TEST(LshSeeds, DeterministicAcrossRepeatedRuns) {
+  const auto set = lsh_workload(4200);
+  const auto first = find_candidate_pairs_lsh(set);
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_EQ(find_candidate_pairs_lsh(set), first);
+  }
+}
+
+TEST(LshSeeds, MoreBandsRecoverMoreOfTheExactPairSet) {
+  const auto set = lsh_workload(4300);
+  const auto exact = find_candidate_pairs(set);
+  ASSERT_FALSE(exact.empty());
+  std::set<std::pair<u32, u32>> exact_keys;
+  for (const auto& p : exact) exact_keys.insert({p.a, p.b});
+
+  double prev_recall = -1.0;
+  for (const u64 bands : {u64{4}, u64{16}, u64{64}}) {
+    LshSeedConfig cfg;
+    cfg.num_bands = bands;
+    std::size_t hit = 0;
+    for (const auto& p : find_candidate_pairs_lsh(set, cfg)) {
+      hit += exact_keys.count({p.a, p.b});
+    }
+    const double recall =
+        static_cast<double>(hit) / static_cast<double>(exact_keys.size());
+    EXPECT_GE(recall, prev_recall) << bands << " bands";
+    prev_recall = recall;
+  }
+  // At 64 one-row bands a single min-hash agreement promotes the pair, so
+  // nearly all exact-path pairs at this divergence must come back.
+  EXPECT_GE(prev_recall, 0.9);
+}
+
+TEST(LshSeeds, MinBandHitsTightensTheCandidateSet) {
+  const auto set = lsh_workload(4400);
+  LshSeedConfig loose;
+  LshSeedConfig strict = loose;
+  strict.min_band_hits = 8;
+  const auto loose_pairs = find_candidate_pairs_lsh(set, loose);
+  const auto strict_pairs = find_candidate_pairs_lsh(set, strict);
+  EXPECT_LE(strict_pairs.size(), loose_pairs.size());
+  // Every strict survivor must also survive the loose setting.
+  std::set<std::pair<u32, u32>> loose_keys;
+  for (const auto& p : loose_pairs) loose_keys.insert({p.a, p.b});
+  for (const auto& p : strict_pairs) {
+    EXPECT_TRUE(loose_keys.count({p.a, p.b}));
+  }
+}
+
+TEST(LshSeeds, ReportsSketchSpanAndPeakBytes) {
+  const auto set = lsh_workload(4500);
+  obs::Tracer tracer;
+  std::size_t peak = 0;
+  const auto pairs = find_candidate_pairs_lsh(set, {}, &tracer, &peak);
+  ASSERT_FALSE(pairs.empty());
+  EXPECT_GT(peak, 0u);
+  // The signature buffer is always part of the high-water mark.
+  const LshSeedConfig defaults;
+  EXPECT_GE(peak, set.size() * defaults.num_bands *
+                      defaults.rows_per_band * sizeof(u64));
+  bool found = false;
+  for (const auto& e : tracer.events()) {
+    if (e.name == "homology.sketch") {
+      found = true;
+      EXPECT_EQ(e.domain, obs::Domain::HostMeasured);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace gpclust::align

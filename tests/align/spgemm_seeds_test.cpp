@@ -1,0 +1,81 @@
+#include "align/spgemm_seeds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "align/kmer_index.hpp"
+#include "seq/family_model.hpp"
+
+namespace gpclust::align {
+namespace {
+
+seq::SequenceSet spgemm_workload(u64 seed) {
+  seq::FamilyModelConfig cfg;
+  cfg.num_families = 7;
+  cfg.min_members = 4;
+  cfg.max_members = 9;
+  cfg.substitution_rate = 0.1;
+  cfg.indel_rate = 0.01;
+  cfg.num_background_orfs = 10;
+  cfg.seed = seed;
+  return seq::generate_metagenome(cfg).sequences;
+}
+
+/// The ablation's contract: same (a, b, shared_kmers) triples as the
+/// postings path, in the same order. Only `diag` may differ (the SpGEMM
+/// formulation keeps no positions, so it reports 0).
+void expect_same_triples(const std::vector<CandidatePair>& spgemm,
+                         const std::vector<CandidatePair>& exact) {
+  ASSERT_EQ(spgemm.size(), exact.size());
+  for (std::size_t i = 0; i < spgemm.size(); ++i) {
+    EXPECT_EQ(spgemm[i].a, exact[i].a) << i;
+    EXPECT_EQ(spgemm[i].b, exact[i].b) << i;
+    EXPECT_EQ(spgemm[i].shared_kmers, exact[i].shared_kmers) << i;
+    EXPECT_EQ(spgemm[i].diag, 0) << i;
+  }
+}
+
+TEST(SpGemmSeeds, MatchesExactPathOnFamilyWorkloads) {
+  for (const u64 seed : {u64{5100}, u64{5200}, u64{5300}}) {
+    const auto set = spgemm_workload(seed);
+    const KmerIndexConfig cfg;
+    const auto exact = find_candidate_pairs(set, cfg);
+    ASSERT_FALSE(exact.empty());
+    expect_same_triples(find_candidate_pairs_spgemm(set, cfg), exact);
+  }
+}
+
+TEST(SpGemmSeeds, MatchesExactPathUnderAggressiveMasking) {
+  const auto set = spgemm_workload(5400);
+  // Tight occupancy mask: high-occupancy k-mer columns drop out of the
+  // product exactly as they drop out of the postings expansion.
+  KmerIndexConfig cfg;
+  cfg.max_kmer_occurrences = 4;
+  const auto exact = find_candidate_pairs(set, cfg);
+  const auto masked = find_candidate_pairs_spgemm(set, cfg);
+  expect_same_triples(masked, exact);
+
+  // And a tighter promotion threshold prunes both paths identically.
+  cfg.max_kmer_occurrences = 200;
+  cfg.min_shared_kmers = 6;
+  expect_same_triples(find_candidate_pairs_spgemm(set, cfg),
+                      find_candidate_pairs(set, cfg));
+}
+
+TEST(SpGemmSeeds, EmptyAndShortInputs) {
+  EXPECT_TRUE(find_candidate_pairs_spgemm({}).empty());
+  seq::SequenceSet set;
+  set.push_back({"a", "MKV"});
+  set.push_back({"b", "MK"});
+  EXPECT_TRUE(find_candidate_pairs_spgemm(set).empty());
+}
+
+TEST(SpGemmSeeds, ReportsPeakBytes) {
+  const auto set = spgemm_workload(5500);
+  std::size_t peak = 0;
+  const auto pairs = find_candidate_pairs_spgemm(set, {}, &peak);
+  ASSERT_FALSE(pairs.empty());
+  EXPECT_GT(peak, 0u);
+}
+
+}  // namespace
+}  // namespace gpclust::align

@@ -1,0 +1,89 @@
+#include "eval/edge_recall.hpp"
+
+#include <gtest/gtest.h>
+
+#include "align/homology_graph.hpp"
+#include "graph/edge_list.hpp"
+#include "seq/family_model.hpp"
+
+namespace gpclust::eval {
+namespace {
+
+graph::CsrGraph make_graph(std::size_t vertices,
+                           std::initializer_list<std::pair<u32, u32>> edges) {
+  graph::EdgeList list(vertices);
+  for (const auto& [u, v] : edges) list.add(u, v);
+  return graph::CsrGraph::from_edge_list(std::move(list));
+}
+
+TEST(EdgeRecall, CountsOnlyIntraFamilyTruthEdges) {
+  // Vertices 0-2 are family 0, vertex 3 is family 1, vertex 4 background.
+  const std::vector<u32> family = {0, 0, 0, 1, 2};
+  const auto truth = make_graph(
+      5, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}});
+  const auto test = make_graph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+
+  const auto r = planted_edge_recall(test, truth, family, 2);
+  // Denominator: the three intra-family-0 truth edges; the family-0 to
+  // family-1 edge {2,3} and anything touching the background vertex are
+  // out of scope. Recovered: {0,1} and {1,2}.
+  EXPECT_EQ(r.truth_intra_edges, 3u);
+  EXPECT_EQ(r.recovered_intra_edges, 2u);
+  EXPECT_DOUBLE_EQ(r.recall(), 2.0 / 3.0);
+}
+
+TEST(EdgeRecall, PerfectAndZeroRecall) {
+  const std::vector<u32> family = {0, 0, 0};
+  const auto truth = make_graph(3, {{0, 1}, {1, 2}});
+  EXPECT_DOUBLE_EQ(planted_edge_recall(truth, truth, family, 1).recall(), 1.0);
+  const auto empty = make_graph(3, {});
+  EXPECT_DOUBLE_EQ(planted_edge_recall(empty, truth, family, 1).recall(), 0.0);
+}
+
+TEST(EdgeRecall, EmptyDenominatorIsPerfect) {
+  // All vertices background: no intra-family truth edges exist, and
+  // recovering nothing from nothing reads as perfect recall.
+  const std::vector<u32> family = {5, 6, 7};
+  const auto truth = make_graph(3, {{0, 1}, {1, 2}});
+  const auto r = planted_edge_recall(make_graph(3, {}), truth, family, 3);
+  EXPECT_EQ(r.truth_intra_edges, 0u);
+  EXPECT_DOUBLE_EQ(r.recall(), 1.0);
+}
+
+TEST(EdgeRecall, RejectsMismatchedShapes) {
+  const std::vector<u32> family = {0, 0};
+  const auto two = make_graph(2, {{0, 1}});
+  const auto three = make_graph(3, {{0, 1}});
+  EXPECT_THROW(planted_edge_recall(two, three, family, 1), InvalidArgument);
+  EXPECT_THROW(planted_edge_recall(three, three, family, 1), InvalidArgument);
+}
+
+TEST(EdgeRecall, MinHashSeedsRecoverPlantedFamilies) {
+  // End-to-end harness check at the default operating point: the LSH
+  // seed stage must keep nearly all of the exact path's planted edges.
+  seq::FamilyModelConfig cfg;
+  cfg.num_families = 10;
+  cfg.min_members = 5;
+  cfg.max_members = 12;
+  cfg.substitution_rate = 0.1;
+  cfg.indel_rate = 0.01;
+  cfg.num_background_orfs = 20;
+  cfg.seed = 6100;
+  const auto mg = seq::generate_metagenome(cfg);
+
+  align::HomologyGraphConfig exact_cfg;
+  exact_cfg.num_threads = 1;
+  const auto truth = align::build_homology_graph(mg.sequences, exact_cfg);
+
+  align::HomologyGraphConfig lsh_cfg = exact_cfg;
+  lsh_cfg.seed_mode = align::SeedMode::MinHashLsh;
+  const auto test = align::build_homology_graph(mg.sequences, lsh_cfg);
+
+  const auto r = planted_edge_recall(test, truth, mg.family,
+                                     static_cast<u32>(mg.num_families));
+  EXPECT_GT(r.truth_intra_edges, 0u);
+  EXPECT_GE(r.recall(), 0.95);
+}
+
+}  // namespace
+}  // namespace gpclust::eval

@@ -332,5 +332,36 @@ TEST_P(VerifyChaosSchedule, CompletesIdenticallyOrFailsTyped) {
 INSTANTIATE_TEST_SUITE_P(ThirtySeeds, VerifyChaosSchedule,
                          ::testing::Range(0, 30));
 
+TEST(VerifyPipelineChaos, MinHashSeedsSurviveDeviceFaultsBitIdentically) {
+  // The LSH candidate stream feeds the same verify cascade; a device
+  // fault schedule under Fallback must still land on the host MinHash
+  // digest — the seed mode changes which pairs are verified, never how
+  // faults resolve — and the arena must drain.
+  const auto sequences = verify_workload(7500);
+  auto host_cfg = base_config();
+  host_cfg.seed_mode = SeedMode::MinHashLsh;
+  host_cfg.verify_backend = VerifyBackend::HostScalar;
+  const u64 expected = build_digest(sequences, host_cfg);
+
+  for (const char* spec :
+       {"oom@alloc:1", "xfer_fail@h2d:0", "kernel_fail@kernel:0-1048576"}) {
+    auto plan = fault::FaultPlan::parse(spec);
+    device::DeviceContext ctx(device::DeviceSpec::small_test_device(1 << 20));
+    ctx.set_fault_plan(&plan);
+    auto cfg = base_config();
+    cfg.seed_mode = SeedMode::MinHashLsh;
+    cfg.verify_backend = VerifyBackend::DeviceBatched;
+    cfg.device_verify.context = &ctx;
+    cfg.device_verify.num_streams = 2;
+    cfg.device_verify.resilience.mode = fault::ResilienceMode::Fallback;
+    HomologyGraphStats stats;
+    EXPECT_EQ(build_digest(sequences, cfg, &stats), expected) << spec;
+    EXPECT_GT(plan.injected(), 0u) << spec;
+    EXPECT_GT(stats.seed_peak_candidate_bytes, 0u) << spec;
+    EXPECT_EQ(ctx.arena().used(), 0u) << spec;
+    EXPECT_EQ(ctx.arena().num_allocations(), 0u) << spec;
+  }
+}
+
 }  // namespace
 }  // namespace gpclust::align

@@ -33,6 +33,15 @@ echo "=== tier 1b2: serve bench smoke + perf-trajectory gate ==="
 ./build-ci/bench/bench_serve --quick --json=build-ci/BENCH_serve.json
 python3 tools/compare_bench.py BENCH_serve.json build-ci/BENCH_serve.json
 
+echo "=== tier 1b3: graph-scale bench smoke + perf-trajectory gate ==="
+# The driver itself asserts the headline (a >= 10x-larger graph built by
+# the MinHash/LSH seed stage within the exact path's scale-1 peak
+# candidate-memory budget, recall >= 0.95, SpGEMM ablation bit-identical);
+# compare_bench then gates the snapshot — counts, recall and peak bytes
+# are deterministic and must match exactly, timings within the host bound.
+./build-ci/bench/bench_graph_scale --quick --json=build-ci/BENCH_graph.json
+python3 tools/compare_bench.py BENCH_graph.json build-ci/BENCH_graph.json
+
 echo "=== tier 1c: family-index round trip (build-index -> query) ==="
 # The serving-layer smoke (store + serve unit tests run inside ctest
 # above): persist a demo family index, then classify its own ORFs back —

@@ -104,7 +104,9 @@ int main(int argc, char** argv) {
       std::fprintf(
           stderr,
           "usage: gpclust --graph=PATH | --demo=N | --fasta=PATH | "
-          "--demo-orfs=N [--verify-backend=scalar|simd|device] [--out=PATH] "
+          "--demo-orfs=N [--verify-backend=scalar|simd|device] "
+          "[--seed-mode=kmer|maximal|minhash|spgemm] "
+          "[--lsh-bands=N] [--lsh-rows=N] [--out=PATH] "
           "[--engine=gpu|serial] [--s1 N --c1 N --s2 N --c2 N] "
           "[--streams=K] [--agg-shards=N] "
           "[--components] [--trace-out=PATH] "
@@ -183,6 +185,12 @@ int main(int argc, char** argv) {
       align::HomologyGraphConfig hcfg;
       hcfg.verify_backend =
           align::parse_verify_backend(args.get_string("verify-backend", "simd"));
+      hcfg.seed_mode =
+          align::parse_seed_mode(args.get_string("seed-mode", "kmer"));
+      hcfg.lsh.num_bands = static_cast<u64>(
+          args.get_int("lsh-bands", static_cast<i64>(hcfg.lsh.num_bands)));
+      hcfg.lsh.rows_per_band = static_cast<u64>(
+          args.get_int("lsh-rows", static_cast<i64>(hcfg.lsh.rows_per_band)));
       hcfg.tracer = options.tracer;
       if (hcfg.verify_backend == align::VerifyBackend::DeviceBatched) {
         hcfg.device_verify.context = &ctx;
@@ -195,9 +203,11 @@ int main(int argc, char** argv) {
       g = align::build_homology_graph(sequences, hcfg, &hstats);
       std::fprintf(stderr,
                    "homology graph: %zu vertices / %zu edges in %.2fs wall "
-                   "(%zu candidate pairs, %zu survived prefilter, backend %s)\n",
+                   "(%zu candidate pairs, %zu survived prefilter, seeds %s, "
+                   "backend %s)\n",
                    g.num_vertices(), g.num_edges(), homology_timer.seconds(),
                    hstats.num_candidate_pairs, hstats.num_surviving_pairs,
+                   std::string(align::seed_mode_name(hcfg.seed_mode)).c_str(),
                    std::string(align::verify_backend_name(hcfg.verify_backend))
                        .c_str());
       if (hcfg.verify_backend == align::VerifyBackend::DeviceBatched) {
