@@ -102,9 +102,10 @@ std::string_view seed_mode_name(SeedMode mode) {
   return "?";
 }
 
-graph::CsrGraph build_homology_graph(const seq::SequenceSet& sequences,
-                                     const HomologyGraphConfig& config,
-                                     HomologyGraphStats* stats) {
+std::vector<u8> verify_candidate_pairs(const seq::SequenceSet& sequences,
+                                       std::span<const CandidatePair> pairs,
+                                       const HomologyGraphConfig& config,
+                                       HomologyGraphStats* stats) {
   GPCLUST_CHECK(config.min_score_per_residue >= 0.0,
                 "score threshold must be non-negative");
   const bool device = config.verify_backend == VerifyBackend::DeviceBatched;
@@ -113,38 +114,9 @@ graph::CsrGraph build_homology_graph(const seq::SequenceSet& sequences,
                 "DeviceBatched verification needs a DeviceContext");
   obs::Tracer* tracer = config.tracer;
 
-  // Stage 1 — candidate stream.
-  std::vector<CandidatePair> pairs;
-  std::size_t seed_peak_bytes = 0;
-  {
-    obs::HostSpan span(tracer, "homology.seed");
-    switch (config.seed_mode) {
-      case SeedMode::MaximalMatch:
-        pairs = find_candidate_pairs_suffix_array(sequences,
-                                                  config.maximal_matches);
-        break;
-      case SeedMode::MinHashLsh:
-        pairs = find_candidate_pairs_lsh(sequences, config.lsh, tracer,
-                                         &seed_peak_bytes);
-        break;
-      case SeedMode::SpGemm:
-        pairs = find_candidate_pairs_spgemm(sequences, config.seeds,
-                                            &seed_peak_bytes);
-        break;
-      case SeedMode::KmerCount:
-        pairs = find_candidate_pairs(sequences, config.seeds,
-                                     &seed_peak_bytes);
-        break;
-    }
-  }
-  obs::add_counter(tracer, "homology_candidate_pairs", pairs.size());
-  obs::raise_counter(tracer, "homology_seed_peak_candidate_bytes",
-                     seed_peak_bytes);
-
   // Stage 2 — CPU prefilter (host-measured; this is the CPU side of the
   // critical-path split reported against the modeled device verify).
   HomologyGraphStats totals;
-  totals.seed_peak_candidate_bytes = seed_peak_bytes;
   std::vector<u32> surviving;
   {
     obs::HostSpan span(tracer, "homology.prefilter");
@@ -269,6 +241,48 @@ graph::CsrGraph build_homology_graph(const seq::SequenceSet& sequences,
   obs::add_counter(tracer, "homology_alignments", totals.num_alignments);
   obs::add_counter(tracer, "homology_prefilter_rejects",
                    totals.num_exact_rejects + totals.num_heuristic_rejects);
+  if (stats != nullptr) *stats = totals;
+  return accepted;
+}
+
+graph::CsrGraph build_homology_graph(const seq::SequenceSet& sequences,
+                                     const HomologyGraphConfig& config,
+                                     HomologyGraphStats* stats) {
+  obs::Tracer* tracer = config.tracer;
+
+  // Stage 1 — candidate stream.
+  std::vector<CandidatePair> pairs;
+  std::size_t seed_peak_bytes = 0;
+  {
+    obs::HostSpan span(tracer, "homology.seed");
+    switch (config.seed_mode) {
+      case SeedMode::MaximalMatch:
+        pairs = find_candidate_pairs_suffix_array(sequences,
+                                                  config.maximal_matches);
+        break;
+      case SeedMode::MinHashLsh:
+        pairs = find_candidate_pairs_lsh(sequences, config.lsh, tracer,
+                                         &seed_peak_bytes);
+        break;
+      case SeedMode::SpGemm:
+        pairs = find_candidate_pairs_spgemm(sequences, config.seeds,
+                                            &seed_peak_bytes);
+        break;
+      case SeedMode::KmerCount:
+        pairs = find_candidate_pairs(sequences, config.seeds,
+                                     &seed_peak_bytes);
+        break;
+    }
+  }
+  obs::add_counter(tracer, "homology_candidate_pairs", pairs.size());
+  obs::raise_counter(tracer, "homology_seed_peak_candidate_bytes",
+                     seed_peak_bytes);
+
+  // Stages 2 + 3 — shared with the ingest subsystem's incremental path.
+  HomologyGraphStats totals;
+  const std::vector<u8> accepted =
+      verify_candidate_pairs(sequences, pairs, config, &totals);
+  totals.seed_peak_candidate_bytes = seed_peak_bytes;
 
   graph::CsrGraph result;
   {

@@ -120,6 +120,19 @@ struct HomologyGraphStats {
   VerifyDeviceStats device;  ///< DeviceBatched bookkeeping (else zeros)
 };
 
+/// Stages 2 + 3 of the cascade as a standalone pass over an explicit pair
+/// list: the exact admissible prefilter (plus the opt-in heuristic tier),
+/// batched score-only verification on the configured backend, and the edge
+/// gate. Returns one accept flag per input pair. build_homology_graph and
+/// the streaming-ingest subsystem (src/ingest) share this path, so an
+/// incremental run's verdict on a pair is bit-identical to a from-scratch
+/// run's — the verdict is a pure function of the two sequences and the
+/// config, never of the surrounding pair set.
+std::vector<u8> verify_candidate_pairs(const seq::SequenceSet& sequences,
+                                       std::span<const CandidatePair> pairs,
+                                       const HomologyGraphConfig& config,
+                                       HomologyGraphStats* stats = nullptr);
+
 /// Builds the undirected similarity graph over `sequences` (vertex i is
 /// sequences[i]). Alignment verification fans out over a thread pool.
 graph::CsrGraph build_homology_graph(const seq::SequenceSet& sequences,

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "store/delta.hpp"
+
 namespace gpclust::serve {
 
 namespace {
@@ -24,11 +26,14 @@ std::string_view reject_reason_name(RejectReason reason) {
 
 QueryService::QueryService(const store::FamilyStore& store,
                            ServiceConfig config)
-    : index_(store), config_(std::move(config)) {
+    : config_(std::move(config)) {
   config_.validate();
-  if (config_.seed_index == SeedIndex::Bucketed) {
-    buckets_ = std::make_unique<const BucketIndex>(store, config_.bucket);
-  }
+  // Generation 0 aliases the caller-owned store (no copy); reloads own
+  // theirs.
+  current_ = std::make_shared<const Generation>(
+      std::shared_ptr<const store::FamilyStore>(
+          std::shared_ptr<const store::FamilyStore>(), &store),
+      /*id_in=*/0, config_);
   paused_ = config_.start_paused;
   workers_.reserve(config_.num_workers);
   for (std::size_t i = 0; i < config_.num_workers; ++i) {
@@ -114,6 +119,37 @@ void QueryService::resume() {
   queue_nonempty_.notify_all();
 }
 
+void QueryService::reload(store::FamilyStore store) {
+  auto owned = std::make_shared<const store::FamilyStore>(std::move(store));
+  u64 id;
+  {
+    std::lock_guard lock(mu_);
+    id = next_generation_++;
+  }
+  // Index (and bucket-table) construction happens here, outside mu_: the
+  // workers keep serving the old generation for the whole build and only
+  // ever block on the pointer swap below.
+  auto next = std::make_shared<const Generation>(std::move(owned), id, config_);
+  std::lock_guard lock(mu_);
+  current_ = std::move(next);
+}
+
+void QueryService::reload_with_delta(const store::SnapshotDelta& delta) {
+  std::shared_ptr<const Generation> base;
+  {
+    std::lock_guard lock(mu_);
+    base = current_;
+  }
+  // Throws the typed snapshot errors on chain mismatch or corruption
+  // before any swap — the old generation keeps serving.
+  reload(store::apply_snapshot_delta(*base->store, delta));
+}
+
+u64 QueryService::generation() const {
+  std::lock_guard lock(mu_);
+  return current_->id;
+}
+
 void QueryService::worker_loop(Worker& worker) {
   for (;;) {
     std::unique_lock lock(mu_);
@@ -126,13 +162,17 @@ void QueryService::worker_loop(Worker& worker) {
     }
     Job job = std::move(queue_.front());
     queue_.pop_front();
+    // Pin the generation this query classifies against: the copy keeps
+    // it alive across a concurrent reload().
+    const std::shared_ptr<const Generation> generation = current_;
     lock.unlock();
     queue_has_space_.notify_one();
-    finish(worker, std::move(job));
+    finish(worker, std::move(job), *generation);
   }
 }
 
-void QueryService::finish(Worker& worker, Job job) {
+void QueryService::finish(Worker& worker, Job job,
+                          const Generation& generation) {
   const auto dequeued_at = std::chrono::steady_clock::now();
   const double waited = seconds_between(job.submitted_at, dequeued_at);
   obs::Tracer* tracer = config_.tracer;
@@ -153,13 +193,24 @@ void QueryService::finish(Worker& worker, Job job) {
     std::lock_guard worker_lock(worker.mu);
     ++worker.expired;
   } else {
+    if (worker.generation_seen != generation.id) {
+      // Cached profiles are keyed by representative index in the *old*
+      // store; against the new one the same key can name a different
+      // sequence. Retire the counters, then start the cache fresh.
+      std::lock_guard worker_lock(worker.mu);
+      worker.retired_profile_builds += worker.scratch.profiles().builds();
+      worker.retired_profile_hits += worker.scratch.profiles().hits();
+      worker.scratch = ClassifyScratch(config_.profile_cache_capacity);
+      worker.generation_seen = generation.id;
+    }
     const double classify_start =
         tracer != nullptr ? tracer->host_now() : 0.0;
     outcome.result =
-        buckets_ != nullptr
-            ? index_.classify(job.query, config_.classify, worker.scratch,
-                              *buckets_)
-            : index_.classify(job.query, config_.classify, worker.scratch);
+        generation.buckets != nullptr
+            ? generation.index.classify(job.query, config_.classify,
+                                        worker.scratch, *generation.buckets)
+            : generation.index.classify(job.query, config_.classify,
+                                        worker.scratch);
     const auto done = std::chrono::steady_clock::now();
     outcome.latency_seconds = seconds_between(job.submitted_at, done);
     if (tracer != nullptr) {
@@ -188,8 +239,10 @@ ServiceStats QueryService::stats() const {
     std::lock_guard lock(worker->mu);
     out.completed += worker->completed;
     out.rejected_expired += worker->expired;
-    out.profile_builds += worker->scratch.profiles().builds();
-    out.profile_hits += worker->scratch.profiles().hits();
+    out.profile_builds +=
+        worker->retired_profile_builds + worker->scratch.profiles().builds();
+    out.profile_hits +=
+        worker->retired_profile_hits + worker->scratch.profiles().hits();
   }
   return out;
 }

@@ -16,6 +16,14 @@
 // pure function of query x store), and the whole path is host-only — no
 // device allocations, so the arena-empty invariant holds trivially.
 //
+// Hot reload (DESIGN.md §15): reload() / reload_with_delta() swap in a
+// new store without pausing or draining the pool. The (store, index,
+// bucket table) triple is an immutable Generation behind a shared_ptr;
+// workers copy the pointer at dequeue, so queries already being
+// classified finish against the generation they started with, queries
+// dequeued after the swap see the new one, and an old generation is
+// freed when its last in-flight query completes.
+//
 // Observability: per-query host-measured spans ("serve.wait" — admission
 // to dequeue; "serve.classify" — dequeue to completion), the
 // "serve.latency" log2 histogram (submit to completion), and serve.*
@@ -36,6 +44,10 @@
 #include "obs/trace.hpp"
 #include "serve/bucket_index.hpp"
 #include "serve/family_index.hpp"
+
+namespace gpclust::store {
+struct SnapshotDelta;
+}
 
 namespace gpclust::serve {
 
@@ -106,7 +118,9 @@ struct ServiceStats {
 
 class QueryService {
  public:
-  /// The store must outlive the service.
+  /// The store must outlive the service — or its last reload()
+  /// superseding it, whichever comes first (reloaded stores are owned by
+  /// the service).
   QueryService(const store::FamilyStore& store, ServiceConfig config = {});
 
   /// Drains the queue (every admitted query completes), then joins the
@@ -128,6 +142,23 @@ class QueryService {
   /// Releases start_paused workers. Idempotent.
   void resume();
 
+  /// Swaps in a new store without pausing or draining the pool (see file
+  /// comment). The index — and the bucket table, when configured — is
+  /// built before the swap, off the worker path; the service owns the
+  /// reloaded store. Queries queued before the swap but dequeued after it
+  /// classify against the new store.
+  void reload(store::FamilyStore store);
+
+  /// reload() with the result of applying `delta` to the currently served
+  /// store. Chain mismatches and corrupt deltas raise the typed snapshot
+  /// errors with the old generation still serving — a failed reload never
+  /// degrades the service.
+  void reload_with_delta(const store::SnapshotDelta& delta);
+
+  /// Which store new queries classify against: 0 at construction,
+  /// incremented by every successful reload.
+  u64 generation() const;
+
   ServiceStats stats() const;
 
   /// Merged submit-to-completion latency histogram across workers.
@@ -142,6 +173,27 @@ class QueryService {
     std::chrono::steady_clock::time_point submitted_at;
   };
 
+  /// One immutable (store, index, bucket table) unit the workers serve
+  /// from. reload() constructs the next generation off to the side and
+  /// swaps the `current_` pointer under mu_; a worker copies the pointer
+  /// at dequeue, which keeps the generation alive for exactly as long as
+  /// some query still classifies against it.
+  struct Generation {
+    Generation(std::shared_ptr<const store::FamilyStore> store_in, u64 id_in,
+               const ServiceConfig& config)
+        : store(std::move(store_in)), index(*store), id(id_in) {
+      if (config.seed_index == SeedIndex::Bucketed) {
+        buckets = std::make_unique<const BucketIndex>(*store, config.bucket);
+      }
+    }
+    /// Never null; an aliasing (non-owning) pointer for the
+    /// construction-time store, owning for every reloaded one.
+    std::shared_ptr<const store::FamilyStore> store;
+    FamilyIndex index;
+    std::unique_ptr<const BucketIndex> buckets;
+    u64 id;
+  };
+
   /// One worker's thread plus everything it owns. The scratch (profile
   /// LRU) and histogram are worker-local so the classify hot path takes
   /// no shared lock; `mu` only guards them against concurrent stats reads.
@@ -153,19 +205,26 @@ class QueryService {
     obs::Histogram latency;
     u64 completed = 0;
     u64 expired = 0;
+    /// Generation the scratch was last used against. Cached profiles are
+    /// keyed by representative index, which is only meaningful within one
+    /// store, so the scratch is rebuilt the first time this worker serves
+    /// a newer generation; the retired_* counters keep stats() monotone
+    /// across the reset. Only the worker thread touches generation_seen.
+    u64 generation_seen = 0;
+    u64 retired_profile_builds = 0;
+    u64 retired_profile_hits = 0;
     mutable std::mutex mu;
   };
 
   void worker_loop(Worker& worker);
-  void finish(Worker& worker, Job job);
+  void finish(Worker& worker, Job job, const Generation& generation);
 
-  const FamilyIndex index_;
   ServiceConfig config_;
-  /// Built once at construction when config_.seed_index == Bucketed;
-  /// read-only afterwards, shared by every worker.
-  std::unique_ptr<const BucketIndex> buckets_;
 
   mutable std::mutex mu_;
+  /// Guarded by mu_; workers copy it at dequeue, reload() swaps it.
+  std::shared_ptr<const Generation> current_;
+  u64 next_generation_ = 1;
   std::condition_variable queue_nonempty_;
   std::condition_variable queue_has_space_;
   std::deque<Job> queue_;

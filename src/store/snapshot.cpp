@@ -161,43 +161,49 @@ FamilyStore build_family_store(const seq::SequenceSet& sequences,
     out.rep_offsets.push_back(out.representatives.size());
   }
 
-  // Family-level k-mer postings over the representatives — the sort-based
-  // layout of align/kmer_index: emit every occurrence, sort per rep by
-  // (code, pos), keep each code's first occurrence, then one global sort
-  // by (code, rep).
-  for (std::size_t r = 0; r < out.representatives.size(); ++r) {
-    const std::string_view residues = out.sequence(out.representatives[r]);
-    if (residues.size() < config.k) continue;
-    const auto start = static_cast<std::ptrdiff_t>(out.postings.size());
-    for (std::size_t pos = 0; pos + config.k <= residues.size(); ++pos) {
-      u64 code = 0;
-      for (std::size_t j = 0; j < config.k; ++j) {
-        code = code * seq::kNumResidues + seq::residue_index(residues[pos + j]);
-      }
-      out.postings.push_back(
-          {code, static_cast<u32>(r), static_cast<u32>(pos)});
-    }
-    std::sort(out.postings.begin() + start, out.postings.end(),
-              [](const RepPosting& x, const RepPosting& y) {
-                return std::pair(x.code, x.pos) < std::pair(y.code, y.pos);
-              });
-    out.postings.erase(
-        std::unique(out.postings.begin() + start, out.postings.end(),
-                    [](const RepPosting& x, const RepPosting& y) {
-                      return x.code == y.code;
-                    }),
-        out.postings.end());
-  }
-  std::sort(out.postings.begin(), out.postings.end(),
-            [](const RepPosting& x, const RepPosting& y) {
-              return std::pair(x.code, x.rep) < std::pair(y.code, y.rep);
-            });
+  rebuild_rep_postings(out);
 
   out.sig_num_hashes =
       config.sig_hashes > 0 ? config.sig_hashes : kDefaultSignatureHashes;
   out.sig_seed = config.sig_seed > 0 ? config.sig_seed : kDefaultSignatureSeed;
   build_rep_signatures(out);
   return out;
+}
+
+void rebuild_rep_postings(FamilyStore& store) {
+  // Family-level k-mer postings over the representatives — the sort-based
+  // layout of align/kmer_index: emit every occurrence, sort per rep by
+  // (code, pos), keep each code's first occurrence, then one global sort
+  // by (code, rep).
+  const std::size_t k = store.kmer_k;
+  store.postings.clear();
+  for (std::size_t r = 0; r < store.representatives.size(); ++r) {
+    const std::string_view residues = store.sequence(store.representatives[r]);
+    if (residues.size() < k) continue;
+    const auto start = static_cast<std::ptrdiff_t>(store.postings.size());
+    for (std::size_t pos = 0; pos + k <= residues.size(); ++pos) {
+      u64 code = 0;
+      for (std::size_t j = 0; j < k; ++j) {
+        code = code * seq::kNumResidues + seq::residue_index(residues[pos + j]);
+      }
+      store.postings.push_back(
+          {code, static_cast<u32>(r), static_cast<u32>(pos)});
+    }
+    std::sort(store.postings.begin() + start, store.postings.end(),
+              [](const RepPosting& x, const RepPosting& y) {
+                return std::pair(x.code, x.pos) < std::pair(y.code, y.pos);
+              });
+    store.postings.erase(
+        std::unique(store.postings.begin() + start, store.postings.end(),
+                    [](const RepPosting& x, const RepPosting& y) {
+                      return x.code == y.code;
+                    }),
+        store.postings.end());
+  }
+  std::sort(store.postings.begin(), store.postings.end(),
+            [](const RepPosting& x, const RepPosting& y) {
+              return std::pair(x.code, x.rep) < std::pair(y.code, y.rep);
+            });
 }
 
 std::vector<char> serialize_snapshot(const FamilyStore& store) {

@@ -143,6 +143,13 @@ FamilyStore build_family_store(const seq::SequenceSet& sequences,
                                const std::vector<u32>& labels,
                                const StoreBuildConfig& config = {});
 
+/// Rebuilds `store.postings` from `store.representatives` and the residue
+/// blob — the sort-based layout build_family_store writes (per-rep distinct
+/// first occurrences, one global (code, rep) sort). Shared with the delta
+/// apply path (store/delta.hpp) so an applied delta's postings are
+/// byte-identical to a from-scratch build's.
+void rebuild_rep_postings(FamilyStore& store);
+
 /// Serializes the store. Deterministic: equal stores produce byte-equal
 /// buffers.
 std::vector<char> serialize_snapshot(const FamilyStore& store);

@@ -1,0 +1,260 @@
+// The streaming-ingest equivalence contract (DESIGN.md §15): for ANY split
+// of an input into batches, IngestSession produces the same partition
+// digest — and the same snapshot bytes — as a from-scratch run on the
+// concatenated input with the same configuration. Exercised for multiple
+// splits (including the batch-size-1 trickle), both supported seed modes,
+// a forced repeat-mask crossing that revokes standing edges, resume from a
+// persisted snapshot, and the device cluster engine.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "align/homology_graph.hpp"
+#include "core/serial_pclust.hpp"
+#include "device/device_context.hpp"
+#include "ingest/ingest_session.hpp"
+#include "seq/family_model.hpp"
+#include "store/snapshot.hpp"
+
+namespace gpclust {
+namespace {
+
+core::ShinglingParams test_params() {
+  core::ShinglingParams params;
+  params.c1 = 20;
+  params.c2 = 10;
+  return params;
+}
+
+/// The reference: full cascade + serial shingling over everything at once.
+core::Clustering from_scratch(const seq::SequenceSet& sequences,
+                              const align::HomologyGraphConfig& graph_config,
+                              const core::ShinglingParams& params) {
+  const graph::CsrGraph g = align::build_homology_graph(sequences,
+                                                        graph_config);
+  return core::SerialShingler(params).cluster(g);
+}
+
+std::vector<char> from_scratch_snapshot_bytes(
+    const seq::SequenceSet& sequences,
+    const align::HomologyGraphConfig& graph_config,
+    const core::ShinglingParams& params,
+    const store::StoreBuildConfig& store_config) {
+  const core::Clustering reference =
+      from_scratch(sequences, graph_config, params);
+  return store::serialize_snapshot(
+      store::build_family_store(sequences, reference.labels(), store_config));
+}
+
+seq::SequenceSet make_workload(u64 seed, std::size_t num_families) {
+  seq::FamilyModelConfig config;
+  config.num_families = num_families;
+  config.min_members = 3;
+  config.max_members = 8;
+  config.substitution_rate = 0.08;
+  config.fragment_min_fraction = 0.8;
+  config.num_background_orfs = 6;
+  config.seed = seed;
+  return seq::generate_metagenome(config).sequences;
+}
+
+/// Splits `sequences` at the given fractions and replays them through a
+/// fresh session; expects digest and snapshot-byte identity with the
+/// from-scratch reference at the end.
+void expect_split_equivalent(const seq::SequenceSet& sequences,
+                             const ingest::IngestConfig& config,
+                             const std::vector<std::size_t>& batch_sizes) {
+  ASSERT_EQ(std::accumulate(batch_sizes.begin(), batch_sizes.end(),
+                            std::size_t{0}),
+            sequences.size());
+  ingest::IngestSession session(config);
+  std::size_t offset = 0;
+  for (const std::size_t size : batch_sizes) {
+    const seq::SequenceSet batch(
+        sequences.begin() + static_cast<std::ptrdiff_t>(offset),
+        sequences.begin() + static_cast<std::ptrdiff_t>(offset + size));
+    session.ingest(batch);
+    offset += size;
+  }
+  const core::Clustering reference =
+      from_scratch(sequences, config.graph, config.shingling);
+  EXPECT_EQ(session.partition_digest(), reference.digest())
+      << batch_sizes.size() << " batches";
+  EXPECT_EQ(store::serialize_snapshot(session.store()),
+            from_scratch_snapshot_bytes(sequences, config.graph,
+                                        config.shingling, config.store))
+      << batch_sizes.size() << " batches";
+}
+
+TEST(IngestEquivalence, KmerModeBatchSplits) {
+  const seq::SequenceSet sequences = make_workload(71, 6);
+  ingest::IngestConfig config;
+  config.shingling = test_params();
+  const std::size_t n = sequences.size();
+
+  expect_split_equivalent(sequences, config, {n});
+  expect_split_equivalent(sequences, config, {n / 2, n - n / 2});
+  expect_split_equivalent(sequences, config,
+                          {n / 3, n / 3, n - 2 * (n / 3)});
+}
+
+TEST(IngestEquivalence, KmerModeTrickle) {
+  // Batch-size-1: every sequence is its own ingest() call.
+  const seq::SequenceSet sequences = make_workload(72, 4);
+  ingest::IngestConfig config;
+  config.shingling = test_params();
+  expect_split_equivalent(sequences, config,
+                          std::vector<std::size_t>(sequences.size(), 1));
+}
+
+TEST(IngestEquivalence, MinHashModeBatchSplits) {
+  const seq::SequenceSet sequences = make_workload(73, 5);
+  ingest::IngestConfig config;
+  config.shingling = test_params();
+  config.graph.seed_mode = align::SeedMode::MinHashLsh;
+  config.graph.lsh.num_bands = 16;
+  const std::size_t n = sequences.size();
+
+  expect_split_equivalent(sequences, config, {n});
+  expect_split_equivalent(sequences, config, {n / 2, n - n / 2});
+  expect_split_equivalent(sequences, config,
+                          {n / 4, n / 4, n / 4, n - 3 * (n / 4)});
+}
+
+TEST(IngestEquivalence, MaskCrossingRevokesStandingEdges) {
+  // Five identical sequences and max_kmer_occurrences = 4: after the first
+  // four, every shared k-mer is unmasked and the quad is a K4 of strong
+  // edges; the fifth copy pushes every k-mer's occupancy to 5 > 4, so a
+  // from-scratch run over all five finds NO candidates at all. The
+  // incremental run must dirty and revoke all six standing edges — and
+  // the new-involving pairs must come up empty — not keep stale clusters.
+  std::string motif;
+  const std::string alphabet = "ACDEFGHIKLMNPQRSTVWY";
+  for (std::size_t i = 0; i < 60; ++i) {
+    motif.push_back(alphabet[(i * 7 + 3) % alphabet.size()]);
+  }
+  seq::SequenceSet all;
+  for (int i = 0; i < 5; ++i) {
+    all.push_back({"copy" + std::to_string(i), motif});
+  }
+
+  ingest::IngestConfig config;
+  config.shingling = test_params();
+  config.graph.seeds.max_kmer_occurrences = 4;
+
+  ingest::IngestSession session(config);
+  session.ingest(seq::SequenceSet(all.begin(), all.begin() + 4));
+  ASSERT_EQ(session.edges().size(), 6u);  // K4 over the identical copies
+
+  const ingest::IngestBatchStats stats =
+      session.ingest(seq::SequenceSet(all.begin() + 4, all.end()));
+  EXPECT_EQ(stats.num_dirty_pairs, 6u);
+  EXPECT_EQ(stats.num_revoked_edges, 6u);
+  EXPECT_EQ(stats.num_accepted_edges, 0u);
+  EXPECT_TRUE(session.edges().empty());
+  EXPECT_EQ(session.num_families(), 5u);  // all singletons now
+
+  const core::Clustering reference =
+      from_scratch(all, config.graph, config.shingling);
+  EXPECT_EQ(session.partition_digest(), reference.digest());
+  EXPECT_EQ(store::serialize_snapshot(session.store()),
+            from_scratch_snapshot_bytes(all, config.graph, config.shingling,
+                                        config.store));
+}
+
+TEST(IngestEquivalence, ResumeFromSnapshot) {
+  const seq::SequenceSet sequences = make_workload(74, 5);
+  ingest::IngestConfig config;
+  config.shingling = test_params();
+  const std::size_t cut = 2 * sequences.size() / 3;
+  const seq::SequenceSet head(sequences.begin(),
+                              sequences.begin() +
+                                  static_cast<std::ptrdiff_t>(cut));
+  const seq::SequenceSet tail(sequences.begin() +
+                                  static_cast<std::ptrdiff_t>(cut),
+                              sequences.end());
+
+  // Persist the head as a from-scratch snapshot, then resume and ingest
+  // the tail.
+  const core::Clustering head_reference =
+      from_scratch(head, config.graph, config.shingling);
+  const store::FamilyStore base =
+      store::build_family_store(head, head_reference.labels(), config.store);
+
+  ingest::IngestSession session(config, base);
+  EXPECT_EQ(session.num_sequences(), head.size());
+  EXPECT_EQ(session.num_families(), base.num_families);
+  session.ingest(tail);
+
+  const core::Clustering reference =
+      from_scratch(sequences, config.graph, config.shingling);
+  EXPECT_EQ(session.partition_digest(), reference.digest());
+  EXPECT_EQ(store::serialize_snapshot(session.store()),
+            from_scratch_snapshot_bytes(sequences, config.graph,
+                                        config.shingling, config.store));
+}
+
+TEST(IngestEquivalence, DeviceEngineAndBackendMatchSerial) {
+  // Device shingling engine + DeviceBatched verification reproduce the
+  // serial session bit-for-bit, and the arena is empty after every batch.
+  const seq::SequenceSet sequences = make_workload(75, 4);
+  const std::size_t half = sequences.size() / 2;
+  const seq::SequenceSet first(sequences.begin(),
+                               sequences.begin() +
+                                   static_cast<std::ptrdiff_t>(half));
+  const seq::SequenceSet second(sequences.begin() +
+                                    static_cast<std::ptrdiff_t>(half),
+                                sequences.end());
+
+  ingest::IngestConfig serial_config;
+  serial_config.shingling = test_params();
+  ingest::IngestSession serial(serial_config);
+  serial.ingest(first);
+  serial.ingest(second);
+
+  device::DeviceContext ctx(device::DeviceSpec::small_test_device(8 << 20));
+  ingest::IngestConfig device_config;
+  device_config.shingling = test_params();
+  device_config.engine = ingest::ClusterEngine::Device;
+  device_config.device = &ctx;
+  device_config.graph.verify_backend = align::VerifyBackend::DeviceBatched;
+  device_config.graph.device_verify.context = &ctx;
+  ingest::IngestSession session(device_config);
+  session.ingest(first);
+  EXPECT_EQ(ctx.arena().used(), 0u);
+  session.ingest(second);
+  EXPECT_EQ(ctx.arena().used(), 0u);
+  EXPECT_EQ(ctx.arena().num_allocations(), 0u);
+
+  EXPECT_EQ(session.partition_digest(), serial.partition_digest());
+}
+
+TEST(IngestSession, RejectsNonIncrementalConfigs) {
+  ingest::IngestConfig maximal;
+  maximal.graph.seed_mode = align::SeedMode::MaximalMatch;
+  EXPECT_THROW(ingest::IngestSession{maximal}, InvalidArgument);
+
+  ingest::IngestConfig heuristic;
+  heuristic.graph.prefilter.enabled = true;
+  EXPECT_THROW(ingest::IngestSession{heuristic}, InvalidArgument);
+
+  ingest::IngestConfig device_without_context;
+  device_without_context.engine = ingest::ClusterEngine::Device;
+  EXPECT_THROW(ingest::IngestSession{device_without_context},
+               InvalidArgument);
+}
+
+TEST(IngestSession, EmptyBatchIsANoOp) {
+  ingest::IngestConfig config;
+  config.shingling = test_params();
+  ingest::IngestSession session(config);
+  session.ingest(make_workload(76, 2));
+  const u64 digest = session.partition_digest();
+  const ingest::IngestBatchStats stats = session.ingest({});
+  EXPECT_EQ(stats.num_new_sequences, 0u);
+  EXPECT_EQ(session.partition_digest(), digest);
+}
+
+}  // namespace
+}  // namespace gpclust

@@ -42,6 +42,15 @@ echo "=== tier 1b3: graph-scale bench smoke + perf-trajectory gate ==="
 ./build-ci/bench/bench_graph_scale --quick --json=build-ci/BENCH_graph.json
 python3 tools/compare_bench.py BENCH_graph.json build-ci/BENCH_graph.json
 
+echo "=== tier 1b4: ingest bench smoke + perf-trajectory gate ==="
+# The driver digest-checks every batch split against the from-scratch
+# partition and asserts the >= 5x amortized host-time reduction for a
+# small appended batch before reporting; compare_bench then gates the
+# snapshot (counts and touched fractions exactly, host timings within
+# the noise bound).
+./build-ci/bench/bench_ingest --quick --json=build-ci/BENCH_ingest.json
+python3 tools/compare_bench.py BENCH_ingest.json build-ci/BENCH_ingest.json
+
 echo "=== tier 1c: family-index round trip (build-index -> query) ==="
 # The serving-layer smoke (store + serve unit tests run inside ctest
 # above): persist a demo family index, then classify its own ORFs back —
@@ -91,6 +100,49 @@ echo "=== tier 1e: bucketed seed index (full recall, sharded, mid-stream kill) =
 cmp build-ci/ci_single.tsv build-ci/ci_bucketed_single.tsv
 cmp build-ci/ci_single.tsv build-ci/ci_bucketed_sharded.tsv
 echo "bucketed answers byte-identical to postings, with and without rank death"
+
+echo "=== tier 1f: streaming ingest (append -> follow-deltas -> compact) ==="
+# DESIGN.md §15 equivalence contract end to end through the CLIs: a
+# three-way FASTA split built incrementally (base snapshot + two delta
+# links) compacts to the byte-identical snapshot a from-scratch build
+# over the concatenated input produces, and --follow-deltas serves the
+# chain tip with exactly the TSV the compacted snapshot serves. Stale
+# links from an earlier run would extend the chain, so clear them first.
+rm -f build-ci/ci_ingest_base.gpfi.delta.1 build-ci/ci_ingest_base.gpfi.delta.2
+./build-ci/tools/gpclust-build-index --demo-families=10 --seed=7 \
+    --out=build-ci/ci_ingest_scratch.gpfi \
+    --demo-fasta-out=build-ci/ci_ingest_all.faa
+python3 - <<'EOF'
+# Split the demo FASTA into three near-equal record runs.
+records = []
+with open("build-ci/ci_ingest_all.faa") as fasta:
+    for line in fasta:
+        if line.startswith(">"):
+            records.append([])
+        records[-1].append(line)
+third = (len(records) + 2) // 3
+for part in range(3):
+    with open(f"build-ci/ci_ingest_part{part + 1}.faa", "w") as out:
+        for record in records[part * third:(part + 1) * third]:
+            out.writelines(record)
+EOF
+./build-ci/tools/gpclust-build-index --fasta=build-ci/ci_ingest_part1.faa \
+    --out=build-ci/ci_ingest_base.gpfi
+./build-ci/tools/gpclust-build-index \
+    --base-snapshot=build-ci/ci_ingest_base.gpfi \
+    --append=build-ci/ci_ingest_part2.faa,build-ci/ci_ingest_part3.faa
+./build-ci/tools/gpclust-build-index \
+    --base-snapshot=build-ci/ci_ingest_base.gpfi \
+    --compact --out=build-ci/ci_ingest_compacted.gpfi
+cmp build-ci/ci_ingest_scratch.gpfi build-ci/ci_ingest_compacted.gpfi
+echo "compacted chain byte-identical to the from-scratch snapshot"
+./build-ci/tools/gpclust-query --index=build-ci/ci_ingest_compacted.gpfi \
+    --fasta=build-ci/ci_ingest_all.faa --out=build-ci/ci_ingest_compacted.tsv
+./build-ci/tools/gpclust-query --index=build-ci/ci_ingest_base.gpfi \
+    --follow-deltas --fasta=build-ci/ci_ingest_all.faa \
+    --out=build-ci/ci_ingest_chain.tsv
+cmp build-ci/ci_ingest_compacted.tsv build-ci/ci_ingest_chain.tsv
+echo "follow-deltas answers byte-identical to the compacted snapshot"
 
 echo "=== tier 2: ASan/UBSan gpclust_tests + gpclust_align_tests (preset: asan) ==="
 cmake --preset asan

@@ -7,15 +7,35 @@
 // gpclust-query serves from. Building twice from the same input produces
 // byte-identical files.
 //
+// Streaming ingest (DESIGN.md §15): --base-snapshot + --append grows an
+// existing index incrementally. Each appended FASTA is one IngestSession
+// batch — only new-vs-existing candidates are verified and only touched
+// components re-shingled — and emits one CRC'd delta link next to the
+// base snapshot (families.gpfi.delta.1, .delta.2, ...). --compact folds
+// the base plus its delta chain into a fresh full snapshot whose bytes
+// are identical to a from-scratch build over the concatenated input.
+//
 //   gpclust-build-index --fasta=orfs.faa --out=families.gpfi
 //   gpclust-build-index --demo-families=40 --out=demo.gpfi
 //       --demo-fasta-out=demo.faa
+//   gpclust-build-index --base-snapshot=families.gpfi --append=day2.faa
+//   gpclust-build-index --base-snapshot=families.gpfi --compact
+//       --out=compacted.gpfi
 //
 // Flags:
 //   --fasta=PATH           input protein FASTA
 //   --demo-families=N      instead of --fasta: synthetic metagenome with N
 //                          planted families (smoke-testing / demos)
-//   --out=PATH             snapshot output path (required)
+//   --out=PATH             snapshot output path (required unless --append)
+//   --base-snapshot=PATH   existing snapshot; its delta chain is followed
+//                          before appending or compacting
+//   --append=F1[,F2,...]   ingest each FASTA as one incremental batch and
+//                          write one delta link per batch next to the base
+//                          snapshot (k and signature parameters come from
+//                          the base; --c1/--c2/--reps must match the
+//                          original build for byte-identical compaction)
+//   --compact              fold base snapshot + delta chain into --out
+//                          (exclusive with --append)
 //   --k=N                  k-mer length of the stored postings (default 5)
 //   --reps=N               representatives kept per family (default 2)
 //   --engine=gpu|serial    clustering implementation (default gpu)
@@ -28,14 +48,22 @@
 //   --sig-seed=N           signature permutation-derivation seed (default:
 //                          the recorded build default)
 //   --help                 print the flag reference and exit
+//
+// Exit codes: 0 success; 1 build failure; 2 usage; 4 snapshot or delta
+// corruption (store::SnapshotError); 5 snapshot I/O failure — missing or
+// unwritable file (store::SnapshotIoError). Same convention as
+// gpclust-query.
 
 #include <cstdio>
+#include <optional>
 
 #include "align/homology_graph.hpp"
 #include "core/gpclust.hpp"
 #include "core/serial_pclust.hpp"
+#include "ingest/ingest_session.hpp"
 #include "seq/family_model.hpp"
 #include "seq/fasta.hpp"
+#include "store/delta.hpp"
 #include "store/signature.hpp"
 #include "store/snapshot.hpp"
 #include "util/cli.hpp"
@@ -51,7 +79,12 @@ void print_help(std::FILE* out) {
       "--out=PATH [flags]\n"
       "  --fasta=PATH           input protein FASTA\n"
       "  --demo-families=N      synthetic metagenome with N planted families\n"
-      "  --out=PATH             snapshot output path (required)\n"
+      "  --out=PATH             snapshot output path (required unless "
+      "--append)\n"
+      "  --base-snapshot=PATH   existing snapshot (delta chain followed)\n"
+      "  --append=F1[,F2,...]   ingest each FASTA as one incremental batch; "
+      "one delta link per batch\n"
+      "  --compact              fold base snapshot + delta chain into --out\n"
       "  --k=N                  k-mer length of the stored postings "
       "(default 5)\n"
       "  --reps=N               representatives kept per family (default 2)\n"
@@ -68,6 +101,75 @@ void print_help(std::FILE* out) {
       "  --help                 print this reference and exit\n");
 }
 
+std::vector<std::string> split_csv(const std::string& spec) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    if (end > start) out.push_back(spec.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// --append: resume an IngestSession from the chain tip and write one
+/// delta link per appended FASTA. Returns the process exit code.
+int run_append(const gpclust::util::CliArgs& args,
+               const std::string& base_snapshot,
+               const std::vector<std::string>& batches,
+               gpclust::store::DeltaChainTip tip) {
+  using namespace gpclust;
+  ingest::IngestConfig config;
+  config.shingling.c1 = static_cast<u32>(args.get_int("c1", 80));
+  config.shingling.c2 = static_cast<u32>(args.get_int("c2", 40));
+  // k and the signature parameters are recorded in the snapshot — the
+  // base is authoritative; only reps/c1/c2 must be repeated by flag.
+  config.store.k = static_cast<std::size_t>(tip.store.kmer_k);
+  config.store.reps_per_family =
+      static_cast<std::size_t>(args.get_int("reps", 2));
+  config.store.sig_hashes = static_cast<std::size_t>(tip.store.sig_num_hashes);
+  config.store.sig_seed = tip.store.sig_seed;
+  std::optional<device::DeviceContext> ctx;
+  const auto engine = args.get_string("engine", "gpu");
+  if (engine == "gpu") {
+    ctx.emplace(device::DeviceSpec::tesla_k20());
+    config.engine = ingest::ClusterEngine::Device;
+    config.device = &*ctx;
+  } else if (engine != "serial") {
+    throw InvalidArgument("unknown --engine: " + engine);
+  }
+
+  u64 link = tip.chain_length;
+  ingest::IngestSession session(config, tip.store);
+  for (const std::string& path : batches) {
+    const seq::SequenceSet batch = seq::read_fasta(path);
+    util::WallTimer timer;
+    ingest::IngestBatchStats stats;
+    ++link;
+    const store::SnapshotDelta delta =
+        session.ingest_with_delta(batch, link, &stats);
+    const std::string delta_path = store::delta_chain_path(base_snapshot, link);
+    store::write_delta(delta, delta_path);
+    std::printf(
+        "appended %zu sequences from %s -> %s: %zu candidate pairs, "
+        "+%zu/-%zu edges, %.1f%% of vertices re-shingled, %llu families, "
+        "%.2fs wall\n",
+        batch.size(), path.c_str(), delta_path.c_str(),
+        stats.num_candidate_pairs, stats.num_accepted_edges,
+        stats.num_revoked_edges, 100.0 * stats.touched_fraction,
+        static_cast<unsigned long long>(session.num_families()),
+        timer.seconds());
+  }
+  if (ctx.has_value()) {
+    GPCLUST_CHECK(ctx->arena().used() == 0,
+                  "device arena must be empty after ingest");
+    std::fprintf(stderr, "device arena empty after ingest\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -81,6 +183,40 @@ int main(int argc, char** argv) {
     const auto fasta_path = args.get_string("fasta", "");
     const auto demo_families = args.get_int("demo-families", 0);
     const auto out_path = args.get_string("out", "");
+
+    // --- Streaming-ingest modes (DESIGN.md §15) ----------------------------
+    const auto base_snapshot = args.get_string("base-snapshot", "");
+    const auto append_spec = args.get_string("append", "");
+    const bool compact = args.has("compact");
+    if (!base_snapshot.empty() || !append_spec.empty() || compact) {
+      const bool append = !append_spec.empty();
+      if (base_snapshot.empty() || (append && compact) ||
+          (!append && !compact) || (compact && out_path.empty())) {
+        print_help(stderr);
+        return 2;
+      }
+      store::DeltaChainTip tip = store::follow_delta_chain(base_snapshot);
+      std::fprintf(stderr,
+                   "loaded %s + %llu delta link(s): %zu sequences, "
+                   "%llu families\n",
+                   base_snapshot.c_str(),
+                   static_cast<unsigned long long>(tip.chain_length),
+                   tip.store.num_sequences(),
+                   static_cast<unsigned long long>(tip.store.num_families));
+      if (compact) {
+        store::write_snapshot(tip.store, out_path);
+        std::printf("compacted %s + %llu delta link(s) -> %s: %zu sequences, "
+                    "%llu families\n",
+                    base_snapshot.c_str(),
+                    static_cast<unsigned long long>(tip.chain_length),
+                    out_path.c_str(), tip.store.num_sequences(),
+                    static_cast<unsigned long long>(tip.store.num_families));
+        return 0;
+      }
+      return run_append(args, base_snapshot, split_csv(append_spec),
+                        std::move(tip));
+    }
+
     if (out_path.empty() || (fasta_path.empty() && demo_families <= 0)) {
       print_help(stderr);
       return 2;
@@ -149,6 +285,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(store.kmer_k),
                 static_cast<unsigned long long>(store.sig_num_hashes));
     return 0;
+  } catch (const store::SnapshotIoError& e) {
+    std::fprintf(stderr, "error [snapshot io]: %s\n", e.what());
+    return 5;
+  } catch (const store::SnapshotError& e) {
+    std::fprintf(stderr, "error [snapshot corruption]: %s\n", e.what());
+    return 4;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

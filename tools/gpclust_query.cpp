@@ -19,6 +19,11 @@
 //
 // Flags:
 //   --index=PATH           snapshot written by gpclust-build-index (required)
+//   --follow-deltas        also apply the snapshot's delta chain
+//                          (families.gpfi.delta.1, .delta.2, ... written by
+//                          gpclust-build-index --append) and serve from the
+//                          chain tip; a corrupt link is a typed error (4),
+//                          a missing link simply ends the chain
 //   --seq=RESIDUES         classify one literal protein sequence
 //   --fasta=PATH           classify every sequence in a FASTA file
 //   --out=PATH             batch mode: write per-query TSV (id, outcome,
@@ -81,6 +86,7 @@
 #include "seq/fasta.hpp"
 #include "serve/query_service.hpp"
 #include "serve/sharded_service.hpp"
+#include "store/delta.hpp"
 #include "store/snapshot.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
@@ -97,6 +103,8 @@ void print_help(std::FILE* out) {
       "[flags]\n"
       "  --index=PATH           snapshot from gpclust-build-index "
       "(required)\n"
+      "  --follow-deltas        apply the snapshot's delta chain and serve "
+      "from the tip\n"
       "  --seq=RESIDUES         classify one literal protein sequence\n"
       "  --fasta=PATH           classify every sequence in a FASTA file\n"
       "  --out=PATH             write the per-query TSV here, not stdout\n"
@@ -248,11 +256,21 @@ int main(int argc, char** argv) {
     }
 
     util::WallTimer load_timer;
-    const auto store = store::load_snapshot(index_path);
+    store::FamilyStore store;
+    u64 chain_length = 0;
+    if (args.has("follow-deltas")) {
+      store::DeltaChainTip tip = store::follow_delta_chain(index_path);
+      store = std::move(tip.store);
+      chain_length = tip.chain_length;
+    } else {
+      store = store::load_snapshot(index_path);
+    }
     std::fprintf(stderr,
-                 "loaded %s: %zu sequences, %llu families, %zu "
-                 "representatives (k=%llu) in %.2fs\n",
-                 index_path.c_str(), store.num_sequences(),
+                 "loaded %s + %llu delta link(s): %zu sequences, %llu "
+                 "families, %zu representatives (k=%llu) in %.2fs\n",
+                 index_path.c_str(),
+                 static_cast<unsigned long long>(chain_length),
+                 store.num_sequences(),
                  static_cast<unsigned long long>(store.num_families),
                  store.representatives.size(),
                  static_cast<unsigned long long>(store.kmer_k),
